@@ -1,0 +1,318 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md §3 for the experiment index). The shared data sets are
+// built once per process at a small scale; each benchmark then measures the
+// audit/analysis computation itself. Fig01, Table5, and the policy-gap
+// ablation run their own simulations per iteration by design (the
+// simulation *is* the experiment there).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+package main
+
+import (
+	"sync"
+	"testing"
+
+	"chainaudit/internal/experiments"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+	benchErr   error
+)
+
+func getBenchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSuite, benchErr = experiments.NewSuite(2026, 0.25)
+	})
+	if benchErr != nil {
+		b.Fatalf("building suite: %v", benchErr)
+	}
+	return benchSuite
+}
+
+func BenchmarkFig01NormShift(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig01NormShift(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Table1(); len(tbl.Rows) != 3 {
+			b.Fatal("table 1 rows")
+		}
+	}
+}
+
+func BenchmarkFig02PoolShares(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Fig02PoolShares(); len(tbl.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig03Congestion(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb, fc, cum := s.Fig03Congestion()
+		if len(fb.Series) == 0 || len(fc.Series) == 0 || len(cum.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig04DelaysFees(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fa, fb, fc := s.Fig04DelaysFees()
+		if len(fa.Series) == 0 || len(fb.Series) == 0 || len(fc.Series) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig05FeeDelay(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := s.Fig05FeeDelay(); len(f.Series) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig06ViolationPairs(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		all, non := s.Fig06ViolationPairs(30)
+		if len(all.Series) != 3 || len(non.Series) != 3 {
+			b.Fatal("series")
+		}
+	}
+}
+
+func BenchmarkFig07PPE(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, overall := s.Fig07PPE(); overall.N == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig08PoolWallets(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Fig08PoolWallets(); len(tbl.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkTable2SelfInterest(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, findings, err := s.Table2SelfInterest(); err != nil || len(findings) == 0 {
+			b.Fatalf("findings=%d err=%v", len(findings), err)
+		}
+	}
+}
+
+func BenchmarkTable3Scam(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, rows, err := s.Table3Scam(); err != nil || len(rows) == 0 {
+			b.Fatalf("rows=%d err=%v", len(rows), err)
+		}
+	}
+}
+
+func BenchmarkTable4DarkFee(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, rows := s.Table4DarkFee(); len(rows) != 5 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+func BenchmarkTable5FeeRevenue(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, rows, err := s.Table5FeeRevenue(); err != nil || len(rows) != 5 {
+			b.Fatalf("rows=%d err=%v", len(rows), err)
+		}
+	}
+}
+
+func BenchmarkFig09MempoolB(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := s.Fig09MempoolB(); len(f.Series) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig10FeeratesByPool(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := s.Fig10FeeratesByPool(); len(f.Series) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig11CongestionFeesB(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := s.Fig11CongestionFeesB(); len(f.Series) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig12FeeDelayB(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := s.Fig12FeeDelayB(); len(f.Series) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig13ScamWindowShares(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Fig13ScamWindowShares(); len(tbl.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig14AccelFees(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f, _ := s.Fig14AccelFees(); len(f.Series) != 2 {
+			b.Fatal("series")
+		}
+	}
+}
+
+func BenchmarkNormIIICensus(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.NormIIICensus(); tbl == nil {
+			b.Fatal("nil")
+		}
+	}
+}
+
+func BenchmarkExtFeeEstimatorBias(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExtFeeEstimatorBias(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtCensorshipPower(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExtCensorshipPower(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtDelaySignificance(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExtDelaySignificance(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtNormComparison(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExtNormComparison(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPolicyGap(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AblationPolicyGap(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBinomApprox(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.AblationBinomApprox(); len(tbl.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkAblationSnapshotSampling(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.AblationSnapshotSampling(); len(tbl.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkExtConflictOutcomes(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExtConflictOutcomes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

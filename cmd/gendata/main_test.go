@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGendataRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "chain.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-set", "A", "-seed", "3", "-hours", "2", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "built data set A") {
+		t.Errorf("summary missing: %s", buf.String())
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() < 1000 {
+		t.Errorf("suspiciously small CSV: %d bytes", info.Size())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "height,block_time,coinbase_tag") {
+		t.Error("CSV header wrong")
+	}
+}
+
+func TestGendataValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-set", "A"}, &buf); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run([]string{"-set", "Z", "-out", "/tmp/x.csv"}, &buf); err == nil {
+		t.Error("unknown set accepted")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-set", "B", "-out", "/nonexistent-dir-zz/x.csv", "-hours", "1"}, &buf); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

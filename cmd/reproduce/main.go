@@ -1,0 +1,232 @@
+// Command reproduce regenerates the paper's tables and figures from
+// simulated data sets.
+//
+// Usage:
+//
+//	reproduce [-seed N] [-scale X] [-csv] [-exp list]
+//
+// -exp selects experiments by id (comma separated): fig1..fig14, table1..
+// table5, norm3, ablations, or "all" (default). -scale grows the simulated
+// spans (1 = bench scale: A 12 h, B 16 h, C 48 h).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"chainaudit/internal/experiments"
+)
+
+type renderable interface {
+	Render(io.Writer) error
+	RenderCSV(io.Writer) error
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("reproduce", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	scale := fs.Float64("scale", 1, "data set duration scale")
+	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	expFlag := fs.String("exp", "all", "comma-separated experiment ids (fig1..fig14, table1..table5, norm3, extensions, ablations, all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	known := map[string]bool{"all": true, "norm3": true, "extensions": true, "ablations": true}
+	for i := 1; i <= 14; i++ {
+		known[fmt.Sprintf("fig%d", i)] = true
+	}
+	for i := 1; i <= 5; i++ {
+		known[fmt.Sprintf("table%d", i)] = true
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*expFlag, ",") {
+		id = strings.TrimSpace(strings.ToLower(id))
+		if !known[id] {
+			return fmt.Errorf("unknown experiment id %q", id)
+		}
+		want[id] = true
+	}
+	selected := func(id string) bool { return want["all"] || want[id] }
+
+	start := time.Now()
+	fmt.Fprintf(out, "building data sets (seed=%d scale=%g)...\n", *seed, *scale)
+	suite, err := experiments.NewSuite(*seed, *scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "data sets ready in %v\n\n", time.Since(start).Round(time.Second))
+
+	emit := func(r renderable) error {
+		var err error
+		if *asCSV {
+			err = r.RenderCSV(out)
+		} else {
+			err = r.Render(out)
+		}
+		if err == nil {
+			_, err = fmt.Fprintln(out)
+		}
+		return err
+	}
+
+	type step struct {
+		id  string
+		run func() error
+	}
+	steps := []step{
+		{"fig1", func() error {
+			f, err := suite.Fig01NormShift()
+			if err != nil {
+				return err
+			}
+			return emit(f)
+		}},
+		{"table1", func() error { return emit(suite.Table1()) }},
+		{"fig2", func() error { return emit(suite.Fig02PoolShares()) }},
+		{"fig3", func() error {
+			fb, fc, cum := suite.Fig03Congestion()
+			if err := emit(cum); err != nil {
+				return err
+			}
+			if err := emit(fb); err != nil {
+				return err
+			}
+			return emit(fc)
+		}},
+		{"fig4", func() error {
+			fa, fb, fc := suite.Fig04DelaysFees()
+			for _, f := range []renderable{fa, fb, fc} {
+				if err := emit(f); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"fig5", func() error { return emit(suite.Fig05FeeDelay()) }},
+		{"fig6", func() error {
+			all, non := suite.Fig06ViolationPairs(30)
+			if err := emit(all); err != nil {
+				return err
+			}
+			return emit(non)
+		}},
+		{"fig7", func() error {
+			f, overall := suite.Fig07PPE()
+			fmt.Fprintf(out, "PPE overall: %s\n", overall)
+			return emit(f)
+		}},
+		{"fig8", func() error { return emit(suite.Fig08PoolWallets()) }},
+		{"table2", func() error {
+			t, _, err := suite.Table2SelfInterest()
+			if err != nil {
+				return err
+			}
+			return emit(t)
+		}},
+		{"table3", func() error {
+			t, _, err := suite.Table3Scam()
+			if err != nil {
+				return err
+			}
+			return emit(t)
+		}},
+		{"table4", func() error {
+			t, _ := suite.Table4DarkFee()
+			return emit(t)
+		}},
+		{"table5", func() error {
+			t, _, err := suite.Table5FeeRevenue()
+			if err != nil {
+				return err
+			}
+			return emit(t)
+		}},
+		{"norm3", func() error { return emit(suite.NormIIICensus()) }},
+		{"fig9", func() error { return emit(suite.Fig09MempoolB()) }},
+		{"fig10", func() error { return emit(suite.Fig10FeeratesByPool()) }},
+		{"fig11", func() error { return emit(suite.Fig11CongestionFeesB()) }},
+		{"fig12", func() error { return emit(suite.Fig12FeeDelayB()) }},
+		{"fig13", func() error { return emit(suite.Fig13ScamWindowShares()) }},
+		{"fig14", func() error {
+			f, ratios := suite.Fig14AccelFees()
+			fmt.Fprintf(out, "acceleration-fee multiple of public fee: %s\n", ratios)
+			return emit(f)
+		}},
+		{"extensions", func() error {
+			bias, err := suite.ExtFeeEstimatorBias()
+			if err != nil {
+				return err
+			}
+			if err := emit(bias); err != nil {
+				return err
+			}
+			cens, err := suite.ExtCensorshipPower()
+			if err != nil {
+				return err
+			}
+			if err := emit(cens); err != nil {
+				return err
+			}
+			sig, err := suite.ExtDelaySignificance()
+			if err != nil {
+				return err
+			}
+			if err := emit(sig); err != nil {
+				return err
+			}
+			cmp, err := suite.ExtNormComparison()
+			if err != nil {
+				return err
+			}
+			if err := emit(cmp); err != nil {
+				return err
+			}
+			rbf, err := suite.ExtConflictOutcomes()
+			if err != nil {
+				return err
+			}
+			return emit(rbf)
+		}},
+		{"ablations", func() error {
+			gap, err := suite.AblationPolicyGap()
+			if err != nil {
+				return err
+			}
+			if err := emit(gap); err != nil {
+				return err
+			}
+			if err := emit(suite.AblationBinomApprox()); err != nil {
+				return err
+			}
+			return emit(suite.AblationSnapshotSampling())
+		}},
+	}
+	ran := 0
+	for _, s := range steps {
+		if !selected(s.id) {
+			continue
+		}
+		fmt.Fprintf(out, "### %s\n", s.id)
+		if err := s.run(); err != nil {
+			return fmt.Errorf("%s: %w", s.id, err)
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q", *expFlag)
+	}
+	fmt.Fprintf(out, "done: %d experiments in %v\n", ran, time.Since(start).Round(time.Second))
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-exp", "fig99"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+	// Must fail fast, before any data set is built.
+	if strings.Contains(out.String(), "building") {
+		t.Error("suite build started before validation")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nonsense"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds data sets")
+	}
+	var out bytes.Buffer
+	// Tiny scale keeps this a smoke test; table1 touches all three sets.
+	if err := run([]string{"-scale", "0.1", "-seed", "5", "-exp", "table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"### table1", "Table 1: data sets", "done: 1 experiments"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds data sets")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.1", "-seed", "5", "-csv", "-exp", "table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dataset,from,to") {
+		t.Errorf("CSV header missing:\n%s", out.String())
+	}
+}

@@ -1,0 +1,119 @@
+// P2P example: a live three-node relay network over real TCP sockets — a
+// miniature of the paper's data-collection setup. A permissive observer
+// (data set B's configuration) and a default observer (data set A's) peer
+// with a relay; transactions gossip through, and the observers' differing
+// admission policies produce differing views, exactly the effect the
+// paper's ε-tightening compensates for.
+//
+//	go run ./examples/p2pnode
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/p2p"
+	"chainaudit/internal/stats"
+	"chainaudit/internal/workload"
+)
+
+func main() {
+	// Relay in the middle, two observers at the edges, all over TCP.
+	relay := p2p.NewNode("relay", 1)
+	defaultObs := p2p.NewNode("observer-default", chain.MinRelayFeeRate) // data set A config
+	permissive := p2p.NewNode("observer-permissive", 0)                  // data set B config
+	defer relay.Close()
+	defer defaultObs.Close()
+	defer permissive.Close()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	go relay.ListenAndServe(l)
+	for _, n := range []*p2p.Node{defaultObs, permissive} {
+		if err := n.Dial(l.Addr().String()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A user population submits transactions to the relay, including a few
+	// below the default relay minimum.
+	rng := stats.NewRNG(99)
+	gen := workload.NewGenerator(rng, 50)
+	now := time.Unix(1_600_000_000, 0)
+	submitted, lowball := 0, 0
+	for i := 0; i < 200; i++ {
+		var tx *chain.Tx
+		if i%40 == 13 {
+			tx = gen.LowBallTx(now)
+			lowball++
+		} else {
+			tx = gen.UserTx(now, 1)
+		}
+		// The relay itself accepts >= 1 sat/vB; submit low-ball txs at the
+		// permissive node so they enter the network at all.
+		target := relay
+		if tx.FeeRate() < chain.MinRelayFeeRate {
+			target = permissive
+		}
+		if err := target.SubmitTx(tx, now); err == nil {
+			submitted++
+		}
+		now = now.Add(time.Second)
+		// Pace submissions the way real users do; an instantaneous
+		// 200-transaction burst is a stress test, not a workload.
+		time.Sleep(time.Millisecond)
+	}
+
+	// Let gossip settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if permissive.Mempool(now).Count >= submitted-1 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	ds := defaultObs.Mempool(now)
+	ps := permissive.Mempool(now)
+	fmt.Printf("submitted %d transactions (%d below the 1 sat/vB minimum)\n", submitted, lowball)
+	fmt.Printf("default-config observer mempool:    %4d txs, %7d vbytes\n", ds.Count, ds.TotalVSize)
+	fmt.Printf("permissive observer mempool:        %4d txs, %7d vbytes\n", ps.Count, ps.TotalVSize)
+	fmt.Printf("difference (policy-dropped):        %4d txs\n", ps.Count-ds.Count)
+
+	// Mine the permissive view into a block at the relay and watch the
+	// mempools drain over the wire.
+	var txs []*chain.Tx
+	var fees chain.Amount
+	for _, st := range ps.Txs {
+		txs = append(txs, st.Tx)
+		fees += st.Tx.Fee
+	}
+	cb := &chain.Tx{
+		VSize:       120,
+		Time:        now,
+		Outputs:     []chain.TxOut{{Address: "pool", Value: chain.Subsidy(650_000) + fees}},
+		CoinbaseTag: "/Example/",
+	}
+	cb.ComputeID()
+	blk := &chain.Block{Height: 650_000, Time: now, Txs: append([]*chain.Tx{cb}, txs...)}
+	blk.ComputeHash([32]byte{})
+	if err := permissive.SubmitBlock(blk); err != nil {
+		log.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if defaultObs.Mempool(now).Count == 0 && relay.Mempool(now).Count == 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("\nblock %d (%d txs) propagated; mempools now: relay=%d default=%d permissive=%d\n",
+		blk.Height, len(blk.Body()),
+		relay.Mempool(now).Count, defaultObs.Mempool(now).Count, permissive.Mempool(now).Count)
+}

@@ -1,0 +1,53 @@
+// Quickstart: simulate a small Bitcoin-like economy, then audit the chain
+// for adherence to the fee-rate prioritization norms.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"chainaudit/internal/core"
+	"chainaudit/internal/dataset"
+	"chainaudit/internal/report"
+)
+
+func main() {
+	// Build a scaled-down analogue of the paper's data set C: a week of
+	// blocks with the paper's pool roster and every deviant behaviour
+	// planted (selfish prioritization, collusion, dark fees).
+	ds, err := dataset.BuildC(dataset.Options{Seed: 7, Duration: 12 * time.Hour})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := ds.Result.Chain
+	fmt.Printf("simulated %d blocks carrying %d transactions\n\n", c.Len(), c.TxCount())
+
+	// Norm II: how closely does intra-block order track the fee-rate norm?
+	aud := core.Auditor{Chain: c, Registry: ds.Registry}
+	rep := aud.PPEReport(3)
+	fmt.Printf("position prediction error: %s\n", rep.Overall)
+	fmt.Println("(the paper's data set C: mean 2.65%, 80% of blocks under 4.03%)")
+	fmt.Println()
+
+	// Norms I+II, per pool and transaction owner: who accelerates whom?
+	findings, _, err := aud.SelfInterestAudit(0.04)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := report.NewTable("significant differential prioritization (p < 0.001)",
+		"owner", "prioritized by", "x", "y", "p_accel", "sppe")
+	for _, f := range findings {
+		r := f.Result
+		t.AddRow(f.Owner, r.Pool, int(r.X), int(r.Y), r.AccelP, r.SPPE)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrows where owner == prioritized-by are selfish acceleration;")
+	fmt.Println("cross rows are collusion (the paper found ViaBTC accelerating")
+	fmt.Println("1THash&58Coin's and SlushPool's transactions).")
+}

@@ -1,0 +1,100 @@
+// Stratum-pool example: the pool-internal side of the paper's §2.1 — a
+// pool builds a GetBlockTemplate block template from its mempool, renders
+// it down to Stratum jobs, and distributes work to miners over TCP. When
+// the template changes (a new high-fee transaction arrives), workers are
+// re-notified, exactly the GBT→Stratum flow the paper describes as the
+// source of the ordering norms.
+//
+//	go run ./examples/stratumpool
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/gbt"
+	"chainaudit/internal/mempool"
+	"chainaudit/internal/stats"
+	"chainaudit/internal/stratum"
+	"chainaudit/internal/workload"
+)
+
+func main() {
+	// The pool's mempool fills with user transactions.
+	rng := stats.NewRNG(7)
+	gen := workload.NewGenerator(rng, 100)
+	pool := mempool.New(mempool.WithMinFeeRate(1))
+	now := time.Unix(1_600_000_000, 0)
+	for i := 0; i < 400; i++ {
+		tx := gen.UserTx(now.Add(time.Duration(i)*time.Second), mempool.CongestionLow)
+		_ = pool.Add(tx, tx.Time)
+	}
+
+	// Build the GBT template the job derives from.
+	tpl := gbt.AncestorScore{}.Build(pool.Entries(), 100_000)
+	fmt.Printf("template: %d txs, %d vbytes, %s in fees\n",
+		len(tpl.Txs), tpl.VSize, tpl.TotalFee)
+
+	// Stand up the Stratum server and point three workers at it.
+	srv := stratum.NewServer()
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	go srv.ListenAndServe(l)
+	srv.SetJob(stratum.NewJob("epoch-1", 650_000, [32]byte{}, tpl.Txs, 10, true))
+
+	var wg sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("rig-%d", i)
+		w := stratum.NewWorker(name)
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Connect(conn); err != nil {
+			log.Fatal(err)
+		}
+		// Wait for the job push, then grind.
+		select {
+		case <-w.Jobs():
+		case <-time.After(5 * time.Second):
+			log.Fatalf("%s: no job", name)
+		}
+		wg.Add(1)
+		go func(w *stratum.Worker, name string) {
+			defer wg.Done()
+			defer w.Close()
+			accepted, err := w.Mine(60_000)
+			if err != nil {
+				log.Printf("%s: %v", name, err)
+				return
+			}
+			fmt.Printf("%s: %d shares accepted\n", name, accepted)
+		}(w, name)
+	}
+	wg.Wait()
+
+	// A fat-fee transaction arrives: rebuild the template and rotate jobs.
+	rich := gen.UserTx(now.Add(time.Hour), mempool.CongestionHigh)
+	_ = pool.Add(rich, rich.Time)
+	tpl2 := gbt.AncestorScore{}.Build(pool.Entries(), 100_000)
+	srv.SetJob(stratum.NewJob("epoch-2", 650_000, [32]byte{}, tpl2.Txs, 10, true))
+	fmt.Printf("\nrotated to epoch-2 after new arrival (template now %d txs)\n", len(tpl2.Txs))
+
+	// Pool-side accounting: this is how pools estimate worker hash rate.
+	total := int64(0)
+	for worker, shares := range srv.Shares() {
+		fmt.Printf("worker %s credited %d shares\n", worker, shares)
+		total += shares
+	}
+	fmt.Printf("total shares: %d (share difficulty 10 bits => ~%d hashes estimated)\n",
+		total, total*1024)
+	_ = chain.MaxBlockVSize
+}

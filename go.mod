@@ -1,0 +1,3 @@
+module chainaudit
+
+go 1.22

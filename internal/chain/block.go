@@ -1,0 +1,199 @@
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// MaxBlockVSize is the block capacity in virtual bytes (the paper treats
+// blocks as 1 MB of virtual size).
+const MaxBlockVSize int64 = 1_000_000
+
+// HalvingInterval is the number of blocks between subsidy halvings.
+const HalvingInterval int64 = 210_000
+
+// InitialSubsidy is the block subsidy of the genesis era.
+const InitialSubsidy Amount = 50 * BTC
+
+// Subsidy returns the block subsidy at the given height per the halving
+// schedule (50 BTC, halved every 210,000 blocks, truncating satoshi).
+func Subsidy(height int64) Amount {
+	if height < 0 {
+		return 0
+	}
+	halvings := height / HalvingInterval
+	if halvings >= 64 {
+		return 0
+	}
+	return InitialSubsidy >> uint(halvings)
+}
+
+// Block is a mined block: a coinbase transaction followed by zero or more
+// ordered transactions. The order of Txs is the order the audit measures.
+type Block struct {
+	Height int64
+	Hash   [32]byte
+	// Time is the block's mining timestamp.
+	Time time.Time
+	// Txs holds the coinbase at index 0 followed by the confirmed
+	// transactions in their committed order.
+	Txs []*Tx
+}
+
+// Coinbase returns the block's coinbase transaction, or nil for a block
+// with no transactions at all (which Validate rejects).
+func (b *Block) Coinbase() *Tx {
+	if len(b.Txs) == 0 {
+		return nil
+	}
+	return b.Txs[0]
+}
+
+// Body returns the non-coinbase transactions in committed order.
+func (b *Block) Body() []*Tx {
+	if len(b.Txs) == 0 {
+		return nil
+	}
+	return b.Txs[1:]
+}
+
+// IsEmpty reports whether the block contains only its coinbase (the paper's
+// "empty block").
+func (b *Block) IsEmpty() bool { return len(b.Txs) <= 1 }
+
+// VSize returns the total virtual size of the block body plus coinbase.
+func (b *Block) VSize() int64 {
+	var v int64
+	for _, tx := range b.Txs {
+		v += tx.VSize
+	}
+	return v
+}
+
+// Fees returns the total fees offered by the block's body transactions.
+func (b *Block) Fees() Amount {
+	var f Amount
+	for _, tx := range b.Body() {
+		f += tx.Fee
+	}
+	return f
+}
+
+// Reward returns the miner's total revenue: subsidy plus collected fees.
+func (b *Block) Reward() Amount { return Subsidy(b.Height) + b.Fees() }
+
+// MinerTag returns the coinbase marker identifying the mining pool, or ""
+// when absent.
+func (b *Block) MinerTag() string {
+	if cb := b.Coinbase(); cb != nil {
+		return cb.CoinbaseTag
+	}
+	return ""
+}
+
+// RewardAddress returns the address the coinbase pays, or "" when the block
+// is malformed.
+func (b *Block) RewardAddress() Address {
+	cb := b.Coinbase()
+	if cb == nil || len(cb.Outputs) == 0 {
+		return ""
+	}
+	return cb.Outputs[0].Address
+}
+
+// ErrInvalidBlock reports a structurally invalid block.
+var ErrInvalidBlock = errors.New("chain: invalid block")
+
+// Validate checks the block's structural invariants: a coinbase in position
+// zero (and nowhere else), the vsize cap, unique transaction identifiers,
+// valid member transactions, and a coinbase payout within subsidy + fees.
+func (b *Block) Validate() error {
+	if len(b.Txs) == 0 {
+		return fmt.Errorf("%w %d: no coinbase", ErrInvalidBlock, b.Height)
+	}
+	cb := b.Txs[0]
+	if !cb.IsCoinbase() {
+		return fmt.Errorf("%w %d: first transaction is not a coinbase", ErrInvalidBlock, b.Height)
+	}
+	if b.VSize() > MaxBlockVSize {
+		return fmt.Errorf("%w %d: vsize %d exceeds cap %d", ErrInvalidBlock, b.Height, b.VSize(), MaxBlockVSize)
+	}
+	seen := make(map[TxID]bool, len(b.Txs))
+	for i, tx := range b.Txs {
+		if i > 0 && tx.IsCoinbase() {
+			return fmt.Errorf("%w %d: coinbase at position %d", ErrInvalidBlock, b.Height, i)
+		}
+		if err := tx.Validate(); err != nil {
+			return fmt.Errorf("%w %d: tx %d: %v", ErrInvalidBlock, b.Height, i, err)
+		}
+		if seen[tx.ID] {
+			return fmt.Errorf("%w %d: duplicate tx %s", ErrInvalidBlock, b.Height, tx.ID.Short())
+		}
+		seen[tx.ID] = true
+	}
+	if got, maxPay := cb.OutputValue(), Subsidy(b.Height)+b.Fees(); got > maxPay {
+		return fmt.Errorf("%w %d: coinbase pays %d > subsidy+fees %d", ErrInvalidBlock, b.Height, got, maxPay)
+	}
+	return nil
+}
+
+// ComputeHash derives and assigns the block hash from height, time, and the
+// member transaction identifiers, plus the previous block hash.
+func (b *Block) ComputeHash(prev [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write(prev[:])
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(b.Height))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(b.Time.UnixNano()))
+	h.Write(buf[:])
+	for _, tx := range b.Txs {
+		h.Write(tx.ID[:])
+	}
+	copy(b.Hash[:], h.Sum(nil))
+	return b.Hash
+}
+
+// CPFPSet returns the set of child-pays-for-parent transactions in the
+// block per the paper's Appendix E definition: a transaction is CPFP if and
+// only if it spends at least one output of another transaction included in
+// the same block.
+func (b *Block) CPFPSet() map[TxID]bool {
+	inBlock := make(map[TxID]bool, len(b.Txs))
+	for _, tx := range b.Txs {
+		inBlock[tx.ID] = true
+	}
+	cpfp := make(map[TxID]bool)
+	for _, tx := range b.Body() {
+		for _, in := range tx.Inputs {
+			if inBlock[in.PrevOut.TxID] {
+				cpfp[tx.ID] = true
+				break
+			}
+		}
+	}
+	return cpfp
+}
+
+// DependencySet returns all transactions participating in an intra-block
+// dependency, as parent or child. The violation-pair analysis (§4.2.1)
+// discards pairs touching this set.
+func (b *Block) DependencySet() map[TxID]bool {
+	pos := make(map[TxID]bool, len(b.Txs))
+	for _, tx := range b.Txs {
+		pos[tx.ID] = true
+	}
+	dep := make(map[TxID]bool)
+	for _, tx := range b.Body() {
+		for _, in := range tx.Inputs {
+			if pos[in.PrevOut.TxID] {
+				dep[tx.ID] = true
+				dep[in.PrevOut.TxID] = true
+			}
+		}
+	}
+	return dep
+}

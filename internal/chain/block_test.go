@@ -1,0 +1,169 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// buildBlock assembles a valid block at the given height whose body holds
+// the provided transactions in order.
+func buildBlock(height int64, tag string, body ...*Tx) *Block {
+	var fees Amount
+	for _, tx := range body {
+		fees += tx.Fee
+	}
+	cb := &Tx{
+		VSize:       120,
+		Time:        time.Unix(1_600_000_000+height*600, 0),
+		Outputs:     []TxOut{{Address: Address("reward-" + tag), Value: Subsidy(height) + fees}},
+		CoinbaseTag: tag,
+	}
+	cb.ComputeID()
+	b := &Block{
+		Height: height,
+		Time:   cb.Time,
+		Txs:    append([]*Tx{cb}, body...),
+	}
+	b.ComputeHash([32]byte{})
+	return b
+}
+
+func TestBlockAccessors(t *testing.T) {
+	tx1 := newTestTx(100, 200, "a", "b")
+	tx2 := newTestTx(300, 150, "c", "d")
+	b := buildBlock(650_000, "/Pool/", tx1, tx2)
+
+	if b.Coinbase() == nil || !b.Coinbase().IsCoinbase() {
+		t.Fatal("coinbase accessor broken")
+	}
+	if got := len(b.Body()); got != 2 {
+		t.Fatalf("Body len = %d", got)
+	}
+	if b.IsEmpty() {
+		t.Error("block with body reported empty")
+	}
+	if got := b.VSize(); got != 120+200+150 {
+		t.Errorf("VSize = %d", got)
+	}
+	if got := b.Fees(); got != 400 {
+		t.Errorf("Fees = %d", got)
+	}
+	if got := b.Reward(); got != Subsidy(650_000)+400 {
+		t.Errorf("Reward = %d", got)
+	}
+	if b.MinerTag() != "/Pool/" {
+		t.Errorf("MinerTag = %q", b.MinerTag())
+	}
+	if b.RewardAddress() != "reward-/Pool/" {
+		t.Errorf("RewardAddress = %q", b.RewardAddress())
+	}
+}
+
+func TestEmptyBlock(t *testing.T) {
+	b := buildBlock(100, "/P/")
+	if !b.IsEmpty() {
+		t.Error("coinbase-only block not empty")
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("empty block invalid: %v", err)
+	}
+	var none Block
+	if none.Coinbase() != nil || none.Body() != nil || none.MinerTag() != "" || none.RewardAddress() != "" {
+		t.Error("zero block accessors should be nil/empty")
+	}
+}
+
+func TestBlockValidateRejects(t *testing.T) {
+	tx := newTestTx(10, 100, "a", "b")
+
+	noCoinbase := &Block{Height: 1, Txs: []*Tx{tx}}
+	if err := noCoinbase.Validate(); !errors.Is(err, ErrInvalidBlock) {
+		t.Errorf("missing coinbase: %v", err)
+	}
+
+	empty := &Block{Height: 1}
+	if err := empty.Validate(); !errors.Is(err, ErrInvalidBlock) {
+		t.Errorf("no txs: %v", err)
+	}
+
+	dup := buildBlock(2, "/P/", tx, tx)
+	if err := dup.Validate(); !errors.Is(err, ErrInvalidBlock) {
+		t.Errorf("duplicate tx: %v", err)
+	}
+
+	big := newTestTx(10, MaxBlockVSize, "a", "b")
+	over := buildBlock(3, "/P/", big)
+	if err := over.Validate(); !errors.Is(err, ErrInvalidBlock) {
+		t.Errorf("oversize: %v", err)
+	}
+
+	greedy := buildBlock(4, "/P/", tx)
+	greedy.Txs[0].Outputs[0].Value += 1 // coinbase overpays
+	if err := greedy.Validate(); !errors.Is(err, ErrInvalidBlock) {
+		t.Errorf("overpaying coinbase: %v", err)
+	}
+
+	twoCB := buildBlock(5, "/P/", tx)
+	extraCB := &Tx{VSize: 100, Outputs: []TxOut{{Address: "x", Value: 1}}}
+	extraCB.ComputeID()
+	twoCB.Txs = append(twoCB.Txs, extraCB)
+	if err := twoCB.Validate(); !errors.Is(err, ErrInvalidBlock) {
+		t.Errorf("second coinbase: %v", err)
+	}
+}
+
+func TestBlockHashDependsOnContent(t *testing.T) {
+	a := buildBlock(10, "/P/", newTestTx(10, 100, "a", "b"))
+	b := buildBlock(10, "/P/", newTestTx(20, 100, "a", "b"))
+	if a.Hash == b.Hash {
+		t.Error("different blocks share a hash")
+	}
+	var prev [32]byte
+	h1 := a.ComputeHash(prev)
+	prev[0] = 1
+	h2 := a.ComputeHash(prev)
+	if h1 == h2 {
+		t.Error("hash insensitive to previous hash")
+	}
+}
+
+func TestCPFPSet(t *testing.T) {
+	parent := newTestTx(1, 100, "a", "b")
+	child := &Tx{
+		VSize:   120,
+		Fee:     5000,
+		Time:    parent.Time.Add(time.Second),
+		Inputs:  []TxIn{{PrevOut: OutPoint{TxID: parent.ID, Index: 0}, Address: "b", Value: 1000 * BTC}},
+		Outputs: []TxOut{{Address: "c", Value: 1000*BTC - 5000}},
+	}
+	child.ComputeID()
+	unrelated := newTestTx(50, 100, "x", "y")
+
+	b := buildBlock(20, "/P/", parent, child, unrelated)
+	cpfp := b.CPFPSet()
+	if !cpfp[child.ID] {
+		t.Error("child not flagged CPFP")
+	}
+	if cpfp[parent.ID] {
+		t.Error("parent flagged CPFP (definition marks the child only)")
+	}
+	if cpfp[unrelated.ID] {
+		t.Error("unrelated flagged CPFP")
+	}
+
+	dep := b.DependencySet()
+	if !dep[child.ID] || !dep[parent.ID] {
+		t.Error("dependency set must include both parent and child")
+	}
+	if dep[unrelated.ID] {
+		t.Error("dependency set includes unrelated")
+	}
+}
+
+func TestCPFPSetNoDependencies(t *testing.T) {
+	b := buildBlock(30, "/P/", newTestTx(1, 100, "a", "b"), newTestTx(2, 100, "c", "d"))
+	if got := b.CPFPSet(); len(got) != 0 {
+		t.Errorf("CPFP set of independent block: %v", got)
+	}
+}

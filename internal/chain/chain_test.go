@@ -1,0 +1,182 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestChainAppendAndLookup(t *testing.T) {
+	c := New()
+	tx1 := newTestTx(100, 200, "a", "b")
+	b1 := buildBlock(500, "/P1/", tx1)
+	if err := c.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := newTestTx(200, 200, "c", "d")
+	b2 := buildBlock(501, "/P2/", tx2)
+	if err := c.Append(b2); err != nil {
+		t.Fatal(err)
+	}
+
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Tip() != b2 {
+		t.Error("Tip mismatch")
+	}
+	if c.BlockAt(500) != b1 || c.BlockAt(501) != b2 {
+		t.Error("BlockAt mismatch")
+	}
+	if c.BlockAt(499) != nil || c.BlockAt(502) != nil {
+		t.Error("BlockAt out-of-range should be nil")
+	}
+
+	loc, ok := c.Locate(tx1.ID)
+	if !ok || loc.Height != 500 || loc.Index != 1 {
+		t.Errorf("Locate = %+v ok=%v", loc, ok)
+	}
+	if !c.Contains(tx2.ID) {
+		t.Error("Contains missed confirmed tx")
+	}
+	if c.Contains(TxID{9}) {
+		t.Error("Contains false positive")
+	}
+	if got := c.TxCount(); got != 2 {
+		t.Errorf("TxCount = %d", got)
+	}
+}
+
+func TestChainRejectsGapAndDuplicates(t *testing.T) {
+	c := New()
+	if err := c.Append(buildBlock(10, "/P/")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(buildBlock(12, "/P/")); !errors.Is(err, ErrChainGap) {
+		t.Errorf("gap accepted: %v", err)
+	}
+	tx := newTestTx(5, 100, "a", "b")
+	if err := c.Append(buildBlock(11, "/P/", tx)); err != nil {
+		t.Fatal(err)
+	}
+	// Same tx in a later block must be rejected.
+	if err := c.Append(buildBlock(12, "/P/", tx)); err == nil {
+		t.Error("double-confirmed tx accepted")
+	}
+	// Invalid block rejected before indexing.
+	bad := buildBlock(12, "/P/")
+	bad.Txs = nil
+	if err := c.Append(bad); !errors.Is(err, ErrInvalidBlock) {
+		t.Errorf("invalid block: %v", err)
+	}
+}
+
+func TestChainZeroValueUsable(t *testing.T) {
+	var c Chain
+	if err := c.Append(buildBlock(1, "/P/")); err != nil {
+		t.Fatalf("zero-value chain append: %v", err)
+	}
+	if c.Len() != 1 {
+		t.Error("append on zero value failed")
+	}
+}
+
+func TestEmptyBlockCount(t *testing.T) {
+	c := New()
+	c.Append(buildBlock(1, "/P/"))
+	c.Append(buildBlock(2, "/P/", newTestTx(1, 100, "a", "b")))
+	c.Append(buildBlock(3, "/P/"))
+	if got := c.EmptyBlockCount(); got != 2 {
+		t.Errorf("EmptyBlockCount = %d", got)
+	}
+}
+
+func TestSpanAndSlice(t *testing.T) {
+	c := New()
+	for h := int64(0); h < 10; h++ {
+		if err := c.Append(buildBlock(h, "/P/", newTestTx(Amount(h+1), 100, "a", "b"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, last, ok := c.Span()
+	if !ok || !last.After(first) {
+		t.Fatalf("Span = %v %v %v", first, last, ok)
+	}
+	_, _, ok = New().Span()
+	if ok {
+		t.Error("empty chain span ok")
+	}
+
+	from := time.Unix(1_600_000_000+2*600, 0)
+	to := time.Unix(1_600_000_000+5*600, 0)
+	sub := c.Slice(from, to)
+	if sub.Len() != 3 {
+		t.Fatalf("Slice len = %d, want 3", sub.Len())
+	}
+	if sub.Blocks()[0].Height != 2 || sub.Tip().Height != 4 {
+		t.Errorf("slice range = [%d, %d]", sub.Blocks()[0].Height, sub.Tip().Height)
+	}
+	// The slice indexes its members.
+	tx := sub.Blocks()[0].Body()[0]
+	if !sub.Contains(tx.ID) {
+		t.Error("slice lost index")
+	}
+}
+
+func TestConfirmDelayBlocks(t *testing.T) {
+	c := New()
+	tx := newTestTx(9, 100, "a", "b")
+	c.Append(buildBlock(100, "/P/"))
+	c.Append(buildBlock(101, "/P/", tx))
+
+	if d, ok := c.ConfirmDelayBlocks(tx.ID, 100); !ok || d != 1 {
+		t.Errorf("delay = %d ok=%v, want 1", d, ok)
+	}
+	if d, ok := c.ConfirmDelayBlocks(tx.ID, 95); !ok || d != 6 {
+		t.Errorf("delay = %d ok=%v, want 6", d, ok)
+	}
+	// Seen "after" inclusion clamps to 1 (clock skew guard).
+	if d, ok := c.ConfirmDelayBlocks(tx.ID, 200); !ok || d != 1 {
+		t.Errorf("delay = %d ok=%v, want clamped 1", d, ok)
+	}
+	if _, ok := c.ConfirmDelayBlocks(TxID{1}, 100); ok {
+		t.Error("unconfirmed tx reported delay")
+	}
+}
+
+func TestDoubleSpendRejected(t *testing.T) {
+	c := New()
+	a := newTestTx(100, 200, "a", "b")
+	if err := c.Append(buildBlock(0, "/P/", a)); err != nil {
+		t.Fatal(err)
+	}
+	// A different tx spending the same outpoint.
+	b := newTestTx(200, 200, "a", "b2")
+	b.Inputs[0].PrevOut = a.Inputs[0].PrevOut
+	b.ComputeID()
+	if err := c.Append(buildBlock(1, "/P/", b)); !errors.Is(err, ErrDoubleSpend) {
+		t.Errorf("cross-block double spend: %v", err)
+	}
+	// Within one block.
+	c2 := New()
+	d := newTestTx(300, 200, "a", "b3")
+	d.Inputs[0].PrevOut = a.Inputs[0].PrevOut
+	d.ComputeID()
+	blk := buildBlock(0, "/P/", a, d)
+	if err := c2.Append(blk); !errors.Is(err, ErrDoubleSpend) {
+		t.Errorf("in-block double spend: %v", err)
+	}
+	// Spent index is queryable.
+	if spender, ok := c.SpentBy(a.Inputs[0].PrevOut); !ok || spender != a.ID {
+		t.Error("SpentBy wrong")
+	}
+	if _, ok := c.SpentBy(OutPoint{Index: 99}); ok {
+		t.Error("SpentBy false positive")
+	}
+	if !c.ConflictsChain(b) {
+		t.Error("ConflictsChain missed")
+	}
+	if c.ConflictsChain(newTestTx(1, 100, "x", "y")) {
+		t.Error("ConflictsChain false positive")
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sort"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/poolid"
+	"chainaudit/internal/stats"
+)
+
+// Auditor bundles the chain and pool attribution for running the paper's
+// full audit pipeline with one call site.
+type Auditor struct {
+	Chain    *chain.Chain
+	Registry *poolid.Registry
+}
+
+// NewAuditor creates an auditor with the default pool registry.
+func NewAuditor(c *chain.Chain) *Auditor {
+	return &Auditor{Chain: c, Registry: poolid.DefaultRegistry()}
+}
+
+// PPEReport summarizes norm II adherence across the chain.
+type PPEReport struct {
+	// Overall summarizes per-block PPE over all attributable blocks.
+	Overall stats.Summary
+	// PerPool holds each pool's PPE summary, for pools with at least
+	// minBlocks auditable blocks.
+	PerPool map[string]stats.Summary
+}
+
+// PPEReport computes Figure 7's statistics: the distribution of per-block
+// position prediction error, overall and per pool (pools with fewer than
+// minBlocks auditable blocks are omitted from the per-pool map).
+func (a *Auditor) PPEReport(minBlocks int) PPEReport {
+	var all []float64
+	perPool := make(map[string][]float64)
+	for _, b := range a.Chain.Blocks() {
+		v, ok := PPE(b)
+		if !ok {
+			continue
+		}
+		all = append(all, v)
+		pool := a.Registry.AttributeBlock(b)
+		perPool[pool] = append(perPool[pool], v)
+	}
+	rep := PPEReport{Overall: stats.Summarize(all), PerPool: make(map[string]stats.Summary)}
+	for pool, vals := range perPool {
+		if len(vals) >= minBlocks && pool != poolid.Unknown {
+			rep.PerPool[pool] = stats.Summarize(vals)
+		}
+	}
+	return rep
+}
+
+// SelfInterestAudit runs the Table 2 pipeline: derive each pool's
+// self-interest transaction set from its reward wallets, then test every
+// (testing pool, transaction owner) combination among pools with at least
+// minShare of blocks. Rows with significant acceleration or deceleration
+// at the strong threshold are returned, ordered by acceleration p-value.
+type SelfInterestFinding struct {
+	// Owner is the pool whose transactions are being prioritized; Result
+	// names the pool doing the prioritizing (Result.Pool == Owner means
+	// selfish acceleration; otherwise collusion).
+	Owner  string
+	Result DifferentialResult
+	// QAccel is the Benjamini–Hochberg adjusted acceleration p-value over
+	// the whole tested family, guarding against multiple-testing
+	// artifacts across the owners × pools grid.
+	QAccel float64
+}
+
+// SelfInterestAudit audits differential prioritization of pools' own
+// transactions. All tested combinations are returned in `all`; the rows
+// rejecting the null at p < 0.001 (either tail) in `findings`.
+func (a *Auditor) SelfInterestAudit(minShare float64) (findings []SelfInterestFinding, all []SelfInterestFinding, err error) {
+	sets := SelfInterestSets(a.Chain, a.Registry)
+	testPools := TopPoolsByShare(a.Chain, a.Registry, minShare)
+	owners := make([]string, 0, len(sets))
+	for owner := range sets {
+		owners = append(owners, owner)
+	}
+	sort.Strings(owners)
+	for _, owner := range owners {
+		set := sets[owner]
+		if len(set) == 0 {
+			continue
+		}
+		for _, tester := range testPools {
+			res, terr := DifferentialTestEstimated(a.Chain, a.Registry, tester, set)
+			if terr != nil {
+				continue
+			}
+			all = append(all, SelfInterestFinding{Owner: owner, Result: res})
+		}
+	}
+	// Multiple-testing correction across the whole family before selecting
+	// findings.
+	if len(all) > 0 {
+		ps := make([]float64, len(all))
+		for i, f := range all {
+			ps[i] = f.Result.AccelP
+		}
+		if qs, qerr := stats.BenjaminiHochberg(ps); qerr == nil {
+			for i := range all {
+				all[i].QAccel = qs[i]
+			}
+		}
+	}
+	for _, f := range all {
+		if f.Result.SignificantAccel() || f.Result.SignificantDecel() {
+			findings = append(findings, f)
+		}
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		return findings[i].Result.AccelP < findings[j].Result.AccelP
+	})
+	return findings, all, nil
+}
+
+// ScamAudit runs the Table 3 pipeline over a transaction set (e.g. all
+// payments to a scam wallet): one differential test per top pool.
+func (a *Auditor) ScamAudit(set map[chain.TxID]bool, minShare float64) ([]DifferentialResult, error) {
+	var out []DifferentialResult
+	for _, pool := range TopPoolsByShare(a.Chain, a.Registry, minShare) {
+		res, err := DifferentialTestEstimated(a.Chain, a.Registry, pool, set)
+		if err != nil {
+			continue
+		}
+		out = append(out, res)
+	}
+	if len(out) == 0 {
+		return nil, ErrNoCBlocks
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sort"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/poolid"
+)
+
+// Candidate is one transaction flagged by the SPPE-based dark-fee detector.
+type Candidate struct {
+	TxID   chain.TxID
+	Height int64
+	SPPE   float64
+}
+
+// DetectAccelerated scans the given pool's blocks for transactions whose
+// signed position prediction error meets minSPPE — i.e. transactions placed
+// near the top of a block that their public fee-rate says belonged near the
+// bottom (§5.4.2). Results are ordered by SPPE descending.
+func DetectAccelerated(c *chain.Chain, reg *poolid.Registry, pool string, minSPPE float64) []Candidate {
+	var out []Candidate
+	for _, b := range c.Blocks() {
+		if reg.AttributeBlock(b) != pool {
+			continue
+		}
+		info := analyzeBlock(b)
+		n := info.n()
+		if n < 2 {
+			continue
+		}
+		for _, id := range info.ids {
+			s := percentileRank(info.predicted[id], n) - percentileRank(info.observed[id], n)
+			if s >= minSPPE {
+				out = append(out, Candidate{TxID: id, Height: b.Height, SPPE: s})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].SPPE > out[j].SPPE })
+	return out
+}
+
+// DetectorRow is one threshold row of Table 4.
+type DetectorRow struct {
+	// MinSPPE is the detection threshold in percent.
+	MinSPPE float64
+	// Candidates is how many transactions meet the threshold.
+	Candidates int
+	// Accelerated is how many of them the oracle confirms.
+	Accelerated int
+}
+
+// Precision returns the fraction of candidates the oracle confirms.
+func (r DetectorRow) Precision() float64 {
+	if r.Candidates == 0 {
+		return 0
+	}
+	return float64(r.Accelerated) / float64(r.Candidates)
+}
+
+// ValidateDetector evaluates the detector at each threshold against an
+// acceleration oracle (the pool's public "was this accelerated" lookup),
+// reproducing Table 4. Thresholds are evaluated independently, so rows
+// nest: every SPPE ≥ 99 candidate also appears in the SPPE ≥ 90 row.
+func ValidateDetector(c *chain.Chain, reg *poolid.Registry, pool string, thresholds []float64, oracle func(chain.TxID) bool) []DetectorRow {
+	out := make([]DetectorRow, 0, len(thresholds))
+	for _, thr := range thresholds {
+		cands := DetectAccelerated(c, reg, pool, thr)
+		row := DetectorRow{MinSPPE: thr, Candidates: len(cands)}
+		for _, cand := range cands {
+			if oracle(cand.TxID) {
+				row.Accelerated++
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// BaselineAcceleratedRate estimates the acceleration base rate: the
+// fraction of a random sample of the pool's transactions the oracle
+// confirms (the paper found none in 1000). ids are sampled in block order;
+// pass sampleEvery = k to take every k-th transaction.
+func BaselineAcceleratedRate(c *chain.Chain, reg *poolid.Registry, pool string, sampleEvery int, oracle func(chain.TxID) bool) (sampled, accelerated int) {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	i := 0
+	for _, b := range c.Blocks() {
+		if reg.AttributeBlock(b) != pool {
+			continue
+		}
+		for _, tx := range b.Body() {
+			if i%sampleEvery == 0 {
+				sampled++
+				if oracle(tx.ID) {
+					accelerated++
+				}
+			}
+			i++
+		}
+	}
+	return sampled, accelerated
+}

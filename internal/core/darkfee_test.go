@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/mempool"
+	"chainaudit/internal/poolid"
+)
+
+func TestDetectAccelerated(t *testing.T) {
+	reg := registryFor("BTC.com", "H")
+	c := chain.New()
+
+	// Accelerated tx: bottom-tier fee at the very top of a BTC.com block.
+	accel := mkTx(1, 1)
+	c.Append(blockWith(630_000, "/BTC.com/", accel, mkTx(90, 2), mkTx(70, 3), mkTx(50, 4), mkTx(30, 5)))
+	// Honest BTC.com block: nothing to flag.
+	c.Append(blockWith(630_001, "/BTC.com/", mkTx(80, 6), mkTx(40, 7), mkTx(20, 8)))
+	// Another pool's block with the same pattern must not be scanned.
+	foreign := mkTx(1, 9)
+	c.Append(blockWith(630_002, "/H/", foreign, mkTx(90, 10), mkTx(60, 11)))
+
+	cands := DetectAccelerated(c, reg, "BTC.com", 99)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d, want 1", len(cands))
+	}
+	if cands[0].TxID != accel.ID || cands[0].Height != 630_000 {
+		t.Errorf("candidate = %+v", cands[0])
+	}
+	if cands[0].SPPE < 99 {
+		t.Errorf("SPPE = %v", cands[0].SPPE)
+	}
+	// Lower threshold catches more.
+	low := DetectAccelerated(c, reg, "BTC.com", 1)
+	if len(low) < 1 {
+		t.Error("low threshold found nothing")
+	}
+	// Results sorted by SPPE descending.
+	for i := 1; i < len(low); i++ {
+		if low[i].SPPE > low[i-1].SPPE {
+			t.Fatal("candidates not sorted")
+		}
+	}
+}
+
+func TestValidateDetectorTable4Shape(t *testing.T) {
+	reg := registryFor("BTC.com")
+	c := chain.New()
+	oracle := make(map[chain.TxID]bool)
+
+	h := int64(630_000)
+	nonce := uint16(0)
+	// 30 blocks with a truly accelerated tx at top (oracle positive).
+	for i := 0; i < 30; i++ {
+		nonce += 10
+		a := mkTx(1, nonce)
+		oracle[a.ID] = true
+		c.Append(blockWith(h, "/BTC.com/", a, mkTx(90, nonce+1), mkTx(70, nonce+2), mkTx(50, nonce+3)))
+		h++
+	}
+	// 15 blocks with a mildly misplaced but NOT accelerated tx (observed
+	// one position above predicted).
+	for i := 0; i < 15; i++ {
+		nonce += 10
+		c.Append(blockWith(h, "/BTC.com/", mkTx(90, nonce+1), mkTx(50, nonce+2), mkTx(70, nonce+3)))
+		h++
+	}
+
+	rows := ValidateDetector(c, reg, "BTC.com", []float64{100, 99, 90, 50, 1}, func(id chain.TxID) bool {
+		return oracle[id]
+	})
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Candidate counts must be non-decreasing as the threshold loosens.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Candidates < rows[i-1].Candidates {
+			t.Fatal("rows not nested")
+		}
+	}
+	// At SPPE >= 99 precision is perfect here; at >= 1 it is diluted by the
+	// mildly swapped honest blocks — Table 4's monotone precision decay.
+	if rows[1].Precision() != 1 {
+		t.Errorf("precision at 99%% = %v", rows[1].Precision())
+	}
+	if rows[4].Precision() >= rows[1].Precision() {
+		t.Errorf("precision did not decay: %v vs %v", rows[4].Precision(), rows[1].Precision())
+	}
+	if rows[4].Candidates <= rows[1].Candidates {
+		t.Error("loose threshold should flag more candidates")
+	}
+	if (DetectorRow{}).Precision() != 0 {
+		t.Error("empty row precision")
+	}
+}
+
+func TestBaselineAcceleratedRate(t *testing.T) {
+	reg := registryFor("BTC.com")
+	c := chain.New()
+	for i := int64(0); i < 10; i++ {
+		c.Append(blockWith(630_000+i, "/BTC.com/", mkTx(80, uint16(i*3+1)), mkTx(40, uint16(i*3+2))))
+	}
+	sampled, accelerated := BaselineAcceleratedRate(c, reg, "BTC.com", 2, func(chain.TxID) bool { return false })
+	if sampled != 10 {
+		t.Errorf("sampled = %d, want every 2nd of 20", sampled)
+	}
+	if accelerated != 0 {
+		t.Error("false positives in baseline")
+	}
+	// sampleEvery < 1 clamps to 1.
+	sampled, _ = BaselineAcceleratedRate(c, reg, "BTC.com", 0, func(chain.TxID) bool { return false })
+	if sampled != 20 {
+		t.Errorf("clamped sample = %d", sampled)
+	}
+}
+
+func TestCommitDelaysAndBands(t *testing.T) {
+	c := chain.New()
+	fast := mkTx(90, 1)
+	slow := mkTx(2, 2)
+	c.Append(blockWith(630_000, "/P/", fast))
+	c.Append(blockWith(630_001, "/P/"))
+	c.Append(blockWith(630_002, "/P/", slow))
+
+	seen := map[chain.TxID]SeenRecord{
+		fast.ID:      {TipHeight: 629_999, Congestion: mempool.CongestionMid, FeeRate: fast.FeeRate()},
+		slow.ID:      {TipHeight: 629_999, Congestion: mempool.CongestionMid, FeeRate: slow.FeeRate()},
+		{0xAA, 0xBB}: {TipHeight: 629_999}, // never confirmed
+	}
+	delays := CommitDelays(c, seen)
+	if len(delays) != 2 {
+		t.Fatalf("delays = %v", delays)
+	}
+	byBand := DelaysByFeeBand(c, seen)
+	// 90 sat/vB = 9e-4 BTC/KB → FeeHigh; 2 sat/vB = 2e-5 → FeeLow.
+	if len(byBand[FeeHigh]) != 1 || byBand[FeeHigh][0] != 1 {
+		t.Errorf("high band = %v", byBand[FeeHigh])
+	}
+	if len(byBand[FeeLow]) != 1 || byBand[FeeLow][0] != 3 {
+		t.Errorf("low band = %v", byBand[FeeLow])
+	}
+	// FeeRatesByCongestion covers all seen txs, confirmed or not: the two
+	// Mid records plus the pending one (zero-value level = None).
+	byCong := FeeRatesByCongestion(seen)
+	if len(byCong[mempool.CongestionMid]) != 2 || len(byCong[mempool.CongestionNone]) != 1 {
+		t.Errorf("congestion grouping = %v", byCong)
+	}
+}
+
+func TestBandOf(t *testing.T) {
+	cases := []struct {
+		rate chain.SatPerVByte
+		want FeeBand
+	}{
+		{0, FeeLow},
+		{9.99, FeeLow},
+		{10, FeeHigh},
+		{99.9, FeeHigh},
+		{100, FeeExorbitant},
+		{5000, FeeExorbitant},
+	}
+	for _, cse := range cases {
+		if got := BandOf(cse.rate); got != cse.want {
+			t.Errorf("BandOf(%v) = %v, want %v", cse.rate, got, cse.want)
+		}
+	}
+	for _, b := range []FeeBand{FeeLow, FeeHigh, FeeExorbitant} {
+		if b.String() == "" || b.String() == "invalid" {
+			t.Error("band name")
+		}
+	}
+	if FeeBand(9).String() != "invalid" {
+		t.Error("invalid band name")
+	}
+}
+
+func TestConfirmedFeeRates(t *testing.T) {
+	reg := registryFor("A", "B")
+	c := chain.New()
+	c.Append(blockWith(630_000, "/A/", mkTx(10, 1), mkTx(20, 2)))
+	c.Append(blockWith(630_001, "/B/", mkTx(30, 3)))
+	all := ConfirmedFeeRates(c)
+	if len(all) != 3 {
+		t.Fatalf("rates = %v", all)
+	}
+	// 10 sat/vB = 1e-4 BTC/KB.
+	found := false
+	for _, r := range all {
+		if math.Abs(r-1e-4) < 1e-12 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unit conversion wrong")
+	}
+	byPool := ConfirmedFeeRatesByPool(c, reg)
+	if len(byPool["A"]) != 2 || len(byPool["B"]) != 1 {
+		t.Errorf("per-pool rates = %v", byPool)
+	}
+}
+
+func TestLowFeeConfirmations(t *testing.T) {
+	reg := registryFor("F2Pool", "H")
+	c := chain.New()
+	lowTx := mkTx(0.5, 1)
+	zeroTx := mkTx(0, 2)
+	c.Append(blockWith(630_000, "/F2Pool/", lowTx, mkTx(50, 3), zeroTx))
+	c.Append(blockWith(630_001, "/H/", mkTx(40, 4)))
+
+	got := LowFeeConfirmations(c, reg)
+	if len(got) != 2 {
+		t.Fatalf("low-fee confirmations = %d", len(got))
+	}
+	for _, lf := range got {
+		if lf.Pool != "F2Pool" {
+			t.Errorf("pool = %q", lf.Pool)
+		}
+	}
+	zeros := 0
+	for _, lf := range got {
+		if lf.ZeroFee {
+			zeros++
+		}
+	}
+	if zeros != 1 {
+		t.Errorf("zero-fee count = %d", zeros)
+	}
+}
+
+func TestAuditorFacade(t *testing.T) {
+	// Full-facade smoke test on a handcrafted chain using the default
+	// registry's markers.
+	c := chain.New()
+	nonce := uint16(0)
+	var f2RewardTx *chain.Tx
+	for h := int64(0); h < 40; h++ {
+		nonce += 10
+		tag := "/Poolin/"
+		if h%4 == 0 {
+			tag = "/F2Pool/"
+		}
+		txs := []*chain.Tx{mkTx(80, nonce), mkTx(40, nonce+1)}
+		if tag == "/F2Pool/" && f2RewardTx == nil && h > 0 {
+			// A tx paying F2Pool's reward address, planted at the top.
+			first := c.Blocks()[0]
+			_ = first
+		}
+		b := blockWith(630_000+h, tag, txs...)
+		if err := c.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := NewAuditor(c)
+	rep := a.PPEReport(1)
+	if rep.Overall.N != 40 {
+		t.Errorf("PPE overall N = %d", rep.Overall.N)
+	}
+	if len(rep.PerPool) != 2 {
+		t.Errorf("PerPool = %v", rep.PerPool)
+	}
+	// No self-interest txs planted: audit runs clean.
+	findings, all, err := a.SelfInterestAudit(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean chain produced findings: %+v", findings)
+	}
+	_ = all
+	if _, err := a.ScamAudit(map[chain.TxID]bool{}, 0.05); err == nil {
+		t.Error("empty scam set accepted")
+	}
+	_ = poolid.Unknown
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/poolid"
+	"chainaudit/internal/stats"
+)
+
+// DifferentialResult is one row of a Table 2/3-style analysis: whether
+// mining pool m treats the transaction set c differently from other miners.
+type DifferentialResult struct {
+	// Pool is the tested miner m.
+	Pool string
+	// Theta0 is m's normalized hash rate (the null success probability).
+	Theta0 float64
+	// X is the number of c-blocks mined by m; Y the total number of
+	// c-blocks (blocks containing at least one c-transaction).
+	X, Y int64
+	// AccelP and DecelP are the exact one-sided p-values for the
+	// acceleration (θ > θ0) and deceleration (θ < θ0) tests.
+	AccelP, DecelP float64
+	// AccelPNormal and DecelPNormal are the §5.1.3 normal approximations.
+	AccelPNormal, DecelPNormal float64
+	// SPPE is the mean signed position prediction error of the
+	// c-transactions within m's blocks, and SPPECount how many
+	// contributed.
+	SPPE      float64
+	SPPECount int
+}
+
+// SignificantAccel reports whether the acceleration test rejects at the
+// paper's strong threshold (p < 0.001).
+func (r DifferentialResult) SignificantAccel() bool { return r.AccelP < stats.StrongSize }
+
+// SignificantDecel reports whether the deceleration test rejects at the
+// strong threshold.
+func (r DifferentialResult) SignificantDecel() bool { return r.DecelP < stats.StrongSize }
+
+// ErrNoCBlocks reports a differential test with an empty c-block set.
+var ErrNoCBlocks = errors.New("core: no blocks contain the tested transactions")
+
+// DifferentialTest runs the §5.1 test: given the chain, a pool attribution
+// registry, the tested pool's name and hash rate θ0, and the c-transaction
+// set, it counts c-blocks and m-blocks and computes both one-sided exact
+// binomial p-values plus the SPPE within m's blocks.
+func DifferentialTest(c *chain.Chain, reg *poolid.Registry, pool string, theta0 float64, set map[chain.TxID]bool) (DifferentialResult, error) {
+	if theta0 <= 0 || theta0 >= 1 {
+		return DifferentialResult{}, fmt.Errorf("core: theta0 %v out of (0,1)", theta0)
+	}
+	res := DifferentialResult{Pool: pool, Theta0: theta0}
+	var mBlocks []*chain.Block
+	for _, b := range c.Blocks() {
+		hasC := false
+		for _, tx := range b.Body() {
+			if set[tx.ID] {
+				hasC = true
+				break
+			}
+		}
+		if !hasC {
+			continue
+		}
+		res.Y++
+		if reg.AttributeBlock(b) == pool {
+			res.X++
+			mBlocks = append(mBlocks, b)
+		}
+	}
+	if res.Y == 0 {
+		return res, ErrNoCBlocks
+	}
+	acc, err := stats.ExactBinomialTest(res.X, res.Y, theta0, stats.Greater)
+	if err != nil {
+		return res, err
+	}
+	dec, err := stats.ExactBinomialTest(res.X, res.Y, theta0, stats.Less)
+	if err != nil {
+		return res, err
+	}
+	res.AccelP, res.AccelPNormal = acc.P, acc.PNormal
+	res.DecelP, res.DecelPNormal = dec.P, dec.PNormal
+	res.SPPE, res.SPPECount = SPPE(mBlocks, set)
+	return res, nil
+}
+
+// DifferentialTestEstimated runs DifferentialTest with θ0 estimated from
+// the chain itself (the pool's share of all blocks), the way the paper
+// estimates hash rates.
+func DifferentialTestEstimated(c *chain.Chain, reg *poolid.Registry, pool string, set map[chain.TxID]bool) (DifferentialResult, error) {
+	shares := poolid.EstimateShares(c, reg)
+	theta0 := poolid.HashRateOf(shares, pool)
+	if theta0 == 0 {
+		return DifferentialResult{}, fmt.Errorf("core: pool %q mined no blocks", pool)
+	}
+	if theta0 >= 1 {
+		return DifferentialResult{}, fmt.Errorf("core: pool %q mined every block; test degenerate", pool)
+	}
+	return DifferentialTest(c, reg, pool, theta0, set)
+}
+
+// WindowedResult is a Fisher-combined differential test over consecutive
+// time windows (§5.1.3's suggested extension for drifting hash rates).
+type WindowedResult struct {
+	Pool    string
+	Windows []DifferentialResult
+	// AccelStat/AccelP combine the windows' acceleration p-values with
+	// Fisher's method; likewise for deceleration.
+	AccelStat, AccelP float64
+	DecelStat, DecelP float64
+}
+
+// WindowedDifferentialTest splits the chain into nWindows equal spans of
+// block height, runs the differential test per window with a per-window
+// hash-rate estimate, and combines the p-values with Fisher's method.
+// Windows with no c-blocks or no blocks by the pool are skipped.
+func WindowedDifferentialTest(c *chain.Chain, reg *poolid.Registry, pool string, set map[chain.TxID]bool, nWindows int) (WindowedResult, error) {
+	if nWindows < 1 {
+		return WindowedResult{}, errors.New("core: need at least one window")
+	}
+	blocks := c.Blocks()
+	if len(blocks) == 0 {
+		return WindowedResult{}, ErrNoCBlocks
+	}
+	out := WindowedResult{Pool: pool}
+	var accelPs, decelPs []float64
+	per := (len(blocks) + nWindows - 1) / nWindows
+	for start := 0; start < len(blocks); start += per {
+		end := start + per
+		if end > len(blocks) {
+			end = len(blocks)
+		}
+		sub := chain.New()
+		for _, b := range blocks[start:end] {
+			if err := sub.Append(b); err != nil {
+				return WindowedResult{}, err
+			}
+		}
+		res, err := DifferentialTestEstimated(sub, reg, pool, set)
+		if err != nil {
+			continue // window without signal
+		}
+		out.Windows = append(out.Windows, res)
+		accelPs = append(accelPs, res.AccelP)
+		decelPs = append(decelPs, res.DecelP)
+	}
+	if len(out.Windows) == 0 {
+		return out, ErrNoCBlocks
+	}
+	var err error
+	out.AccelStat, out.AccelP, err = stats.FisherCombined(accelPs)
+	if err != nil {
+		return out, err
+	}
+	out.DecelStat, out.DecelP, err = stats.FisherCombined(decelPs)
+	return out, err
+}
+
+// SelfInterestSets derives, for each pool, the confirmed transactions in
+// which the pool's reward wallets are a party (sender or receiver) — the
+// paper's §5.2 methodology: reward addresses are collected from coinbase
+// outputs, then every transaction touching them is the pool's
+// self-interest set. The pools' own coinbases are excluded.
+func SelfInterestSets(c *chain.Chain, reg *poolid.Registry) map[string]map[chain.TxID]bool {
+	rewardAddrs := poolid.RewardAddresses(c, reg)
+	// Invert: address → pool.
+	owner := make(map[chain.Address]string)
+	for pool, addrs := range rewardAddrs {
+		if pool == poolid.Unknown {
+			continue
+		}
+		for a := range addrs {
+			owner[a] = pool
+		}
+	}
+	out := make(map[string]map[chain.TxID]bool)
+	for _, b := range c.Blocks() {
+		for _, tx := range b.Body() {
+			credit := func(addr chain.Address) {
+				if pool, ok := owner[addr]; ok {
+					set := out[pool]
+					if set == nil {
+						set = make(map[chain.TxID]bool)
+						out[pool] = set
+					}
+					set[tx.ID] = true
+				}
+			}
+			for _, in := range tx.Inputs {
+				credit(in.Address)
+			}
+			for _, o := range tx.Outputs {
+				credit(o.Address)
+			}
+		}
+	}
+	return out
+}
+
+// TouchingAddress returns the set of confirmed transactions with the given
+// address as a party — used to build the scam-payment c-set of §5.3.
+func TouchingAddress(c *chain.Chain, addr chain.Address) map[chain.TxID]bool {
+	out := make(map[chain.TxID]bool)
+	for _, b := range c.Blocks() {
+		for _, tx := range b.Body() {
+			if tx.Touches(addr) {
+				out[tx.ID] = true
+			}
+		}
+	}
+	return out
+}
+
+// WindowByTime restricts the chain to [from, to) — e.g. the scam episode's
+// July 14 – August 9 window.
+func WindowByTime(c *chain.Chain, from, to time.Time) *chain.Chain {
+	return c.Slice(from, to)
+}
+
+// TopPoolsByShare lists pool names whose estimated hash rate meets the
+// threshold, ordered by share descending — the paper tests the "top-10
+// pools that mined at least 4%" (Table 2) or "top-9 at least 5%" (Table 3).
+func TopPoolsByShare(c *chain.Chain, reg *poolid.Registry, minShare float64) []string {
+	shares := poolid.EstimateShares(c, reg)
+	var out []string
+	for _, s := range shares {
+		if s.Pool == poolid.Unknown || s.HashRate < minShare {
+			continue
+		}
+		out = append(out, s.Pool)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return poolid.HashRateOf(shares, out[i]) > poolid.HashRateOf(shares, out[j])
+	})
+	return out
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/poolid"
+)
+
+// buildTestChain mines nBlocks alternating between pools per the weights,
+// planting set transactions into the favoured pool's blocks.
+func registryFor(pools ...string) *poolid.Registry {
+	var ms []poolid.Marker
+	for _, p := range pools {
+		ms = append(ms, poolid.Marker{Substring: "/" + p + "/", Pool: p})
+	}
+	return poolid.NewRegistry(ms)
+}
+
+func TestDifferentialTestPlantedAcceleration(t *testing.T) {
+	// 100 blocks: pool M mines 10 (10% hash rate). Every one of M's blocks
+	// carries one c-transaction at the top despite a bottom-tier fee-rate;
+	// no other block carries c-transactions.
+	reg := registryFor("M", "H")
+	c := chain.New()
+	set := make(map[chain.TxID]bool)
+	nonce := uint16(0)
+	for h := int64(0); h < 100; h++ {
+		nonce += 10
+		if h%10 == 0 {
+			cTx := mkTx(1, nonce) // 1 sat/vB: bottom-tier
+			set[cTx.ID] = true
+			blk := blockWith(630_000+h, "/M/", cTx, mkTx(80, nonce+1), mkTx(40, nonce+2))
+			if err := c.Append(blk); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := c.Append(blockWith(630_000+h, "/H/", mkTx(70, nonce+1), mkTx(35, nonce+2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := DifferentialTest(c, reg, "M", 0.10, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X != 10 || res.Y != 10 {
+		t.Fatalf("x/y = %d/%d, want 10/10", res.X, res.Y)
+	}
+	// Pr(B >= 10), B ~ Bin(10, 0.1) = 1e-10.
+	if res.AccelP > 1e-9 {
+		t.Errorf("accel p = %v, want ~1e-10", res.AccelP)
+	}
+	if !res.SignificantAccel() {
+		t.Error("acceleration not flagged")
+	}
+	if res.SignificantDecel() {
+		t.Error("deceleration flagged")
+	}
+	// The planted txs sit at the top with bottom-tier fees: SPPE ≈ +100.
+	if res.SPPE < 90 || res.SPPECount != 10 {
+		t.Errorf("SPPE = %v over %d txs, want ~100 over 10", res.SPPE, res.SPPECount)
+	}
+
+	// The estimated-θ0 variant must agree (M mined exactly 10%).
+	est, err := DifferentialTestEstimated(c, reg, "M", set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Theta0-0.10) > 1e-9 {
+		t.Errorf("estimated theta0 = %v", est.Theta0)
+	}
+}
+
+func TestDifferentialTestNeutral(t *testing.T) {
+	// c-transactions spread evenly: pool M mines 20% of blocks and ~20% of
+	// c-blocks. Nothing should be significant.
+	reg := registryFor("M", "H")
+	c := chain.New()
+	set := make(map[chain.TxID]bool)
+	nonce := uint16(0)
+	for h := int64(0); h < 100; h++ {
+		nonce += 10
+		tag := "/H/"
+		if h%5 == 0 {
+			tag = "/M/"
+		}
+		cTx := mkTx(55, nonce)
+		set[cTx.ID] = true
+		// Placed mid-block, exactly where its fee-rate puts it.
+		if err := c.Append(blockWith(630_000+h, tag, mkTx(70, nonce+1), cTx, mkTx(30, nonce+2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := DifferentialTest(c, reg, "M", 0.20, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X != 20 || res.Y != 100 {
+		t.Fatalf("x/y = %d/%d", res.X, res.Y)
+	}
+	if res.SignificantAccel() || res.SignificantDecel() {
+		t.Errorf("neutral case flagged: accel=%v decel=%v", res.AccelP, res.DecelP)
+	}
+	// Placed mid-block per its rate: SPPE near 0.
+	if math.Abs(res.SPPE) > 15 {
+		t.Errorf("neutral SPPE = %v", res.SPPE)
+	}
+}
+
+func TestDifferentialTestDeceleration(t *testing.T) {
+	// Pool M mines 30% of blocks but never includes c-transactions.
+	reg := registryFor("M", "H")
+	c := chain.New()
+	set := make(map[chain.TxID]bool)
+	nonce := uint16(0)
+	for h := int64(0); h < 100; h++ {
+		nonce += 10
+		if h%10 < 3 {
+			if err := c.Append(blockWith(630_000+h, "/M/", mkTx(70, nonce), mkTx(30, nonce+1))); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		cTx := mkTx(50, nonce)
+		set[cTx.ID] = true
+		if err := c.Append(blockWith(630_000+h, "/H/", mkTx(70, nonce+1), cTx, mkTx(30, nonce+2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := DifferentialTest(c, reg, "M", 0.30, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X != 0 || res.Y != 70 {
+		t.Fatalf("x/y = %d/%d", res.X, res.Y)
+	}
+	if !res.SignificantDecel() {
+		t.Errorf("deceleration not detected: p = %v", res.DecelP)
+	}
+	if res.SignificantAccel() {
+		t.Error("acceleration flagged for a censoring pool")
+	}
+}
+
+func TestDifferentialTestErrors(t *testing.T) {
+	reg := registryFor("M")
+	c := chain.New()
+	c.Append(blockWith(630_000, "/M/", mkTx(10, 1)))
+	if _, err := DifferentialTest(c, reg, "M", 0.5, map[chain.TxID]bool{}); !errors.Is(err, ErrNoCBlocks) {
+		t.Errorf("empty set: %v", err)
+	}
+	if _, err := DifferentialTest(c, reg, "M", 0, map[chain.TxID]bool{{1}: true}); err == nil {
+		t.Error("theta0=0 accepted")
+	}
+	if _, err := DifferentialTest(c, reg, "M", 1, map[chain.TxID]bool{{1}: true}); err == nil {
+		t.Error("theta0=1 accepted")
+	}
+	if _, err := DifferentialTestEstimated(c, reg, "Nobody", map[chain.TxID]bool{{1}: true}); err == nil {
+		t.Error("unknown pool accepted")
+	}
+	// Single-pool chain: estimated θ0 = 1 is degenerate.
+	if _, err := DifferentialTestEstimated(c, reg, "M", map[chain.TxID]bool{{1}: true}); err == nil {
+		t.Error("degenerate θ0=1 accepted")
+	}
+}
+
+func TestWindowedDifferentialTest(t *testing.T) {
+	reg := registryFor("M", "H")
+	c := chain.New()
+	set := make(map[chain.TxID]bool)
+	nonce := uint16(0)
+	for h := int64(0); h < 200; h++ {
+		nonce += 10
+		if h%10 == 0 {
+			cTx := mkTx(1, nonce)
+			set[cTx.ID] = true
+			c.Append(blockWith(630_000+h, "/M/", cTx, mkTx(80, nonce+1)))
+			continue
+		}
+		c.Append(blockWith(630_000+h, "/H/", mkTx(70, nonce+1)))
+	}
+	res, err := WindowedDifferentialTest(c, reg, "M", set, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 4 {
+		t.Fatalf("windows = %d", len(res.Windows))
+	}
+	if res.AccelP > 1e-6 {
+		t.Errorf("combined accel p = %v", res.AccelP)
+	}
+	if res.DecelP < 0.5 {
+		t.Errorf("combined decel p = %v", res.DecelP)
+	}
+	if _, err := WindowedDifferentialTest(c, reg, "M", set, 0); err == nil {
+		t.Error("zero windows accepted")
+	}
+	if _, err := WindowedDifferentialTest(chain.New(), reg, "M", set, 2); !errors.Is(err, ErrNoCBlocks) {
+		t.Errorf("empty chain: %v", err)
+	}
+}
+
+func TestSelfInterestSets(t *testing.T) {
+	reg := registryFor("M", "H")
+	c := chain.New()
+	// Block 0 mined by M establishes M's reward address.
+	b0 := blockWith(630_000, "/M/", mkTx(10, 1))
+	c.Append(b0)
+	mAddr := b0.RewardAddress()
+
+	// A later tx paying M's reward address is M-self-interest.
+	selfTx := mkTx(20, 2)
+	selfTx.Outputs[0].Address = mAddr
+	selfTx.ComputeID()
+	b1 := blockWith(630_001, "/H/", selfTx, mkTx(30, 3))
+	c.Append(b1)
+
+	sets := SelfInterestSets(c, reg)
+	if !sets["M"][selfTx.ID] {
+		t.Error("self-interest tx not attributed to M")
+	}
+	if len(sets["H"]) != 0 {
+		t.Error("H credited with foreign txs")
+	}
+}
+
+func TestTouchingAddress(t *testing.T) {
+	c := chain.New()
+	scam := chain.Address("scam-wallet")
+	tx := mkTx(20, 1)
+	tx.Outputs[0].Address = scam
+	tx.ComputeID()
+	c.Append(blockWith(630_000, "/P/", tx, mkTx(30, 2)))
+	set := TouchingAddress(c, scam)
+	if len(set) != 1 || !set[tx.ID] {
+		t.Errorf("TouchingAddress = %v", set)
+	}
+}
+
+func TestTopPoolsByShare(t *testing.T) {
+	reg := registryFor("A", "B")
+	c := chain.New()
+	for h := int64(0); h < 10; h++ {
+		tag := "/A/"
+		if h >= 7 {
+			tag = "/B/"
+		}
+		c.Append(blockWith(630_000+h, tag, mkTx(10, uint16(h+1))))
+	}
+	got := TopPoolsByShare(c, reg, 0.25)
+	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("TopPoolsByShare = %v", got)
+	}
+	got = TopPoolsByShare(c, reg, 0.5)
+	if len(got) != 1 || got[0] != "A" {
+		t.Errorf("TopPoolsByShare(0.5) = %v", got)
+	}
+}

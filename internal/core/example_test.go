@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/core"
+)
+
+// exampleBlock builds a block whose observed order deviates from the
+// fee-rate norm: a 1 sat/vB transaction sits on top of two expensive ones.
+func exampleBlock() *chain.Block {
+	mk := func(rate float64, nonce byte) *chain.Tx {
+		fee := chain.Amount(rate * 100)
+		tx := &chain.Tx{
+			VSize: 100,
+			Fee:   fee,
+			Time:  time.Unix(1_577_836_800, 0),
+			Inputs: []chain.TxIn{{
+				PrevOut: chain.OutPoint{TxID: chain.TxID{nonce}},
+				Address: "from", Value: chain.BTC + fee,
+			}},
+			Outputs: []chain.TxOut{{Address: "to", Value: chain.BTC}},
+		}
+		tx.ComputeID()
+		return tx
+	}
+	cheapOnTop := mk(1, 1)
+	rich := mk(100, 2)
+	mid := mk(50, 3)
+	var fees chain.Amount
+	for _, tx := range []*chain.Tx{cheapOnTop, rich, mid} {
+		fees += tx.Fee
+	}
+	cb := &chain.Tx{
+		VSize:       120,
+		Time:        time.Unix(1_577_836_800, 0),
+		Outputs:     []chain.TxOut{{Address: "pool", Value: chain.Subsidy(630_000) + fees}},
+		CoinbaseTag: "/BTC.com/",
+	}
+	cb.ComputeID()
+	b := &chain.Block{Height: 630_000, Time: cb.Time, Txs: []*chain.Tx{cb, cheapOnTop, rich, mid}}
+	b.ComputeHash([32]byte{})
+	return b
+}
+
+func ExamplePPE() {
+	ppe, ok := core.PPE(exampleBlock())
+	fmt.Printf("ok=%v PPE=%.1f%%\n", ok, ppe)
+	// Output:
+	// ok=true PPE=44.4%
+}
+
+func ExampleTxSPPE() {
+	b := exampleBlock()
+	// The cheap transaction at the top: predicted last (100th percentile),
+	// observed first (0th) — the dark-fee signature.
+	sppe, ok := core.TxSPPE(b, b.Body()[0].ID)
+	fmt.Printf("ok=%v SPPE=%+.0f\n", ok, sppe)
+	// Output:
+	// ok=true SPPE=+100
+}

@@ -1,0 +1,175 @@
+// Package core implements the paper's audit methodology — the primary
+// contribution of the reproduction:
+//
+//   - position prediction error (PPE, §4.2.2): how far a block's observed
+//     transaction order deviates from the greedy fee-rate norm;
+//   - signed PPE (SPPE, §5.1.1): whether a transaction set sits higher in
+//     blocks than its public fee-rate warrants;
+//   - the one-sided binomial tests for differential acceleration and
+//     deceleration of a transaction set by a mining pool (§5.1), with exact
+//     p-values, the large-y normal approximation, and Fisher-combined
+//     windowed variants (§5.1.3);
+//   - violation-pair mining over mempool snapshots (§4.2.1), with the ε
+//     arrival-time tightening and CPFP-pair exclusion;
+//   - the norm III low-fee confirmation census (§4.2.3);
+//   - the SPPE-threshold dark-fee detector validated in Table 4 (§5.4.2);
+//   - commit-delay and fee/congestion analyses (§4.1).
+package core
+
+import (
+	"sort"
+
+	"chainaudit/internal/chain"
+)
+
+// positionInfo caches a block's per-transaction observed and predicted
+// ranks among its audited (non-CPFP, non-coinbase) transactions.
+type positionInfo struct {
+	// ids[i] is the i-th audited transaction in observed order.
+	ids []chain.TxID
+	// observed and predicted are 0-based ranks keyed by txid.
+	observed  map[chain.TxID]int
+	predicted map[chain.TxID]int
+}
+
+// n returns the number of audited transactions.
+func (p *positionInfo) n() int { return len(p.ids) }
+
+// analyzeBlock computes observed and predicted positions for the block's
+// auditable transactions. CPFP transactions are excluded (their placement
+// is dependency-driven, not norm-driven — the paper discards them), as is
+// the coinbase. Prediction sorts by fee-rate descending, the greedy GBT
+// norm; ties keep observed order (the norm does not constrain ties).
+func analyzeBlock(b *chain.Block) *positionInfo {
+	cpfp := b.CPFPSet()
+	body := b.Body()
+	info := &positionInfo{
+		observed:  make(map[chain.TxID]int),
+		predicted: make(map[chain.TxID]int),
+	}
+	type ranked struct {
+		id   chain.TxID
+		rate chain.SatPerVByte
+		obs  int
+	}
+	var audit []ranked
+	for _, tx := range body {
+		if cpfp[tx.ID] {
+			continue
+		}
+		audit = append(audit, ranked{id: tx.ID, rate: tx.FeeRate(), obs: len(audit)})
+	}
+	for _, r := range audit {
+		info.ids = append(info.ids, r.id)
+		info.observed[r.id] = r.obs
+	}
+	sort.SliceStable(audit, func(i, j int) bool { return audit[i].rate > audit[j].rate })
+	for i, r := range audit {
+		info.predicted[r.id] = i
+	}
+	return info
+}
+
+// PPE returns the block's position prediction error (§4.2.2): the mean
+// absolute difference between predicted and observed positions over the
+// block's auditable transactions, normalized by their count and expressed
+// as a percentage. ok is false for blocks with no auditable transactions.
+func PPE(b *chain.Block) (ppe float64, ok bool) {
+	info := analyzeBlock(b)
+	n := info.n()
+	if n == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, id := range info.ids {
+		d := info.predicted[id] - info.observed[id]
+		if d < 0 {
+			d = -d
+		}
+		sum += float64(d)
+	}
+	return sum * 100 / (float64(n) * float64(n)), true
+}
+
+// PPESeries computes the PPE of every block in the chain that has at least
+// one auditable transaction, in height order.
+func PPESeries(c *chain.Chain) []float64 {
+	var out []float64
+	for _, b := range c.Blocks() {
+		if v, ok := PPE(b); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// percentileRank converts a 0-based rank among n items to a percentile in
+// [0, 100]. A single-item block puts its transaction at the 0th percentile.
+func percentileRank(rank, n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(rank) * 100 / float64(n-1)
+}
+
+// TxSPPE returns the signed position prediction error of one transaction
+// within its block: predicted percentile minus observed percentile, in
+// [-100, 100]. A large positive value means the transaction sat far above
+// where its public fee-rate justified — the dark-fee signature of §5.4.2.
+// ok is false when the transaction is not auditable in this block (CPFP,
+// coinbase, or absent).
+func TxSPPE(b *chain.Block, id chain.TxID) (sppe float64, ok bool) {
+	info := analyzeBlock(b)
+	obs, okObs := info.observed[id]
+	if !okObs {
+		return 0, false
+	}
+	pred := info.predicted[id]
+	n := info.n()
+	return percentileRank(pred, n) - percentileRank(obs, n), true
+}
+
+// BlockSPPEs returns the signed position prediction error of every
+// auditable transaction in the block in one pass — the batch form of
+// TxSPPE for callers scanning whole blocks (the per-transaction form
+// re-analyzes the block on every call).
+func BlockSPPEs(b *chain.Block) map[chain.TxID]float64 {
+	info := analyzeBlock(b)
+	n := info.n()
+	out := make(map[chain.TxID]float64, n)
+	for _, id := range info.ids {
+		out[id] = percentileRank(info.predicted[id], n) - percentileRank(info.observed[id], n)
+	}
+	return out
+}
+
+// SPPE returns the mean signed position prediction error of the
+// transactions in set over the given blocks (§5.1.1): the average over all
+// set members found auditable in the blocks of (predicted percentile −
+// observed percentile). count reports how many set members contributed.
+func SPPE(blocks []*chain.Block, set map[chain.TxID]bool) (sppe float64, count int) {
+	var sum float64
+	for _, b := range blocks {
+		var info *positionInfo
+		for _, tx := range b.Body() {
+			if !set[tx.ID] {
+				continue
+			}
+			if info == nil {
+				info = analyzeBlock(b)
+			}
+			obs, ok := info.observed[tx.ID]
+			if !ok {
+				continue
+			}
+			pred := info.predicted[tx.ID]
+			n := info.n()
+			sum += percentileRank(pred, n) - percentileRank(obs, n)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	return sum / float64(count), count
+}

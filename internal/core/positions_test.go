@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"chainaudit/internal/chain"
+)
+
+var baseTime = time.Unix(1_577_836_800, 0)
+
+// mkTx builds a standalone tx with the given fee-rate (sat/vB) and a fixed
+// 100 vB size.
+func mkTx(rate float64, nonce uint16) *chain.Tx {
+	fee := chain.Amount(rate * 100)
+	tx := &chain.Tx{
+		VSize: 100,
+		Fee:   fee,
+		Time:  baseTime,
+		Inputs: []chain.TxIn{{
+			PrevOut: chain.OutPoint{TxID: chain.TxID{byte(nonce), byte(nonce >> 8), 0xAB}},
+			Address: "from",
+			Value:   chain.BTC + fee,
+		}},
+		Outputs: []chain.TxOut{{Address: "to", Value: chain.BTC}},
+	}
+	tx.ComputeID()
+	return tx
+}
+
+// blockWith assembles a valid block holding txs in the given order.
+func blockWith(height int64, tag string, txs ...*chain.Tx) *chain.Block {
+	var fees chain.Amount
+	for _, tx := range txs {
+		fees += tx.Fee
+	}
+	cb := &chain.Tx{
+		VSize:       120,
+		Time:        baseTime.Add(time.Duration(height) * 10 * time.Minute),
+		Outputs:     []chain.TxOut{{Address: chain.Address("rw-" + tag), Value: chain.Subsidy(height) + fees}},
+		CoinbaseTag: tag,
+	}
+	cb.ComputeID()
+	b := &chain.Block{Height: height, Time: cb.Time, Txs: append([]*chain.Tx{cb}, txs...)}
+	b.ComputeHash([32]byte{})
+	return b
+}
+
+func TestPPEPerfectOrder(t *testing.T) {
+	b := blockWith(630_000, "/P/", mkTx(50, 1), mkTx(30, 2), mkTx(10, 3))
+	ppe, ok := PPE(b)
+	if !ok || ppe != 0 {
+		t.Errorf("PPE of perfectly ordered block = %v ok=%v, want 0", ppe, ok)
+	}
+}
+
+func TestPPEWorstOrder(t *testing.T) {
+	// Fully reversed order of n=4: |d| = 3+1+1+3 = 8; PPE = 8*100/16.
+	b := blockWith(630_000, "/P/", mkTx(1, 1), mkTx(2, 2), mkTx(3, 3), mkTx(4, 4))
+	ppe, ok := PPE(b)
+	if !ok {
+		t.Fatal("no PPE")
+	}
+	if want := 8.0 * 100 / 16; math.Abs(ppe-want) > 1e-9 {
+		t.Errorf("PPE = %v, want %v", ppe, want)
+	}
+}
+
+func TestPPESingleSwap(t *testing.T) {
+	// Swap adjacent pair in n=3: |d| sums to 2; PPE = 2*100/9.
+	b := blockWith(630_000, "/P/", mkTx(30, 1), mkTx(50, 2), mkTx(10, 3))
+	ppe, _ := PPE(b)
+	if want := 2.0 * 100 / 9; math.Abs(ppe-want) > 1e-9 {
+		t.Errorf("PPE = %v, want %v", ppe, want)
+	}
+}
+
+func TestPPEEmptyAndCoinbaseOnly(t *testing.T) {
+	b := blockWith(630_000, "/P/")
+	if _, ok := PPE(b); ok {
+		t.Error("coinbase-only block should have no PPE")
+	}
+}
+
+func TestPPEExcludesCPFP(t *testing.T) {
+	parent := mkTx(2, 1)
+	child := &chain.Tx{
+		VSize: 100,
+		Fee:   9000,
+		Time:  baseTime,
+		Inputs: []chain.TxIn{{
+			PrevOut: chain.OutPoint{TxID: parent.ID, Index: 0},
+			Address: "to",
+			Value:   chain.BTC,
+		}},
+		Outputs: []chain.TxOut{{Address: "x", Value: chain.BTC - 9000}},
+	}
+	child.ComputeID()
+	// Ancestor-score order: parent, child (90 sat/vB package) before the
+	// 50 sat/vB independent tx. Without excluding CPFP, the parent at
+	// position 0 with 2 sat/vB would look like a gross violation.
+	indep := mkTx(50, 2)
+	b := blockWith(630_000, "/P/", parent, child, indep)
+	ppe, ok := PPE(b)
+	if !ok {
+		t.Fatal("no PPE")
+	}
+	// Audited set = {parent, indep}: observed (parent, indep), predicted
+	// (indep, parent) -> sum|d| = 2, n = 2, PPE = 2*100/4 = 50. The child
+	// is excluded. (The parent is NOT excluded: only children are CPFP.)
+	if want := 50.0; math.Abs(ppe-want) > 1e-9 {
+		t.Errorf("PPE = %v, want %v", ppe, want)
+	}
+}
+
+func TestPPETiesAreFree(t *testing.T) {
+	// Equal fee-rates in any order: stable predicted order equals observed.
+	b := blockWith(630_000, "/P/", mkTx(10, 1), mkTx(10, 2), mkTx(10, 3))
+	ppe, _ := PPE(b)
+	if ppe != 0 {
+		t.Errorf("tied-rate PPE = %v, want 0", ppe)
+	}
+}
+
+func TestPPESeries(t *testing.T) {
+	c := chain.New()
+	c.Append(blockWith(630_000, "/P/", mkTx(10, 1), mkTx(20, 2)))
+	c.Append(blockWith(630_001, "/P/"))
+	c.Append(blockWith(630_002, "/P/", mkTx(5, 3)))
+	got := PPESeries(c)
+	if len(got) != 2 {
+		t.Fatalf("series length = %d, want 2 (empty block skipped)", len(got))
+	}
+}
+
+func TestTxSPPE(t *testing.T) {
+	// Three txs observed (low, high, mid): the low-rate tx at the top.
+	low := mkTx(1, 1)
+	high := mkTx(100, 2)
+	mid := mkTx(50, 3)
+	b := blockWith(630_000, "/P/", low, high, mid)
+
+	// low: observed 0th pct, predicted 100th pct → SPPE = +100.
+	got, ok := TxSPPE(b, low.ID)
+	if !ok || math.Abs(got-100) > 1e-9 {
+		t.Errorf("low SPPE = %v ok=%v, want +100", got, ok)
+	}
+	// high: observed 50th pct, predicted 0th → SPPE = -50.
+	got, _ = TxSPPE(b, high.ID)
+	if math.Abs(got+50) > 1e-9 {
+		t.Errorf("high SPPE = %v, want -50", got)
+	}
+	if _, ok := TxSPPE(b, chain.TxID{0xFF}); ok {
+		t.Error("absent tx has SPPE")
+	}
+	// Coinbase is not auditable.
+	if _, ok := TxSPPE(b, b.Coinbase().ID); ok {
+		t.Error("coinbase has SPPE")
+	}
+}
+
+func TestSPPESetAverage(t *testing.T) {
+	low := mkTx(1, 1)
+	high := mkTx(100, 2)
+	mid := mkTx(50, 3)
+	b := blockWith(630_000, "/P/", low, high, mid)
+	set := map[chain.TxID]bool{low.ID: true, high.ID: true}
+	got, n := SPPE([]*chain.Block{b}, set)
+	if n != 2 {
+		t.Fatalf("count = %d", n)
+	}
+	if want := (100.0 + -50.0) / 2; math.Abs(got-want) > 1e-9 {
+		t.Errorf("SPPE = %v, want %v", got, want)
+	}
+	// Empty set.
+	if _, n := SPPE([]*chain.Block{b}, map[chain.TxID]bool{}); n != 0 {
+		t.Error("empty set count nonzero")
+	}
+}
+
+func TestSPPEAcrossBlocks(t *testing.T) {
+	a1 := mkTx(1, 1)
+	b1 := blockWith(630_000, "/P/", a1, mkTx(60, 2), mkTx(30, 3))
+	a2 := mkTx(2, 4)
+	b2 := blockWith(630_001, "/P/", a2, mkTx(80, 5), mkTx(40, 6))
+	set := map[chain.TxID]bool{a1.ID: true, a2.ID: true}
+	got, n := SPPE([]*chain.Block{b1, b2}, set)
+	if n != 2 {
+		t.Fatalf("count = %d", n)
+	}
+	if math.Abs(got-100) > 1e-9 {
+		t.Errorf("cross-block SPPE = %v, want 100", got)
+	}
+}
+
+func TestPercentileRank(t *testing.T) {
+	if percentileRank(0, 1) != 0 {
+		t.Error("single-item percentile")
+	}
+	if percentileRank(0, 5) != 0 || percentileRank(4, 5) != 100 {
+		t.Error("endpoint percentiles")
+	}
+	if got := percentileRank(2, 5); math.Abs(got-50) > 1e-9 {
+		t.Errorf("middle percentile = %v", got)
+	}
+}
+
+func TestBlockSPPEsMatchesTxSPPE(t *testing.T) {
+	b := blockWith(630_000, "/P/", mkTx(1, 1), mkTx(100, 2), mkTx(50, 3), mkTx(25, 4))
+	batch := BlockSPPEs(b)
+	if len(batch) != 4 {
+		t.Fatalf("batch size = %d", len(batch))
+	}
+	for id, want := range batch {
+		got, ok := TxSPPE(b, id)
+		if !ok || math.Abs(got-want) > 1e-12 {
+			t.Fatalf("batch %v != per-tx %v for %s", want, got, id.Short())
+		}
+	}
+	// Coinbase-only block: empty map, not nil panic.
+	if got := BlockSPPEs(blockWith(630_001, "/P/")); len(got) != 0 {
+		t.Errorf("empty block SPPEs = %v", got)
+	}
+}

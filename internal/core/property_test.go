@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/stats"
+)
+
+// randomBlock builds a valid block whose body consists of n independent
+// transactions with pseudo-random fee-rates in a deterministic order
+// derived from seed.
+func randomBlock(seed uint64, n int) *chain.Block {
+	rng := stats.NewRNG(seed)
+	txs := make([]*chain.Tx, n)
+	for i := range txs {
+		txs[i] = mkTx(rng.Float64()*200+0.1, uint16(seed*1000+uint64(i)))
+	}
+	rng.Shuffle(len(txs), func(i, j int) { txs[i], txs[j] = txs[j], txs[i] })
+	return blockWith(630_000, "/P/", txs...)
+}
+
+func TestPPEBoundsProperty(t *testing.T) {
+	// PPE of any block lies in [0, 50]: mean |displacement| of a
+	// permutation of n items is at most n/2 positions, i.e. 50% after
+	// normalization.
+	if err := quick.Check(func(seed uint64, rawN uint8) bool {
+		n := int(rawN%40) + 1
+		b := randomBlock(seed, n)
+		v, ok := PPE(b)
+		if !ok {
+			return n == 0
+		}
+		return v >= 0 && v <= 50+1e-9
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPPEZeroIffSortedProperty(t *testing.T) {
+	// Sorting a block's body by fee-rate descending always yields PPE 0.
+	if err := quick.Check(func(seed uint64, rawN uint8) bool {
+		n := int(rawN%30) + 2
+		b := randomBlock(seed, n)
+		body := b.Body()
+		// Selection-sort into descending fee-rate order (stable enough for
+		// distinct rates, which randomBlock guarantees almost surely).
+		for i := 0; i < len(body); i++ {
+			for j := i + 1; j < len(body); j++ {
+				if body[j].FeeRate() > body[i].FeeRate() {
+					body[i], body[j] = body[j], body[i]
+				}
+			}
+		}
+		sorted := blockWith(630_000, "/P/", body...)
+		v, ok := PPE(sorted)
+		return ok && v < 1e-9
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTxSPPEBoundsProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, rawN, rawPick uint8) bool {
+		n := int(rawN%30) + 1
+		b := randomBlock(seed, n)
+		body := b.Body()
+		pick := body[int(rawPick)%len(body)]
+		v, ok := TxSPPE(b, pick.ID)
+		if !ok {
+			return false
+		}
+		return v >= -100-1e-9 && v <= 100+1e-9
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSPPESumsToZeroOverWholeBlock(t *testing.T) {
+	// Summed over ALL auditable transactions of a block, the signed errors
+	// cancel: predicted and observed ranks are both permutations of the
+	// same index set.
+	if err := quick.Check(func(seed uint64, rawN uint8) bool {
+		n := int(rawN%30) + 1
+		b := randomBlock(seed, n)
+		set := make(map[chain.TxID]bool)
+		for _, tx := range b.Body() {
+			set[tx.ID] = true
+		}
+		v, count := SPPE([]*chain.Block{b}, set)
+		if count != n {
+			return false
+		}
+		return v < 1e-9 && v > -1e-9
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViolationFractionBoundsProperty(t *testing.T) {
+	// Fractions always land in [0, 1] and comparable >= violating.
+	if err := quick.Check(func(seed uint64, rawN uint8) bool {
+		n := int(rawN%20) + 2
+		rng := stats.NewRNG(seed)
+		c := chain.New()
+		var snapTxs []chain.Tx
+		var all []*chain.Tx
+		for i := 0; i < n; i++ {
+			tx := mkTx(rng.Float64()*100+0.1, uint16(seed+uint64(i)))
+			all = append(all, tx)
+			snapTxs = append(snapTxs, *tx)
+		}
+		// Commit them across two blocks in random order.
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		half := len(all) / 2
+		if err := c.Append(blockWith(630_000, "/P/", all[:half]...)); err != nil {
+			return false
+		}
+		if err := c.Append(blockWith(630_001, "/P/", all[half:]...)); err != nil {
+			return false
+		}
+		snap := snapOf(baseTime)
+		for i := range snapTxs {
+			snap.Txs = append(snap.Txs, struct {
+				Tx        *chain.Tx
+				FirstSeen time.Time
+			}{&snapTxs[i], baseTime.Add(time.Duration(rng.Intn(600)) * time.Second)})
+		}
+		v := ViolationPairs(snap, c, ViolationOptions{})
+		if v.ViolatingPairs > v.ComparablePairs {
+			return false
+		}
+		f := v.Fraction()
+		return f >= 0 && f <= 1
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/mempool"
+	"chainaudit/internal/stats"
+)
+
+// snapOf builds a full snapshot over the given (tx, firstSeen) pairs.
+func snapOf(at time.Time, entries ...mempool.SnapshotTx) mempool.Snapshot {
+	var vs int64
+	for _, e := range entries {
+		vs += e.Tx.VSize
+	}
+	return mempool.Snapshot{Time: at, Count: len(entries), TotalVSize: vs, Txs: entries}
+}
+
+func TestViolationPairsDetects(t *testing.T) {
+	// i: seen first, 50 sat/vB, confirmed at height 630_001 (LATER block).
+	// j: seen later, 10 sat/vB, confirmed at height 630_000 (EARLIER).
+	txI := mkTx(50, 1)
+	txJ := mkTx(10, 2)
+	c := chain.New()
+	c.Append(blockWith(630_000, "/P/", txJ, mkTx(60, 3)))
+	c.Append(blockWith(630_001, "/P/", txI, mkTx(70, 4)))
+
+	snap := snapOf(baseTime,
+		mempool.SnapshotTx{Tx: txI, FirstSeen: baseTime},
+		mempool.SnapshotTx{Tx: txJ, FirstSeen: baseTime.Add(30 * time.Second)},
+	)
+	got := ViolationPairs(snap, c, ViolationOptions{})
+	if got.Confirmed != 2 {
+		t.Fatalf("confirmed = %d", got.Confirmed)
+	}
+	if got.ComparablePairs != 1 || got.ViolatingPairs != 1 {
+		t.Fatalf("pairs = %d/%d, want 1/1", got.ViolatingPairs, got.ComparablePairs)
+	}
+	if got.Fraction() != 1 {
+		t.Errorf("fraction = %v", got.Fraction())
+	}
+}
+
+func TestViolationPairsRespectsEpsilon(t *testing.T) {
+	txI := mkTx(50, 1)
+	txJ := mkTx(10, 2)
+	c := chain.New()
+	c.Append(blockWith(630_000, "/P/", txJ))
+	c.Append(blockWith(630_001, "/P/", txI))
+	snap := snapOf(baseTime,
+		mempool.SnapshotTx{Tx: txI, FirstSeen: baseTime},
+		mempool.SnapshotTx{Tx: txJ, FirstSeen: baseTime.Add(5 * time.Second)},
+	)
+	// ε = 10s: i was NOT seen 10s before j, pair not comparable.
+	got := ViolationPairs(snap, c, ViolationOptions{Epsilon: 10 * time.Second})
+	if got.ComparablePairs != 0 {
+		t.Errorf("epsilon not applied: %+v", got)
+	}
+	// ε = 0: comparable and violating.
+	got = ViolationPairs(snap, c, ViolationOptions{})
+	if got.ViolatingPairs != 1 {
+		t.Errorf("base case broken: %+v", got)
+	}
+}
+
+func TestViolationPairsNormFollowedNoViolation(t *testing.T) {
+	// Higher fee-rate earlier arrival confirmed earlier: no violation.
+	txI := mkTx(50, 1)
+	txJ := mkTx(10, 2)
+	c := chain.New()
+	c.Append(blockWith(630_000, "/P/", txI))
+	c.Append(blockWith(630_001, "/P/", txJ))
+	snap := snapOf(baseTime,
+		mempool.SnapshotTx{Tx: txI, FirstSeen: baseTime},
+		mempool.SnapshotTx{Tx: txJ, FirstSeen: baseTime.Add(time.Second)},
+	)
+	got := ViolationPairs(snap, c, ViolationOptions{})
+	if got.ComparablePairs != 1 || got.ViolatingPairs != 0 {
+		t.Errorf("pairs = %+v", got)
+	}
+	// Same block is not a violation of selection order.
+	c2 := chain.New()
+	c2.Append(blockWith(630_000, "/P/", txI, txJ))
+	got = ViolationPairs(snap, c2, ViolationOptions{})
+	if got.ViolatingPairs != 0 {
+		t.Error("same-block pair flagged")
+	}
+}
+
+func TestViolationPairsExcludesDependent(t *testing.T) {
+	parent := mkTx(2, 1)
+	child := &chain.Tx{
+		VSize: 100,
+		Fee:   9_000,
+		Time:  baseTime,
+		Inputs: []chain.TxIn{{
+			PrevOut: chain.OutPoint{TxID: parent.ID, Index: 0},
+			Address: "to",
+			Value:   chain.BTC,
+		}},
+		Outputs: []chain.TxOut{{Address: "x", Value: chain.BTC - 9_000}},
+	}
+	child.ComputeID()
+	rich := mkTx(50, 3)
+
+	c := chain.New()
+	// Parent+child confirm before rich despite parent's 2 sat/vB (CPFP).
+	c.Append(blockWith(630_000, "/P/", parent, child))
+	c.Append(blockWith(630_001, "/P/", rich))
+
+	snap := snapOf(baseTime,
+		mempool.SnapshotTx{Tx: rich, FirstSeen: baseTime},
+		mempool.SnapshotTx{Tx: parent, FirstSeen: baseTime.Add(time.Second)},
+		mempool.SnapshotTx{Tx: child, FirstSeen: baseTime.Add(2 * time.Second)},
+	)
+	// Without exclusion: rich (50) seen before parent (2) but committed
+	// later — a "violation" caused purely by CPFP.
+	all := ViolationPairs(snap, c, ViolationOptions{})
+	if all.ViolatingPairs == 0 {
+		t.Fatal("expected CPFP-induced violation in raw analysis")
+	}
+	// With exclusion the dependent pair vanishes.
+	strict := ViolationPairs(snap, c, ViolationOptions{ExcludeDependent: true})
+	if strict.ViolatingPairs != 0 {
+		t.Errorf("dependent pair survived exclusion: %+v", strict)
+	}
+}
+
+func TestViolationPairsUnconfirmedIgnored(t *testing.T) {
+	confirmed := mkTx(10, 1)
+	pending := mkTx(90, 2)
+	c := chain.New()
+	c.Append(blockWith(630_000, "/P/", confirmed))
+	snap := snapOf(baseTime,
+		mempool.SnapshotTx{Tx: pending, FirstSeen: baseTime},
+		mempool.SnapshotTx{Tx: confirmed, FirstSeen: baseTime.Add(time.Second)},
+	)
+	got := ViolationPairs(snap, c, ViolationOptions{})
+	if got.Confirmed != 1 || got.ComparablePairs != 0 {
+		t.Errorf("unconfirmed handling: %+v", got)
+	}
+	if got.Fraction() != 0 {
+		t.Error("fraction of zero pairs should be 0")
+	}
+}
+
+func TestViolationSurveySampling(t *testing.T) {
+	tx1 := mkTx(50, 1)
+	tx2 := mkTx(10, 2)
+	c := chain.New()
+	c.Append(blockWith(630_000, "/P/", tx2))
+	c.Append(blockWith(630_001, "/P/", tx1))
+
+	var snaps []mempool.Snapshot
+	for i := 0; i < 50; i++ {
+		snaps = append(snaps, snapOf(baseTime.Add(time.Duration(i)*time.Minute),
+			mempool.SnapshotTx{Tx: tx1, FirstSeen: baseTime},
+			mempool.SnapshotTx{Tx: tx2, FirstSeen: baseTime.Add(time.Second)},
+		))
+	}
+	// Mix in summary-only snapshots which must be skipped.
+	snaps = append(snaps, mempool.Snapshot{Time: baseTime, Count: 5, TotalVSize: 1000})
+
+	rng := stats.NewRNG(1)
+	survey := ViolationSurvey(snaps, c, ViolationOptions{}, 30, rng)
+	if len(survey) != 30 {
+		t.Fatalf("survey size = %d, want 30", len(survey))
+	}
+	fracs := ViolationFractions(survey)
+	if len(fracs) != 30 {
+		t.Fatal("fractions size")
+	}
+	for _, f := range fracs {
+		if f != 1 {
+			t.Errorf("fraction = %v, want 1", f)
+		}
+	}
+	// Requesting more than available returns all.
+	survey = ViolationSurvey(snaps, c, ViolationOptions{}, 500, rng)
+	if len(survey) != 50 {
+		t.Errorf("unclamped survey = %d", len(survey))
+	}
+}

@@ -1,0 +1,261 @@
+// Package dataset builds the reproduction's analogues of the paper's three
+// data sets:
+//
+//   - A: a default-configuration observer (8 peers → slower propagation,
+//     1 sat/vB admission) over a multi-week window (Feb-Mar 2019 in the
+//     paper);
+//   - B: a permissive, well-peered observer (125 peers, no minimum
+//     fee-rate) over June 2019, with heavier congestion;
+//   - C: a full-year-style chain-only data set (2020) used for the PPE,
+//     self-interest, scam, and dark-fee analyses.
+//
+// Every build is deterministic in its seed, and every deviation the paper
+// discovered is planted with the pools the paper names: F2Pool, ViaBTC,
+// 1THash&58Coin, and SlushPool selfishly accelerate their own payouts;
+// ViaBTC collusively accelerates 1THash&58Coin's and SlushPool's; BTC.com
+// (and peers) sell dark-fee acceleration; F2Pool, ViaBTC, and BTC.com
+// occasionally mine sub-minimum-fee transactions. Durations are scaled down
+// from the paper's (weeks, not months/years); rates and shares are
+// preserved. See DESIGN.md §1.
+package dataset
+
+import (
+	"time"
+
+	"chainaudit/internal/accel"
+	"chainaudit/internal/chain"
+	"chainaudit/internal/miner"
+	"chainaudit/internal/poolid"
+	"chainaudit/internal/sim"
+	"chainaudit/internal/stats"
+	"chainaudit/internal/wallet"
+	"chainaudit/internal/workload"
+)
+
+// Dataset is one built data set.
+type Dataset struct {
+	Name     string
+	Result   *sim.Result
+	Registry *poolid.Registry
+	// Services holds the acceleration services attached to the run, keyed
+	// by pool name.
+	Services map[string]*accel.Service
+}
+
+// Options tune a build. Zero values select per-dataset defaults.
+type Options struct {
+	Seed uint64
+	// Duration is the simulated span. Defaults: A 36 h, B 48 h, C 7 d.
+	// (The paper's spans are 3 weeks, 1 month, and 12 months; scale up via
+	// cmd/gendata when runtime allows.)
+	Duration time.Duration
+	// BlockCapacity is the block body budget in vbytes (default 100 kvB, a
+	// 10x scale-down of mainnet; queueing behaviour is capacity-relative).
+	BlockCapacity int64
+}
+
+func (o Options) withDefaults(def time.Duration) Options {
+	if o.Duration == 0 {
+		o.Duration = def
+	}
+	if o.BlockCapacity == 0 {
+		o.BlockCapacity = 100_000
+	}
+	return o
+}
+
+// buildPools instantiates the top-20 roster with the paper's planted
+// behaviours, returning the pools and the acceleration services.
+func buildPools(seed uint64) ([]*miner.Pool, map[string]*accel.Service) {
+	byName := make(map[string]*miner.Pool)
+	var pools []*miner.Pool
+	for _, rp := range poolid.Roster() {
+		p := miner.NewPool(rp.Name, rp.Marker, rp.HashRate, rp.Wallets)
+		byName[rp.Name] = p
+		pools = append(pools, p)
+	}
+	// Selfish prioritization (Table 2).
+	for _, name := range []string{"F2Pool", "ViaBTC", "1THash&58Coin", "SlushPool"} {
+		byName[name].PrioritizeOwnWallets()
+	}
+	// Collusion: ViaBTC accelerates 1THash&58Coin's and SlushPool's
+	// transactions (Table 2's cross rows).
+	byName["ViaBTC"].ColludeWith(byName["1THash&58Coin"])
+	byName["ViaBTC"].ColludeWith(byName["SlushPool"])
+	// Norm III leniency (§4.2.3).
+	for _, name := range []string{"F2Pool", "ViaBTC", "BTC.com"} {
+		byName[name].AllowLowFee = true
+	}
+	// Acceleration services (§5.4); BTC.com's is the one Table 4 validates
+	// against.
+	services := make(map[string]*accel.Service)
+	rng := stats.NewRNG(seed ^ 0xACCE1)
+	for _, name := range []string{"BTC.com", "ViaBTC", "Poolin"} {
+		svc := accel.NewService(name, rng.Fork(uint64(len(services))))
+		services[name] = svc
+		byName[name].SellAcceleration(svc.IsAccelerated)
+	}
+	return pools, services
+}
+
+// congestionSchedule builds the arrival schedule: alternating calm and
+// burst phases whose mean load sits above capacity often enough to keep the
+// mempool congested the target fraction of the time.
+func congestionSchedule(seed uint64, start time.Time, span time.Duration, capacity int64, calmMean, burstMean time.Duration) (workload.RateSchedule, float64) {
+	// tx/s that exactly fills capacity, given the ~300 vB mean size.
+	fill := float64(capacity) / 600.0 / 300.0
+	rng := stats.NewRNG(seed ^ 0x5C4ED)
+	waves := workload.CongestionWaves(rng, start, span, 0.80*fill, 1.7*fill, calmMean, burstMean)
+	return waves, waves.MaxRate() * 1.01
+}
+
+var datasetStart = time.Unix(1_577_836_800, 0) // 2020-01-01T00:00:00Z
+
+// BuildA builds the data set A analogue: a default-configuration observer
+// (1 sat/vB floor, slow peering), congestion roughly 75% of the time.
+func BuildA(opts Options) (*Dataset, error) {
+	opts = opts.withDefaults(36 * time.Hour)
+	pools, services := buildPools(opts.Seed)
+	sched, maxRate := congestionSchedule(opts.Seed, datasetStart, opts.Duration, opts.BlockCapacity, 2*time.Hour, 5*time.Hour)
+	cfg := sim.Config{
+		Seed:               opts.Seed,
+		Start:              datasetStart,
+		Duration:           opts.Duration,
+		Pools:              pools,
+		BlockCapacity:      opts.BlockCapacity,
+		EmptyBlockProb:     0.011, // 38 of 3119 blocks in the paper's A
+		Arrivals:           sched,
+		MaxArrivalRate:     maxRate,
+		PayoutMeanInterval: 40 * time.Minute,
+		PayoutPools:        topTenNames(),
+		LowFeeMeanInterval: 4 * time.Minute,
+		Accel:              servicesList(services),
+		AccelProb:          0.04,
+		RBFProb:            0.02,
+		RBFDelay:           15 * time.Minute,
+		Observers: []sim.ObserverConfig{{
+			Name:              "A",
+			MinFeeRate:        chain.MinRelayFeeRate,
+			MedianDelay:       1500 * time.Millisecond,
+			FullSnapshotEvery: 120, // one full capture per 30 min
+		}},
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: "A", Result: res, Registry: poolid.DefaultRegistry(), Services: services}, nil
+}
+
+// BuildB builds the data set B analogue: a permissive well-peered observer
+// (zero fee floor, fast peering) over a more congested month.
+func BuildB(opts Options) (*Dataset, error) {
+	opts = opts.withDefaults(48 * time.Hour)
+	pools, services := buildPools(opts.Seed)
+	sched, maxRate := congestionSchedule(opts.Seed, datasetStart, opts.Duration, opts.BlockCapacity, time.Hour, 7*time.Hour)
+	cfg := sim.Config{
+		Seed:               opts.Seed,
+		Start:              datasetStart,
+		Duration:           opts.Duration,
+		Pools:              pools,
+		BlockCapacity:      opts.BlockCapacity,
+		EmptyBlockProb:     0.004, // 18 of 4520
+		Arrivals:           sched,
+		MaxArrivalRate:     maxRate,
+		PayoutMeanInterval: 40 * time.Minute,
+		PayoutPools:        topTenNames(),
+		LowFeeMeanInterval: 3 * time.Minute,
+		Accel:              servicesList(services),
+		AccelProb:          0.05,
+		RBFProb:            0.02,
+		RBFDelay:           15 * time.Minute,
+		Observers: []sim.ObserverConfig{{
+			Name:              "B",
+			MinFeeRate:        0,
+			MedianDelay:       400 * time.Millisecond,
+			FullSnapshotEvery: 120,
+		}},
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: "B", Result: res, Registry: poolid.DefaultRegistry(), Services: services}, nil
+}
+
+// BuildC builds the data set C analogue: the chain-only year-of-2020 data
+// set with all behaviours planted, including the scam episode in the middle
+// of the span (the Twitter scam of July 2020).
+func BuildC(opts Options) (*Dataset, error) {
+	opts = opts.withDefaults(7 * 24 * time.Hour)
+	pools, services := buildPools(opts.Seed)
+	sched, maxRate := congestionSchedule(opts.Seed, datasetStart, opts.Duration, opts.BlockCapacity, 90*time.Minute, 4*time.Hour)
+	scamStart := datasetStart.Add(opts.Duration * 4 / 10)
+	scamEnd := datasetStart.Add(opts.Duration * 6 / 10)
+	scamCount := int(opts.Duration.Hours() * 2.3) // ≈386 at full scale
+	if scamCount < 40 {
+		scamCount = 40
+	}
+	cfg := sim.Config{
+		Seed:               opts.Seed,
+		Start:              datasetStart,
+		Duration:           opts.Duration,
+		Pools:              pools,
+		BlockCapacity:      opts.BlockCapacity,
+		EmptyBlockProb:     0.0045, // 240 of 53214
+		Arrivals:           sched,
+		MaxArrivalRate:     maxRate,
+		PayoutMeanInterval: 30 * time.Minute,
+		PayoutPools:        topTenNames(),
+		LowFeeMeanInterval: 10 * time.Minute,
+		Accel:              servicesList(services),
+		AccelProb:          0.06,
+		RBFProb:            0.02,
+		RBFDelay:           15 * time.Minute,
+		Scam: &sim.ScamConfig{
+			Wallet: wallet.DeriveAddress("twitter-scam-2020"),
+			Start:  scamStart,
+			End:    scamEnd,
+			Count:  scamCount,
+		},
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: "C", Result: res, Registry: poolid.DefaultRegistry(), Services: services}, nil
+}
+
+// ScamWindow returns the sub-chain covering the planted scam episode plus
+// the trailing margin the paper uses (July 14 – August 9: the window is
+// wider than the attack itself).
+func (d *Dataset) ScamWindow() *chain.Chain {
+	scam := d.Result.Config.Scam
+	if scam == nil {
+		return chain.New()
+	}
+	margin := scam.End.Sub(scam.Start)
+	return d.Result.Chain.Slice(scam.Start, scam.End.Add(margin))
+}
+
+func topTenNames() []string {
+	var out []string
+	for i, p := range poolid.Roster() {
+		if i == 10 {
+			break
+		}
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+func servicesList(m map[string]*accel.Service) []*accel.Service {
+	// Deterministic order.
+	var out []*accel.Service
+	for _, name := range []string{"BTC.com", "ViaBTC", "Poolin"} {
+		if svc, ok := m[name]; ok {
+			out = append(out, svc)
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/sim"
+	"chainaudit/internal/stats"
+	"chainaudit/internal/workload"
+)
+
+// Table1Row is one column of the paper's Table 1: a data set summary.
+type Table1Row struct {
+	Name        string
+	From, To    time.Time
+	FirstHeight int64
+	LastHeight  int64
+	Blocks      int
+	TxIssued    int64
+	TxConfirmed int64
+	CPFPPct     float64
+	EmptyBlocks int
+}
+
+// Table1 summarizes a built data set.
+func (d *Dataset) Table1() Table1Row {
+	c := d.Result.Chain
+	row := Table1Row{
+		Name:        d.Name,
+		Blocks:      c.Len(),
+		TxIssued:    d.Result.TxIssued,
+		TxConfirmed: c.TxCount(),
+		EmptyBlocks: c.EmptyBlockCount(),
+	}
+	if first, last, ok := c.Span(); ok {
+		row.From, row.To = first, last
+		row.FirstHeight = c.Blocks()[0].Height
+		row.LastHeight = c.Tip().Height
+	}
+	var cpfp, total int64
+	for _, b := range c.Blocks() {
+		set := b.CPFPSet()
+		cpfp += int64(len(set))
+		total += int64(len(b.Body()))
+	}
+	if total > 0 {
+		row.CPFPPct = float64(cpfp) * 100 / float64(total)
+	}
+	return row
+}
+
+// Table5Row is one year-row of the paper's Table 5: the share of miner
+// revenue contributed by transaction fees.
+type Table5Row struct {
+	Era     string
+	Height  int64
+	Subsidy chain.Amount
+	Blocks  int
+	// FeeShare summarizes per-block fees as a percentage of total block
+	// revenue (subsidy + fees).
+	FeeShare stats.Summary
+}
+
+// FeeRevenueShare computes the fee share of revenue for every block of a
+// chain.
+func FeeRevenueShare(c *chain.Chain) []float64 {
+	out := make([]float64, 0, c.Len())
+	for _, b := range c.Blocks() {
+		total := b.Reward()
+		if total <= 0 {
+			continue
+		}
+		out = append(out, float64(b.Fees())*100/float64(total))
+	}
+	return out
+}
+
+// Table5Eras describes the halving-era snapshots used to regenerate
+// Table 5: era label, a representative height, and a fee-market intensity
+// multiplier (2017 saw the fee spike; 2018-2019 cooled; 2020 rose again).
+type Table5Era struct {
+	Label      string
+	Height     int64
+	FeeFactor  float64
+	congestion float64
+}
+
+// DefaultTable5Eras returns the five eras of the paper's Table 5.
+func DefaultTable5Eras() []Table5Era {
+	return []Table5Era{
+		{Label: "2016", Height: 410_000, FeeFactor: 0.6, congestion: 0.55},
+		{Label: "2017", Height: 470_000, FeeFactor: 3.0, congestion: 1.25},
+		{Label: "2018", Height: 520_000, FeeFactor: 0.8, congestion: 0.60},
+		{Label: "2019", Height: 580_000, FeeFactor: 0.9, congestion: 0.70},
+		{Label: "2020", Height: 640_000, FeeFactor: 1.3, congestion: 0.95},
+	}
+}
+
+// BuildTable5 simulates a short window per halving era and returns the fee
+// share of miner revenue for each — the paper's Table 5 rows. The fee
+// factor and congestion intensity per era model the fee-market history
+// (2017 spike, 2018-19 cool-down, 2020 recovery into the 6.25 BTC era).
+func BuildTable5(seed uint64, perEra time.Duration, capacity int64) ([]Table5Row, error) {
+	if perEra == 0 {
+		perEra = 12 * time.Hour
+	}
+	if capacity == 0 {
+		capacity = 100_000
+	}
+	var out []Table5Row
+	for i, era := range DefaultTable5Eras() {
+		pools, _ := buildPools(seed + uint64(i))
+		fill := float64(capacity) / 600.0 / 300.0
+		rate := era.congestion * fill
+		cfg := sim.Config{
+			Seed:           seed + uint64(i)*7919,
+			Start:          datasetStart,
+			Duration:       perEra,
+			Pools:          pools,
+			BlockCapacity:  capacity,
+			StartHeight:    era.Height,
+			FeeFactor:      era.FeeFactor,
+			Arrivals:       workload.ConstantRate(rate),
+			MaxArrivalRate: rate,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table5Row{
+			Era:      era.Label,
+			Height:   era.Height,
+			Subsidy:  chain.Subsidy(era.Height),
+			Blocks:   res.Chain.Len(),
+			FeeShare: stats.Summarize(FeeRevenueShare(res.Chain)),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,371 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"chainaudit/internal/stats"
+)
+
+// The suite is expensive; build it once for the whole package.
+var (
+	suiteOnce sync.Once
+	suite     *Suite
+	suiteErr  error
+)
+
+func getSuite(t *testing.T) *Suite {
+	t.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = NewSuite(42, 0.5)
+	})
+	if suiteErr != nil {
+		t.Fatalf("building suite: %v", suiteErr)
+	}
+	return suite
+}
+
+func renderTable(t *testing.T, tbl interface{ Render(io.Writer) error }) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFig01NormShift(t *testing.T) {
+	s := getSuite(t)
+	f, err := s.Fig01NormShift()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 2 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	// The post-2016 (fee-rate) era must track the norm far better than the
+	// pre-2016 (priority) era: compare medians of the PPE CDFs.
+	med := func(s []stats.CDFPoint) float64 {
+		for _, p := range s {
+			if p.F >= 0.5 {
+				return p.X
+			}
+		}
+		return s[len(s)-1].X
+	}
+	pre := med(f.Series[0].Points)
+	post := med(f.Series[1].Points)
+	if post >= pre {
+		t.Errorf("post-era median PPE %v not below pre-era %v", post, pre)
+	}
+	if post > 10 {
+		t.Errorf("fee-rate era median PPE = %v, want small", post)
+	}
+	if pre < 15 {
+		t.Errorf("priority era median PPE = %v, want large", pre)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	s := getSuite(t)
+	tbl := s.Table1()
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig02PoolShares(t *testing.T) {
+	s := getSuite(t)
+	tbl := s.Fig02PoolShares()
+	if len(tbl.Rows) < 30 { // up to 20 pools × 3 data sets
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig03Congestion(t *testing.T) {
+	s := getSuite(t)
+	fb, fc, cum := s.Fig03Congestion()
+	if len(fb.Series) != 2 {
+		t.Error("3b series")
+	}
+	if len(fc.Series) != 1 || len(fc.Series[0].Points) < 50 {
+		t.Error("3c series")
+	}
+	if len(cum.Rows) < 10 {
+		t.Error("3a rows")
+	}
+	// Cumulative counts must be non-decreasing.
+	// (Parsed from rendered rows is awkward; trust construction and check
+	// the B observer saw congestion at all via 3b's top end.)
+	last := fb.Series[1].Points[len(fb.Series[1].Points)-1]
+	if last.X <= 0 {
+		t.Error("B mempool never grew")
+	}
+}
+
+func TestFig04DelaysFees(t *testing.T) {
+	s := getSuite(t)
+	fa, fb, fc := s.Fig04DelaysFees()
+	if len(fa.Series) != 2 || len(fb.Series) != 2 {
+		t.Fatal("series counts")
+	}
+	if len(fc.Series) < 2 {
+		t.Fatalf("4c has %d congestion levels", len(fc.Series))
+	}
+	// Fee-rates must rise with congestion (in median).
+	med := func(pts []stats.CDFPoint) float64 {
+		for _, p := range pts {
+			if p.F >= 0.5 {
+				return p.X
+			}
+		}
+		return pts[len(pts)-1].X
+	}
+	first := med(fc.Series[0].Points)
+	lastS := med(fc.Series[len(fc.Series)-1].Points)
+	if lastS <= first {
+		t.Errorf("fee medians not increasing with congestion: %v vs %v", first, lastS)
+	}
+}
+
+func TestFig05And12FeeDelay(t *testing.T) {
+	s := getSuite(t)
+	f5 := s.Fig05FeeDelay()
+	f12 := s.Fig12FeeDelayB()
+	// Higher fee band → stochastically smaller delay: compare the CDF at
+	// delay=1 (fraction confirmed next block).
+	atOne := func(pts []stats.CDFPoint) float64 {
+		best := 0.0
+		for _, p := range pts {
+			if p.X <= 1.0001 && p.F > best {
+				best = p.F
+			}
+		}
+		return best
+	}
+	for _, fig := range []*struct {
+		name string
+		low  []stats.CDFPoint
+		high []stats.CDFPoint
+	}{
+		{"fig5", f5.Series[0].Points, f5.Series[len(f5.Series)-1].Points},
+		{"fig12", f12.Series[0].Points, f12.Series[len(f12.Series)-1].Points},
+	} {
+		if atOne(fig.high) <= atOne(fig.low) {
+			t.Errorf("%s: exorbitant fees not faster (next-block: %v vs %v)",
+				fig.name, atOne(fig.high), atOne(fig.low))
+		}
+	}
+}
+
+func TestFig06ViolationPairs(t *testing.T) {
+	s := getSuite(t)
+	all, non := s.Fig06ViolationPairs(12)
+	if len(all.Series) != 3 || len(non.Series) != 3 {
+		t.Fatal("epsilon series missing")
+	}
+	mean := func(pts []stats.CDFPoint) float64 {
+		var sum float64
+		for _, p := range pts {
+			sum += p.X
+		}
+		return sum / float64(len(pts))
+	}
+	// Violations exist (the planted behaviours and propagation noise
+	// guarantee a nonzero fraction) even after tightening.
+	if mean(all.Series[0].Points) <= 0 {
+		t.Error("no violations at eps=0")
+	}
+	// Excluding CPFP pairs cannot increase the violating fraction.
+	if mean(non.Series[0].Points) > mean(all.Series[0].Points)+0.02 {
+		t.Errorf("non-CPFP fraction above all-pairs fraction: %v vs %v",
+			mean(non.Series[0].Points), mean(all.Series[0].Points))
+	}
+}
+
+func TestFig07PPE(t *testing.T) {
+	s := getSuite(t)
+	f, overall := s.Fig07PPE()
+	if len(f.Series) < 4 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	// The paper: mean PPE 2.65%, 80% of blocks under ~4%. Our honest pools
+	// run ancestor-score against a raw fee-rate norm plus planted
+	// misbehaviour, so the mean stays small but nonzero.
+	if overall.Mean <= 0 || overall.Mean > 15 {
+		t.Errorf("overall mean PPE = %v, want small positive", overall.Mean)
+	}
+	if overall.Median > 10 {
+		t.Errorf("median PPE = %v", overall.Median)
+	}
+}
+
+func TestFig08PoolWallets(t *testing.T) {
+	s := getSuite(t)
+	tbl := s.Fig08PoolWallets()
+	if len(tbl.Rows) < 10 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestTable2SelfInterest(t *testing.T) {
+	s := getSuite(t)
+	tbl, findings, err := s.Table2SelfInterest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no significant rows; planted behaviour undetected")
+	}
+	// Expected detections: the four selfish pools and ViaBTC's collusion.
+	got := map[string]bool{}
+	for _, f := range findings {
+		got[f.Owner+"->"+f.Result.Pool] = true
+		if f.Result.SignificantAccel() && f.Result.SPPE < 0 {
+			t.Errorf("accelerated set with negative SPPE: %+v", f)
+		}
+	}
+	for _, want := range []string{
+		"F2Pool->F2Pool",
+		"ViaBTC->ViaBTC",
+		"1THash&58Coin->1THash&58Coin",
+		"SlushPool->ViaBTC",
+		"1THash&58Coin->ViaBTC",
+	} {
+		if !got[want] {
+			t.Errorf("expected finding %s missing (got %v)", want, got)
+		}
+	}
+	// SlushPool->SlushPool needs more blocks than the test-scale chain
+	// gives a 3.75%-hash-rate pool (x is capped by its block count); it
+	// appears at cmd/reproduce scales. Its collusion row (SlushPool->
+	// ViaBTC, asserted above) is the detectable signal at this scale.
+	// Honest pools must not be flagged accelerating their own payouts.
+	for _, honest := range []string{"Huobi", "Okex", "AntPool"} {
+		if got[honest+"->"+honest] {
+			t.Errorf("honest pool %s flagged", honest)
+		}
+	}
+}
+
+func TestTable3ScamNeutral(t *testing.T) {
+	s := getSuite(t)
+	tbl, rows, err := s.Table3Scam()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("tested pools = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SignificantAccel() || r.SignificantDecel() {
+			t.Errorf("scam set flagged at %s (accel=%v decel=%v)", r.Pool, r.AccelP, r.DecelP)
+		}
+	}
+	renderTable(t, tbl)
+}
+
+func TestTable4DarkFee(t *testing.T) {
+	s := getSuite(t)
+	tbl, rows := s.Table4DarkFee()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Table 4's shape: precision decays as the threshold loosens; the
+	// strict thresholds (>=99) are dominated by true accelerations.
+	if rows[1].Candidates == 0 {
+		t.Fatal("no SPPE>=99 candidates despite planted accelerations")
+	}
+	if rows[1].Precision() < 0.5 {
+		t.Errorf("precision at SPPE>=99 = %v, paper reports ~0.65", rows[1].Precision())
+	}
+	if rows[4].Precision() >= rows[1].Precision() {
+		t.Errorf("precision did not decay: %v -> %v", rows[1].Precision(), rows[4].Precision())
+	}
+	if rows[4].Candidates <= rows[0].Candidates {
+		t.Error("candidate counts not nested")
+	}
+	renderTable(t, tbl)
+}
+
+func TestTable5FeeRevenue(t *testing.T) {
+	s := getSuite(t)
+	tbl, rows, err := s.Table5FeeRevenue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("eras = %d", len(rows))
+	}
+	renderTable(t, tbl)
+}
+
+func TestNormIIICensus(t *testing.T) {
+	s := getSuite(t)
+	tbl := s.NormIIICensus()
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no low-fee confirmations at all")
+	}
+	// Only the lenient pools may appear.
+	lenient := map[string]bool{"F2Pool": true, "ViaBTC": true, "BTC.com": true}
+	for _, row := range tbl.Rows {
+		if !lenient[row[1]] {
+			t.Errorf("strict pool %q confirmed a low-fee tx", row[1])
+		}
+	}
+}
+
+func TestFig09To14(t *testing.T) {
+	s := getSuite(t)
+	if f := s.Fig09MempoolB(); len(f.Series) != 1 || len(f.Series[0].Points) < 50 {
+		t.Error("fig 9")
+	}
+	if f := s.Fig10FeeratesByPool(); len(f.Series) != 5 {
+		t.Errorf("fig 10 series = %d", len(f.Series))
+	}
+	if f := s.Fig11CongestionFeesB(); len(f.Series) < 2 {
+		t.Error("fig 11")
+	}
+	if tbl := s.Fig13ScamWindowShares(); len(tbl.Rows) < 5 {
+		t.Error("fig 13")
+	}
+	f14, ratios := s.Fig14AccelFees()
+	if len(f14.Series) != 2 {
+		t.Fatal("fig 14 series")
+	}
+	// Appendix G shape: quoted fees are orders of magnitude above public
+	// fees (paper: median multiple ≈ 117, mean ≈ 566).
+	if ratios.Median < 20 {
+		t.Errorf("median acceleration multiple = %v, want >> 1", ratios.Median)
+	}
+	if ratios.Mean < ratios.Median {
+		t.Errorf("multiple distribution not right-skewed: mean %v < median %v", ratios.Mean, ratios.Median)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	s := getSuite(t)
+	gap, err := s.AblationPolicyGap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gap.Rows) != 2 {
+		t.Fatal("policy gap rows")
+	}
+	approx := s.AblationBinomApprox()
+	if len(approx.Rows) != 45 {
+		t.Errorf("binom approx rows = %d", len(approx.Rows))
+	}
+	samp := s.AblationSnapshotSampling()
+	if len(samp.Rows) != 5 {
+		t.Errorf("sampling rows = %d", len(samp.Rows))
+	}
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExtFeeEstimatorBias(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.ExtFeeEstimatorBias()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// At low percentiles (where dark-fee inclusions live) the naive
+	// recommendation must under-buy the clean one.
+	biased := 0
+	for _, row := range tbl.Rows[:4] {
+		under, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("parse underestimation %q: %v", row[3], err)
+		}
+		if under > 0 {
+			biased++
+		}
+		excluded, err := strconv.ParseFloat(row[4], 64)
+		if err != nil || excluded <= 0 {
+			t.Fatalf("no exclusions in row %v", row)
+		}
+	}
+	if biased == 0 {
+		t.Error("estimator shows no bias despite planted dark fees")
+	}
+	renderTable(t, tbl)
+}
+
+func TestExtCensorshipPower(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.ExtCensorshipPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	var censorVerdict, honestVerdict string
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "CensorCo":
+			censorVerdict = row[6]
+		case "HonestCo":
+			honestVerdict = row[6]
+		}
+	}
+	if !strings.Contains(censorVerdict, "CENSORING") {
+		t.Errorf("planted censor not caught: verdict %q", censorVerdict)
+	}
+	if honestVerdict != "clear" {
+		t.Errorf("honest control flagged: verdict %q", honestVerdict)
+	}
+}
+
+func TestExtDelaySignificance(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.ExtDelaySignificance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		p, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("parse p %q: %v", row[2], err)
+		}
+		if p > 0.01 {
+			t.Errorf("%s %s: ordering not significant (p=%v)", row[0], row[1], p)
+		}
+		cl, err := strconv.ParseFloat(row[3], 64)
+		if err != nil || cl <= 0.5 {
+			t.Errorf("%s %s: common language %v, want > 0.5", row[0], row[1], cl)
+		}
+	}
+}
+
+func TestExtNormComparison(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.ExtNormComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	row := func(norm string) []string {
+		for _, r := range tbl.Rows {
+			if r[0] == norm {
+				return r
+			}
+		}
+		t.Fatalf("norm %q missing", norm)
+		return nil
+	}
+	f := func(cell string) float64 {
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", cell, err)
+		}
+		return v
+	}
+	fr := row("feerate")
+	aging := row("feerate+aging")
+	value := row("value-density")
+	// Aging's designed effect: it compresses the delay tail — nothing can
+	// wait arbitrarily long once age credit accrues (measured: p99 drops
+	// from ~41 to ~18 blocks at this scale).
+	if f(aging[2]) >= f(fr[2]) {
+		t.Errorf("aging norm p99 delay %v not below feerate %v", f(aging[2]), f(fr[2]))
+	}
+	// The value norm is fee-blind: the cheapest decile is not penalized,
+	// so its median delay must not exceed the fee-rate norm's (where cheap
+	// means slow by construction).
+	if f(value[3]) > f(fr[3]) {
+		t.Errorf("value norm penalized cheap txs: %v vs %v", f(value[3]), f(fr[3]))
+	}
+	// Median service for the bulk of traffic stays fast under every norm.
+	for _, r := range [][]string{fr, aging, value} {
+		if f(r[1]) > 3 {
+			t.Errorf("norm %s median delay %v", r[0], f(r[1]))
+		}
+	}
+	// Near-identical workloads: the seed is shared, but the mined chain
+	// feeds back into congestion-sensitive fee sampling, so counts drift a
+	// little — they must stay within 2% of each other.
+	base := f(fr[7])
+	for _, r := range [][]string{aging, value} {
+		if d := f(r[7]) - base; d > 0.02*base || d < -0.02*base {
+			t.Errorf("workloads diverged: %v vs %v", base, f(r[7]))
+		}
+	}
+}
+
+func TestExtConflictOutcomes(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.ExtConflictOutcomes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	newWins, _ := strconv.Atoi(tbl.Rows[0][1])
+	oldWins, _ := strconv.Atoi(tbl.Rows[1][1])
+	if newWins+oldWins == 0 {
+		t.Fatal("no RBF race resolved at all")
+	}
+	if newWins <= oldWins {
+		t.Errorf("replacements won %d vs originals %d; bumps should dominate", newWins, oldWins)
+	}
+}

@@ -1,0 +1,84 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from freshly simulated data sets. Each experiment returns a
+// report.Table or report.Figure carrying the same rows/series the paper
+// reports; cmd/reproduce prints them and bench_test.go benchmarks them.
+// EXPERIMENTS.md records the paper-vs-measured comparison for each.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/core"
+	"chainaudit/internal/dataset"
+	"chainaudit/internal/poolid"
+	"chainaudit/internal/sim"
+	"chainaudit/internal/stats"
+)
+
+// Suite holds the built data sets all experiments draw from.
+type Suite struct {
+	Seed    uint64
+	A, B, C *dataset.Dataset
+	rng     *stats.RNG
+}
+
+// NewSuite builds the three data sets at the given scale. Scale 1 targets a
+// bench/test budget (A 12 h, B 16 h, C 48 h of simulated time); pass larger
+// scales from cmd/reproduce or cmd/gendata for paper-sized spans.
+func NewSuite(seed uint64, scale float64) (*Suite, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	s := &Suite{Seed: seed, rng: stats.NewRNG(seed ^ 0xE59)}
+	var err error
+	if s.A, err = dataset.BuildA(dataset.Options{Seed: seed + 1, Duration: scaleDur(12*time.Hour, scale)}); err != nil {
+		return nil, fmt.Errorf("experiments: building A: %w", err)
+	}
+	if s.B, err = dataset.BuildB(dataset.Options{Seed: seed + 2, Duration: scaleDur(16*time.Hour, scale)}); err != nil {
+		return nil, fmt.Errorf("experiments: building B: %w", err)
+	}
+	if s.C, err = dataset.BuildC(dataset.Options{Seed: seed + 3, Duration: scaleDur(48*time.Hour, scale)}); err != nil {
+		return nil, fmt.Errorf("experiments: building C: %w", err)
+	}
+	return s, nil
+}
+
+func scaleDur(d time.Duration, scale float64) time.Duration {
+	return time.Duration(float64(d) * scale)
+}
+
+// seenRecords converts an observer's first-contact map to the audit
+// engine's shape.
+func seenRecords(obs *sim.ObserverData) map[chain.TxID]core.SeenRecord {
+	out := make(map[chain.TxID]core.SeenRecord, len(obs.Seen))
+	for id, info := range obs.Seen {
+		out[id] = core.SeenRecord{
+			TipHeight:  info.TipHeight,
+			Congestion: info.Congestion,
+			FeeRate:    info.FeeRate,
+		}
+	}
+	return out
+}
+
+// payoutSet converts a pool's recorded payout txids to a set.
+func payoutSet(ids []chain.TxID) map[chain.TxID]bool {
+	set := make(map[chain.TxID]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return set
+}
+
+// top6C returns the six largest pools of data set C by estimated share.
+func (s *Suite) top6C() []string {
+	shares := poolid.EstimateShares(s.C.Result.Chain, s.C.Registry)
+	top := poolid.TopShares(shares, 6)
+	names := make([]string, len(top))
+	for i, sh := range top {
+		names[i] = sh.Pool
+	}
+	return names
+}

@@ -1,0 +1,227 @@
+// Package feeest implements the fee-suggestion logic the paper's §4.1
+// attributes to wallets and Bitcoin Core: recommendations derived from the
+// distribution of fee-rates included in recent blocks, under the assumption
+// that miners follow the fee-rate prioritization norm.
+//
+// The package exists to *quantify* the paper's warning that "transaction-fee
+// predictions from any predictor, which assume that miners follow the norm,
+// will be misleading": transactions that entered blocks through dark fees or
+// selfish prioritization carry public fee-rates far below what actually
+// bought their position, dragging the visible distribution down and making
+// the estimator recommend fees that under-buy the intended priority. The
+// Bias helpers measure exactly that gap.
+package feeest
+
+import (
+	"errors"
+	"sort"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/core"
+	"chainaudit/internal/stats"
+)
+
+// Estimator derives fee recommendations from a sliding window of recent
+// blocks' included fee-rates. The zero value is unusable; call New.
+type Estimator struct {
+	depth  int
+	window [][]float64 // per-block included fee-rates, sat/vB
+	// ExcludeCPFP drops child transactions, whose fee-rate reflects
+	// package economics rather than standalone priority.
+	ExcludeCPFP bool
+}
+
+// DefaultDepth is the window size wallets commonly smooth over.
+const DefaultDepth = 24
+
+// New creates an estimator remembering the last depth blocks (CPFP children
+// excluded by default, as fee estimators do).
+func New(depth int) *Estimator {
+	if depth < 1 {
+		depth = DefaultDepth
+	}
+	return &Estimator{depth: depth, ExcludeCPFP: true}
+}
+
+// ObserveBlock folds a newly mined block into the window.
+func (e *Estimator) ObserveBlock(b *chain.Block) {
+	var cpfp map[chain.TxID]bool
+	if e.ExcludeCPFP {
+		cpfp = b.CPFPSet()
+	}
+	var rates []float64
+	for _, tx := range b.Body() {
+		if cpfp[tx.ID] {
+			continue
+		}
+		rates = append(rates, float64(tx.FeeRate()))
+	}
+	sort.Float64s(rates)
+	e.window = append(e.window, rates)
+	if len(e.window) > e.depth {
+		e.window = e.window[len(e.window)-e.depth:]
+	}
+}
+
+// Blocks returns how many blocks the window currently holds.
+func (e *Estimator) Blocks() int { return len(e.window) }
+
+// ErrNoData reports an estimator asked for a recommendation before
+// observing any non-empty block.
+var ErrNoData = errors.New("feeest: no observed fee-rates")
+
+// RecommendPercentile returns the p-th percentile (p in [0, 100]) of the
+// window's included fee-rates, in sat/vB.
+func (e *Estimator) RecommendPercentile(p float64) (chain.SatPerVByte, error) {
+	all := e.pooled()
+	if len(all) == 0 {
+		return 0, ErrNoData
+	}
+	return chain.SatPerVByte(stats.Percentile(all, p)), nil
+}
+
+func (e *Estimator) pooled() []float64 {
+	var all []float64
+	for _, rates := range e.window {
+		all = append(all, rates...)
+	}
+	sort.Float64s(all)
+	return all
+}
+
+// Target maps a desired confirmation horizon (in blocks) to the percentile
+// of recent included fee-rates a wallet should match: next-block service
+// requires out-bidding most of what got in; patient transactions can sit
+// low in the distribution.
+func Target(blocks int) float64 {
+	switch {
+	case blocks <= 1:
+		return 75
+	case blocks <= 3:
+		return 50
+	case blocks <= 6:
+		return 35
+	default:
+		return 20
+	}
+}
+
+// Recommend returns the suggested fee-rate for confirmation within the
+// given number of blocks.
+func (e *Estimator) Recommend(targetBlocks int) (chain.SatPerVByte, error) {
+	return e.RecommendPercentile(Target(targetBlocks))
+}
+
+// Bias quantifies how deviant inclusions mislead the estimator: it compares
+// the recommendation computed from all included transactions against the
+// recommendation computed from the norm-clean view that excludes
+// transactions whose signed position prediction error meets minSPPE (the
+// dark-fee/selfish signature of §5.4.2).
+type Bias struct {
+	// All is the naive recommendation a wallet would make.
+	All chain.SatPerVByte
+	// Clean is the recommendation with norm-violating inclusions excluded.
+	Clean chain.SatPerVByte
+	// Excluded counts the transactions the clean view dropped.
+	Excluded int
+}
+
+// Underestimation returns how much the naive recommendation under-buys the
+// clean one, as a fraction of the clean recommendation (0 when unbiased,
+// positive when deviant inclusions drag the suggestion down).
+func (b Bias) Underestimation() float64 {
+	if b.Clean <= 0 {
+		return 0
+	}
+	return float64(b.Clean-b.All) / float64(b.Clean)
+}
+
+// MeasureBias replays the chain's blocks through two estimators — one
+// naive, one excluding transactions with SPPE >= minSPPE — and returns the
+// bias of the percentile-p recommendation at the end of the replay.
+func MeasureBias(c *chain.Chain, p float64, minSPPE float64, depth int) (Bias, error) {
+	naive := New(depth)
+	clean := New(depth)
+	var excluded int
+	for _, b := range c.Blocks() {
+		naive.ObserveBlock(b)
+		filtered, n := stripHighSPPE(b, minSPPE)
+		excluded += n
+		clean.ObserveBlock(filtered)
+	}
+	all, err := naive.RecommendPercentile(p)
+	if err != nil {
+		return Bias{}, err
+	}
+	cl, err := clean.RecommendPercentile(p)
+	if err != nil {
+		return Bias{}, err
+	}
+	return Bias{All: all, Clean: cl, Excluded: excluded}, nil
+}
+
+// stripHighSPPE returns a copy of the block without transactions whose
+// SPPE meets the threshold, and how many were dropped.
+func stripHighSPPE(b *chain.Block, minSPPE float64) (*chain.Block, int) {
+	drop := make(map[chain.TxID]bool)
+	for id, s := range core.BlockSPPEs(b) {
+		if s >= minSPPE {
+			drop[id] = true
+		}
+	}
+	if len(drop) == 0 {
+		return b, 0
+	}
+	out := &chain.Block{Height: b.Height, Hash: b.Hash, Time: b.Time}
+	for _, tx := range b.Txs {
+		if !drop[tx.ID] {
+			out.Txs = append(out.Txs, tx)
+		}
+	}
+	return out, len(drop)
+}
+
+// EvaluateNextBlock measures how a recommendation would have fared: for
+// each block after warmup, it computes the recommendation from the window
+// so far and then checks whether that fee-rate would have cleared the
+// *next* block's inclusion cutoff (its minimum included fee-rate). It
+// returns the success fraction.
+func EvaluateNextBlock(c *chain.Chain, targetBlocks, depth int) (float64, error) {
+	est := New(depth)
+	blocks := c.Blocks()
+	trials, hits := 0, 0
+	for i, b := range blocks {
+		if est.Blocks() >= depth && i < len(blocks) {
+			rec, err := est.Recommend(targetBlocks)
+			if err == nil {
+				if cutoff, ok := minIncludedRate(b); ok {
+					trials++
+					if float64(rec) >= cutoff {
+						hits++
+					}
+				}
+			}
+		}
+		est.ObserveBlock(b)
+	}
+	if trials == 0 {
+		return 0, ErrNoData
+	}
+	return float64(hits) / float64(trials), nil
+}
+
+// minIncludedRate returns the lowest non-CPFP fee-rate a block included.
+func minIncludedRate(b *chain.Block) (float64, bool) {
+	cpfp := b.CPFPSet()
+	min, found := 0.0, false
+	for _, tx := range b.Body() {
+		if cpfp[tx.ID] {
+			continue
+		}
+		r := float64(tx.FeeRate())
+		if !found || r < min {
+			min, found = r, true
+		}
+	}
+	return min, found
+}

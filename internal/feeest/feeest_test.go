@@ -1,0 +1,230 @@
+package feeest
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"chainaudit/internal/chain"
+)
+
+var baseTime = time.Unix(1_577_836_800, 0)
+
+func mkTx(rate float64, nonce uint16) *chain.Tx {
+	fee := chain.Amount(rate * 100)
+	tx := &chain.Tx{
+		VSize: 100,
+		Fee:   fee,
+		Time:  baseTime,
+		Inputs: []chain.TxIn{{
+			PrevOut: chain.OutPoint{TxID: chain.TxID{byte(nonce), byte(nonce >> 8), 0x9A}},
+			Address: "from",
+			Value:   chain.BTC + fee,
+		}},
+		Outputs: []chain.TxOut{{Address: "to", Value: chain.BTC}},
+	}
+	tx.ComputeID()
+	return tx
+}
+
+func blockWith(height int64, txs ...*chain.Tx) *chain.Block {
+	var fees chain.Amount
+	for _, tx := range txs {
+		fees += tx.Fee
+	}
+	cb := &chain.Tx{
+		VSize:       120,
+		Time:        baseTime.Add(time.Duration(height) * 10 * time.Minute),
+		Outputs:     []chain.TxOut{{Address: "pool", Value: chain.Subsidy(height) + fees}},
+		CoinbaseTag: "/P/",
+	}
+	cb.ComputeID()
+	b := &chain.Block{Height: height, Time: cb.Time, Txs: append([]*chain.Tx{cb}, txs...)}
+	b.ComputeHash([32]byte{})
+	return b
+}
+
+func TestRecommendPercentile(t *testing.T) {
+	e := New(10)
+	// Two blocks with rates 10..50 and 60..100.
+	e.ObserveBlock(blockWith(1, mkTx(10, 1), mkTx(20, 2), mkTx(30, 3), mkTx(40, 4), mkTx(50, 5)))
+	e.ObserveBlock(blockWith(2, mkTx(60, 6), mkTx(70, 7), mkTx(80, 8), mkTx(90, 9), mkTx(100, 10)))
+	if e.Blocks() != 2 {
+		t.Fatalf("Blocks = %d", e.Blocks())
+	}
+	med, err := e.RecommendPercentile(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(med)-55) > 1e-9 {
+		t.Errorf("median recommendation = %v, want 55", med)
+	}
+	lo, _ := e.RecommendPercentile(0)
+	hi, _ := e.RecommendPercentile(100)
+	if lo != 10 || hi != 100 {
+		t.Errorf("extremes = %v/%v", lo, hi)
+	}
+}
+
+func TestRecommendTargets(t *testing.T) {
+	e := New(10)
+	txs := make([]*chain.Tx, 0, 20)
+	for i := 0; i < 20; i++ {
+		txs = append(txs, mkTx(float64(5*(i+1)), uint16(i+1)))
+	}
+	e.ObserveBlock(blockWith(1, txs...))
+	fast, err := e.Recommend(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := e.Recommend(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast <= slow {
+		t.Errorf("next-block rec %v not above patient rec %v", fast, slow)
+	}
+	// Target mapping is monotone non-increasing.
+	prev := math.Inf(1)
+	for _, blocks := range []int{1, 2, 3, 5, 6, 7, 25} {
+		p := Target(blocks)
+		if p > prev {
+			t.Errorf("Target(%d) = %v above previous %v", blocks, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	e := New(2)
+	e.ObserveBlock(blockWith(1, mkTx(10, 1)))
+	e.ObserveBlock(blockWith(2, mkTx(20, 2)))
+	e.ObserveBlock(blockWith(3, mkTx(30, 3)))
+	if e.Blocks() != 2 {
+		t.Fatalf("window = %d", e.Blocks())
+	}
+	lo, _ := e.RecommendPercentile(0)
+	if lo != 20 {
+		t.Errorf("oldest block not evicted: min = %v", lo)
+	}
+}
+
+func TestNoData(t *testing.T) {
+	e := New(5)
+	if _, err := e.RecommendPercentile(50); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty estimator: %v", err)
+	}
+	// Empty blocks observed still no data.
+	e.ObserveBlock(blockWith(1))
+	if _, err := e.Recommend(1); !errors.Is(err, ErrNoData) {
+		t.Errorf("coinbase-only blocks: %v", err)
+	}
+	// New with nonsense depth clamps.
+	if New(0).depth != DefaultDepth {
+		t.Error("depth clamp")
+	}
+}
+
+func TestExcludeCPFP(t *testing.T) {
+	parent := mkTx(2, 1)
+	child := &chain.Tx{
+		VSize: 100,
+		Fee:   50_000,
+		Time:  baseTime,
+		Inputs: []chain.TxIn{{
+			PrevOut: chain.OutPoint{TxID: parent.ID, Index: 0},
+			Address: "to",
+			Value:   chain.BTC,
+		}},
+		Outputs: []chain.TxOut{{Address: "x", Value: chain.BTC - 50_000}},
+	}
+	child.ComputeID()
+	b := blockWith(1, parent, child, mkTx(30, 3))
+
+	e := New(5)
+	e.ObserveBlock(b)
+	hi, _ := e.RecommendPercentile(100)
+	if float64(hi) > 30+1e-9 {
+		t.Errorf("CPFP child leaked into estimator: max = %v", hi)
+	}
+	inc := New(5)
+	inc.ExcludeCPFP = false
+	inc.ObserveBlock(b)
+	hi2, _ := inc.RecommendPercentile(100)
+	if float64(hi2) < 400 {
+		t.Errorf("inclusive estimator missing child: max = %v", hi2)
+	}
+}
+
+func TestMeasureBiasDetectsDarkFees(t *testing.T) {
+	// Chain of blocks where each block smuggles a 1 sat/vB transaction to
+	// the very top (dark-fee signature) amid honest 40-100 sat/vB traffic.
+	c := chain.New()
+	nonce := uint16(0)
+	for h := int64(0); h < 30; h++ {
+		nonce += 8
+		dark := mkTx(1, nonce)
+		blk := blockWith(h,
+			dark,
+			mkTx(100, nonce+1), mkTx(80, nonce+2), mkTx(60, nonce+3), mkTx(40, nonce+4))
+		if err := c.Append(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bias, err := MeasureBias(c, 25, 90, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bias.Excluded == 0 {
+		t.Fatal("no dark-fee txs excluded from clean view")
+	}
+	if bias.All >= bias.Clean {
+		t.Errorf("naive recommendation %v not below clean %v", bias.All, bias.Clean)
+	}
+	if bias.Underestimation() <= 0 {
+		t.Errorf("underestimation = %v, want positive", bias.Underestimation())
+	}
+	// A clean chain has zero bias.
+	clean := chain.New()
+	nonce = 200
+	for h := int64(0); h < 10; h++ {
+		nonce += 4
+		clean.Append(blockWith(h, mkTx(90, nonce), mkTx(60, nonce+1), mkTx(30, nonce+2)))
+	}
+	b2, err := MeasureBias(clean, 25, 90, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Excluded != 0 || b2.Underestimation() != 0 {
+		t.Errorf("clean chain biased: %+v", b2)
+	}
+}
+
+func TestBiasZeroClean(t *testing.T) {
+	if (Bias{All: 5, Clean: 0}).Underestimation() != 0 {
+		t.Error("zero clean division")
+	}
+}
+
+func TestEvaluateNextBlock(t *testing.T) {
+	// Stationary fee market: the 75th-percentile recommendation should
+	// clear the next block's cutoff nearly always.
+	c := chain.New()
+	nonce := uint16(0)
+	for h := int64(0); h < 40; h++ {
+		nonce += 6
+		c.Append(blockWith(h,
+			mkTx(100, nonce), mkTx(75, nonce+1), mkTx(50, nonce+2), mkTx(25, nonce+3), mkTx(10, nonce+4)))
+	}
+	frac, err := EvaluateNextBlock(c, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.95 {
+		t.Errorf("stationary success fraction = %v", frac)
+	}
+	if _, err := EvaluateNextBlock(chain.New(), 1, 8); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty chain: %v", err)
+	}
+}

@@ -1,0 +1,424 @@
+package gbt
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/mempool"
+	"chainaudit/internal/stats"
+)
+
+var baseTime = time.Unix(1_600_000_000, 0)
+
+func mkTx(fee chain.Amount, vsize int64, nonce uint16) *chain.Tx {
+	tx := &chain.Tx{
+		VSize: vsize,
+		Fee:   fee,
+		Time:  baseTime,
+		Inputs: []chain.TxIn{{
+			PrevOut: chain.OutPoint{TxID: chain.TxID{byte(nonce), byte(nonce >> 8), 0xEE}, Index: 0},
+			Address: "sender",
+			Value:   chain.BTC + fee,
+		}},
+		Outputs: []chain.TxOut{{Address: "receiver", Value: chain.BTC}},
+	}
+	tx.ComputeID()
+	return tx
+}
+
+func mkChild(parent *chain.Tx, fee chain.Amount, vsize int64) *chain.Tx {
+	tx := &chain.Tx{
+		VSize: vsize,
+		Fee:   fee,
+		Time:  parent.Time.Add(time.Second),
+		Inputs: []chain.TxIn{{
+			PrevOut: chain.OutPoint{TxID: parent.ID, Index: 0},
+			Address: parent.Outputs[0].Address,
+			Value:   parent.Outputs[0].Value,
+		}},
+		Outputs: []chain.TxOut{{Address: "next", Value: parent.Outputs[0].Value - fee}},
+	}
+	tx.ComputeID()
+	return tx
+}
+
+func poolWith(t *testing.T, txs ...*chain.Tx) *mempool.Pool {
+	t.Helper()
+	p := mempool.New(mempool.WithMinFeeRate(0))
+	for i, tx := range txs {
+		if err := p.Add(tx, baseTime.Add(time.Duration(i)*time.Millisecond)); err != nil {
+			t.Fatalf("add tx %d: %v", i, err)
+		}
+	}
+	return p
+}
+
+func TestFeeRateOrdersDescending(t *testing.T) {
+	low := mkTx(1_000, 1000, 1)   // 1 sat/vB
+	mid := mkTx(5_000, 1000, 2)   // 5 sat/vB
+	high := mkTx(20_000, 1000, 3) // 20 sat/vB
+	p := poolWith(t, low, mid, high)
+
+	tpl := FeeRate{}.Build(p.Entries(), chain.MaxBlockVSize)
+	if len(tpl.Txs) != 3 {
+		t.Fatalf("selected %d txs", len(tpl.Txs))
+	}
+	if tpl.Txs[0].ID != high.ID || tpl.Txs[1].ID != mid.ID || tpl.Txs[2].ID != low.ID {
+		t.Error("not ordered by descending fee-rate")
+	}
+	if tpl.TotalFee != 26_000 || tpl.VSize != 3000 {
+		t.Errorf("totals: fee=%d vsize=%d", tpl.TotalFee, tpl.VSize)
+	}
+}
+
+func TestFeeRateRespectsCapacity(t *testing.T) {
+	a := mkTx(50_000, 600, 1) // 83 sat/vB
+	b := mkTx(30_000, 600, 2) // 50 sat/vB
+	c := mkTx(4_000, 300, 3)  // 13 sat/vB, fits in the gap
+	p := poolWith(t, a, b, c)
+
+	tpl := FeeRate{}.Build(p.Entries(), 1000)
+	if len(tpl.Txs) != 2 {
+		t.Fatalf("selected %d txs: want a then c", len(tpl.Txs))
+	}
+	if tpl.Txs[0].ID != a.ID || tpl.Txs[1].ID != c.ID {
+		t.Errorf("selection = %s,%s", tpl.Txs[0].ID.Short(), tpl.Txs[1].ID.Short())
+	}
+	if tpl.VSize > 1000 {
+		t.Errorf("vsize %d over cap", tpl.VSize)
+	}
+}
+
+func TestFeeRateParentsBeforeChildren(t *testing.T) {
+	parent := mkTx(100, 1000, 1) // 0.1 sat/vB
+	child := mkChild(parent, 100_000, 500)
+	p := poolWith(t, parent, child)
+
+	tpl := FeeRate{}.Build(p.Entries(), chain.MaxBlockVSize)
+	if len(tpl.Txs) != 2 {
+		t.Fatalf("selected %d", len(tpl.Txs))
+	}
+	if tpl.Txs[0].ID != parent.ID {
+		t.Error("child placed before parent")
+	}
+}
+
+func TestFeeRateExcludesDescendantsOfUnfit(t *testing.T) {
+	big := mkTx(500_000, 900, 1)
+	child := mkChild(big, 400_000, 50)
+	small := mkTx(10, 100, 2)
+	p := poolWith(t, big, child, small)
+
+	// Capacity 800: big does not fit, so child must not appear either.
+	tpl := FeeRate{}.Build(p.Entries(), 800)
+	if len(tpl.Txs) != 1 || tpl.Txs[0].ID != small.ID {
+		got := make([]string, len(tpl.Txs))
+		for i, tx := range tpl.Txs {
+			got[i] = tx.ID.Short()
+		}
+		t.Fatalf("selection = %v, want only small", got)
+	}
+}
+
+func TestAncestorScoreLiftsParent(t *testing.T) {
+	// Low-fee parent with a high-fee child (CPFP): ancestor score must rank
+	// the package above a mid-fee independent tx, while raw fee-rate ranks
+	// the parent last.
+	parent := mkTx(500, 500, 1)           // 1 sat/vB
+	child := mkChild(parent, 49_500, 500) // package: 50k sat / 1000 vB = 50 sat/vB
+	mid := mkTx(20_000, 1000, 2)          // 20 sat/vB
+
+	p := poolWith(t, parent, child, mid)
+
+	tpl := AncestorScore{}.Build(p.Entries(), chain.MaxBlockVSize)
+	if len(tpl.Txs) != 3 {
+		t.Fatalf("selected %d", len(tpl.Txs))
+	}
+	if tpl.Txs[0].ID != parent.ID || tpl.Txs[1].ID != child.ID || tpl.Txs[2].ID != mid.ID {
+		got := []string{tpl.Txs[0].ID.Short(), tpl.Txs[1].ID.Short(), tpl.Txs[2].ID.Short()}
+		t.Errorf("order = %v, want parent,child,mid", got)
+	}
+
+	// Raw fee-rate policy ranks mid (20 sat/vB) first: the 1 sat/vB parent
+	// is deferred until it is the best ready transaction, and the 99 sat/vB
+	// child stays blocked behind it.
+	fr := FeeRate{}.Build(p.Entries(), chain.MaxBlockVSize)
+	if fr.Txs[0].ID != mid.ID || fr.Txs[1].ID != parent.ID || fr.Txs[2].ID != child.ID {
+		t.Error("fee-rate policy should order mid, parent, child")
+	}
+}
+
+func TestAncestorScorePackageMustFitTogether(t *testing.T) {
+	parent := mkTx(100, 700, 1)
+	child := mkChild(parent, 90_000, 400) // package 1100 vB
+	solo := mkTx(9_000, 900, 2)           // 10 sat/vB
+
+	p := poolWith(t, parent, child, solo)
+	tpl := AncestorScore{}.Build(p.Entries(), 1000)
+	// The 1100 vB package cannot fit in 1000 vB; solo must be selected.
+	if len(tpl.Txs) != 1 || tpl.Txs[0].ID != solo.ID {
+		t.Fatalf("selection wrong: %d txs", len(tpl.Txs))
+	}
+}
+
+func TestAncestorScoreChain(t *testing.T) {
+	// Three-deep chain where only the last pays: all-or-nothing package.
+	a := mkTx(0, 300, 1)
+	b := mkChild(a, 0, 300)
+	c := mkChild(b, 30_000, 300)
+	p := poolWith(t, a, b, c)
+
+	tpl := AncestorScore{}.Build(p.Entries(), chain.MaxBlockVSize)
+	if len(tpl.Txs) != 3 {
+		t.Fatalf("selected %d of chain", len(tpl.Txs))
+	}
+	if tpl.Txs[0].ID != a.ID || tpl.Txs[1].ID != b.ID || tpl.Txs[2].ID != c.ID {
+		t.Error("chain not in topological order")
+	}
+}
+
+func TestPriorityIgnoresFeeRate(t *testing.T) {
+	// Same inputs, wildly different fees: priority order must be identical
+	// regardless of fees.
+	txs := make([]*chain.Tx, 6)
+	for i := range txs {
+		txs[i] = mkTx(chain.Amount(1000*(i+1)), 500, uint16(10+i))
+	}
+	p := poolWith(t, txs...)
+	ordered1 := Priority{}.Build(p.Entries(), chain.MaxBlockVSize)
+
+	// Rebuild the same transactions with permuted fees.
+	txs2 := make([]*chain.Tx, 6)
+	for i := range txs2 {
+		tx := &chain.Tx{
+			VSize:   500,
+			Fee:     chain.Amount(1000 * (6 - i)),
+			Time:    baseTime,
+			Inputs:  []chain.TxIn{txs[i].Inputs[0]},
+			Outputs: []chain.TxOut{{Address: "receiver", Value: chain.BTC}},
+		}
+		tx.Inputs[0].Value = chain.BTC + tx.Fee
+		tx.ComputeID()
+		txs2[i] = tx
+	}
+	p2 := poolWith(t, txs2...)
+	ordered2 := Priority{}.Build(p2.Entries(), chain.MaxBlockVSize)
+
+	if len(ordered1.Txs) != 6 || len(ordered2.Txs) != 6 {
+		t.Fatal("priority selection incomplete")
+	}
+	for i := range ordered1.Txs {
+		// Compare by spent outpoint (the identity preserved across the fee
+		// change).
+		if ordered1.Txs[i].Inputs[0].PrevOut != ordered2.Txs[i].Inputs[0].PrevOut {
+			t.Fatalf("priority order changed with fees at position %d", i)
+		}
+	}
+}
+
+func TestPriorityScoreProperties(t *testing.T) {
+	tx := mkTx(100, 500, 3)
+	s := PriorityScore(tx)
+	if s <= 0 {
+		t.Errorf("score = %v", s)
+	}
+	if PriorityScore(tx) != s {
+		t.Error("score not deterministic")
+	}
+	if PriorityScore(&chain.Tx{}) != 0 {
+		t.Error("zero-vsize score should be 0")
+	}
+	// Bigger input value, same outpoint age: higher priority.
+	rich := mkTx(100, 500, 3)
+	rich.Inputs[0].Value *= 10
+	rich.ComputeID()
+	if PriorityScore(rich) <= s {
+		t.Error("priority not increasing in input value")
+	}
+}
+
+func TestPoliciesEmptyMempool(t *testing.T) {
+	p := mempool.New()
+	for _, pol := range []Policy{FeeRate{}, AncestorScore{}, Priority{}} {
+		tpl := pol.Build(p.Entries(), chain.MaxBlockVSize)
+		if len(tpl.Txs) != 0 || tpl.TotalFee != 0 || tpl.VSize != 0 {
+			t.Errorf("%s: nonempty template from empty mempool", pol.Name())
+		}
+		if pol.Name() == "" {
+			t.Error("empty policy name")
+		}
+	}
+}
+
+// TestPoliciesInvariants drives all policies over a randomized mempool and
+// checks structural invariants: capacity respected, no duplicates, parents
+// before children, totals consistent.
+func TestPoliciesInvariants(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 25; trial++ {
+		p := mempool.New(mempool.WithMinFeeRate(0))
+		n := 50 + rng.Intn(150)
+		var prev *chain.Tx
+		for i := 0; i < n; i++ {
+			var tx *chain.Tx
+			if prev != nil && rng.Float64() < 0.25 {
+				tx = mkChild(prev, chain.Amount(rng.Intn(100_000)), int64(100+rng.Intn(900)))
+			} else {
+				tx = mkTx(chain.Amount(rng.Intn(100_000)), int64(100+rng.Intn(900)), uint16(trial*1000+i))
+			}
+			if err := p.Add(tx, baseTime.Add(time.Duration(i)*time.Second)); err != nil {
+				continue
+			}
+			prev = tx
+		}
+		capacity := int64(5_000 + rng.Intn(50_000))
+		for _, pol := range []Policy{FeeRate{}, AncestorScore{}, Priority{}} {
+			tpl := pol.Build(p.Entries(), capacity)
+			if tpl.VSize > capacity {
+				t.Fatalf("%s: vsize %d > capacity %d", pol.Name(), tpl.VSize, capacity)
+			}
+			seen := make(map[chain.TxID]int)
+			var fee chain.Amount
+			var vs int64
+			for i, tx := range tpl.Txs {
+				if _, dup := seen[tx.ID]; dup {
+					t.Fatalf("%s: duplicate tx", pol.Name())
+				}
+				seen[tx.ID] = i
+				fee += tx.Fee
+				vs += tx.VSize
+			}
+			if fee != tpl.TotalFee || vs != tpl.VSize {
+				t.Fatalf("%s: totals inconsistent", pol.Name())
+			}
+			for i, tx := range tpl.Txs {
+				for _, in := range tx.Inputs {
+					if j, ok := seen[in.PrevOut.TxID]; ok && j > i {
+						t.Fatalf("%s: child at %d before parent at %d", pol.Name(), i, j)
+					}
+					// If the parent is pending but unselected, the child
+					// must not be selected.
+					if p.Contains(in.PrevOut.TxID) {
+						if _, ok := seen[in.PrevOut.TxID]; !ok {
+							t.Fatalf("%s: child selected without pending parent", pol.Name())
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAncestorScoreNeverWorseFees: with CPFP chains present, ancestor-score
+// selection should collect at least the fees greedy fee-rate selection does
+// on tight capacities (it is designed to exploit packages).
+func TestAncestorScoreFeeAdvantage(t *testing.T) {
+	rng := stats.NewRNG(7)
+	better, worse := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		p := mempool.New(mempool.WithMinFeeRate(0))
+		var prev *chain.Tx
+		for i := 0; i < 120; i++ {
+			var tx *chain.Tx
+			if prev != nil && rng.Float64() < 0.4 {
+				tx = mkChild(prev, chain.Amount(rng.Intn(80_000)), int64(100+rng.Intn(400)))
+			} else {
+				tx = mkTx(chain.Amount(rng.Intn(10_000)), int64(100+rng.Intn(400)), uint16(trial*500+i))
+			}
+			if err := p.Add(tx, baseTime); err != nil {
+				continue
+			}
+			prev = tx
+		}
+		capacity := int64(8_000)
+		as := AncestorScore{}.Build(p.Entries(), capacity)
+		fr := FeeRate{}.Build(p.Entries(), capacity)
+		if as.TotalFee >= fr.TotalFee {
+			better++
+		} else {
+			worse++
+		}
+	}
+	if worse > better {
+		t.Errorf("ancestor score collected less fees in %d of %d trials", worse, better+worse)
+	}
+}
+
+func BenchmarkFeeRateBuild(b *testing.B) {
+	p := mempool.New(mempool.WithMinFeeRate(0))
+	rng := stats.NewRNG(1)
+	for i := 0; i < 5000; i++ {
+		tx := mkTx(chain.Amount(rng.Intn(100_000)), int64(100+rng.Intn(900)), uint16(i))
+		p.Add(tx, baseTime)
+	}
+	entries := p.Entries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FeeRate{}.Build(entries, chain.MaxBlockVSize)
+	}
+}
+
+func BenchmarkAncestorScoreBuild(b *testing.B) {
+	p := mempool.New(mempool.WithMinFeeRate(0))
+	rng := stats.NewRNG(1)
+	var prev *chain.Tx
+	for i := 0; i < 5000; i++ {
+		var tx *chain.Tx
+		if prev != nil && rng.Float64() < 0.2 {
+			tx = mkChild(prev, chain.Amount(rng.Intn(100_000)), int64(100+rng.Intn(900)))
+		} else {
+			tx = mkTx(chain.Amount(rng.Intn(100_000)), int64(100+rng.Intn(900)), uint16(i))
+		}
+		if err := p.Add(tx, baseTime); err == nil {
+			prev = tx
+		}
+	}
+	entries := p.Entries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AncestorScore{}.Build(entries, chain.MaxBlockVSize)
+	}
+}
+
+func TestTemplateDeterminism(t *testing.T) {
+	rng := stats.NewRNG(55)
+	p := mempool.New(mempool.WithMinFeeRate(0))
+	for i := 0; i < 300; i++ {
+		tx := mkTx(chain.Amount(rng.Intn(50_000)), int64(100+rng.Intn(500)), uint16(i))
+		p.Add(tx, baseTime)
+	}
+	for _, pol := range []Policy{FeeRate{}, AncestorScore{}, Priority{}} {
+		a := pol.Build(p.Entries(), 200_000)
+		b := pol.Build(p.Entries(), 200_000)
+		if len(a.Txs) != len(b.Txs) {
+			t.Fatalf("%s nondeterministic length", pol.Name())
+		}
+		for i := range a.Txs {
+			if a.Txs[i].ID != b.Txs[i].ID {
+				t.Fatalf("%s nondeterministic at %d", pol.Name(), i)
+			}
+		}
+	}
+}
+
+func TestFeeRateTieBrokenDeterministically(t *testing.T) {
+	// Equal fee-rates: order must be stable across builds (broken by ID).
+	a := mkTx(1000, 100, 1)
+	b := mkTx(1000, 100, 2)
+	c := mkTx(1000, 100, 3)
+	p := poolWith(t, a, b, c)
+	first := FeeRate{}.Build(p.Entries(), chain.MaxBlockVSize)
+	for i := 0; i < 5; i++ {
+		again := FeeRate{}.Build(p.Entries(), chain.MaxBlockVSize)
+		for j := range first.Txs {
+			if first.Txs[j].ID != again.Txs[j].ID {
+				t.Fatal("tie order unstable")
+			}
+		}
+	}
+	if math.IsNaN(float64(first.TotalFee)) {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,147 @@
+package mempool
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/stats"
+)
+
+// TestPoolAccountingProperty drives random add/remove sequences and checks
+// the pool's aggregate counters stay consistent with a naive shadow model.
+func TestPoolAccountingProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, rawOps uint8) bool {
+		rng := stats.NewRNG(seed)
+		p := New(WithMinFeeRate(0))
+		shadow := make(map[chain.TxID]*chain.Tx)
+		var live []*chain.Tx
+		ops := int(rawOps%120) + 20
+		for i := 0; i < ops; i++ {
+			if len(live) > 0 && rng.Float64() < 0.3 {
+				// Remove a random live tx.
+				idx := rng.Intn(len(live))
+				tx := live[idx]
+				if !p.Remove(tx.ID) {
+					return false
+				}
+				delete(shadow, tx.ID)
+				live = append(live[:idx], live[idx+1:]...)
+				continue
+			}
+			tx := mkTx(chain.Amount(rng.Intn(100_000)), int64(100+rng.Intn(900)), byte(i))
+			// Unique outpoint per op to avoid conflicts.
+			tx.Inputs[0].PrevOut.Index = uint32(i)
+			tx.Inputs[0].PrevOut.TxID = chain.TxID{byte(i), byte(seed), 0x77}
+			tx.ComputeID()
+			if err := p.Add(tx, baseTime.Add(time.Duration(i)*time.Second)); err != nil {
+				continue
+			}
+			shadow[tx.ID] = tx
+			live = append(live, tx)
+		}
+		// Aggregates agree with the shadow model.
+		if p.Len() != len(shadow) {
+			return false
+		}
+		var wantVSize int64
+		for _, tx := range shadow {
+			wantVSize += tx.VSize
+		}
+		if p.TotalVSize() != wantVSize {
+			return false
+		}
+		// Entries cover exactly the shadow set in first-seen order.
+		entries := p.Entries()
+		if len(entries) != len(shadow) {
+			return false
+		}
+		for i := 1; i < len(entries); i++ {
+			if entries[i].FirstSeen.Before(entries[i-1].FirstSeen) {
+				return false
+			}
+		}
+		for _, e := range entries {
+			if shadow[e.Tx.ID] == nil {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAncestryConsistencyProperty builds random chains of dependent
+// transactions and verifies parent/child links stay symmetric through
+// removals.
+func TestAncestryConsistencyProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, rawN uint8) bool {
+		rng := stats.NewRNG(seed)
+		p := New(WithMinFeeRate(0))
+		n := int(rawN%30) + 5
+		var pool []*chain.Tx
+		for i := 0; i < n; i++ {
+			var tx *chain.Tx
+			if len(pool) > 0 && rng.Float64() < 0.5 {
+				parent := pool[rng.Intn(len(pool))]
+				if p.Contains(parent.ID) && p.spenders[chain.OutPoint{TxID: parent.ID, Index: 0}] == nil {
+					tx = mkChild(parent, chain.Amount(rng.Intn(50_000)), int64(100+rng.Intn(400)))
+				}
+			}
+			if tx == nil {
+				tx = mkTx(chain.Amount(rng.Intn(50_000)), int64(100+rng.Intn(400)), byte(i))
+				tx.Inputs[0].PrevOut.TxID = chain.TxID{byte(i), byte(seed >> 8), 0x55}
+				tx.ComputeID()
+			}
+			if err := p.Add(tx, baseTime.Add(time.Duration(i)*time.Second)); err != nil {
+				continue
+			}
+			pool = append(pool, tx)
+		}
+		check := func() bool {
+			for _, e := range p.Entries() {
+				for _, par := range e.Parents() {
+					if !p.Contains(par.Tx.ID) {
+						return false
+					}
+					found := false
+					for _, ch := range par.Children() {
+						if ch == e {
+							found = true
+						}
+					}
+					if !found {
+						return false
+					}
+				}
+				for _, ch := range e.Children() {
+					found := false
+					for _, par := range ch.Parents() {
+						if par == e {
+							found = true
+						}
+					}
+					if !found {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if !check() {
+			return false
+		}
+		// Remove half and re-check.
+		entries := p.Entries()
+		for i, e := range entries {
+			if i%2 == 0 {
+				p.Remove(e.Tx.ID)
+			}
+		}
+		return check()
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+package mempool
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"chainaudit/internal/chain"
+)
+
+// mkConflict builds a transaction spending the same outpoint as other but
+// with a different fee.
+func mkConflict(other *chain.Tx, fee chain.Amount, vsize int64) *chain.Tx {
+	tx := &chain.Tx{
+		VSize: vsize,
+		Fee:   fee,
+		Time:  other.Time.Add(time.Minute),
+		Inputs: []chain.TxIn{{
+			PrevOut: other.Inputs[0].PrevOut,
+			Address: other.Inputs[0].Address,
+			Value:   chain.BTC + fee,
+		}},
+		Outputs: []chain.TxOut{{Address: "elsewhere", Value: chain.BTC}},
+	}
+	tx.ComputeID()
+	return tx
+}
+
+func TestAddOrReplaceNoConflictIsAdd(t *testing.T) {
+	p := New()
+	tx := mkTx(5_000, 250, 1)
+	evicted, err := p.AddOrReplace(tx, baseTime)
+	if err != nil || len(evicted) != 0 {
+		t.Fatalf("plain add: evicted=%v err=%v", evicted, err)
+	}
+	if !p.Contains(tx.ID) {
+		t.Error("tx missing")
+	}
+}
+
+func TestAddOrReplaceBumpsFee(t *testing.T) {
+	p := New()
+	original := mkTx(1_000, 250, 1) // 4 sat/vB
+	if err := p.Add(original, baseTime); err != nil {
+		t.Fatal(err)
+	}
+	// 10% bump required: 4.4 sat/vB. Offer 8.
+	replacement := mkConflict(original, 2_000, 250)
+	evicted, err := p.AddOrReplace(replacement, baseTime.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0].ID != original.ID {
+		t.Fatalf("evicted = %v", evicted)
+	}
+	if p.Contains(original.ID) || !p.Contains(replacement.ID) {
+		t.Error("replacement state wrong")
+	}
+}
+
+func TestAddOrReplaceUnderpriced(t *testing.T) {
+	p := New()
+	original := mkTx(2_000, 250, 1) // 8 sat/vB
+	if err := p.Add(original, baseTime); err != nil {
+		t.Fatal(err)
+	}
+	// 8.4 sat/vB offered < 8*1.1: rejected.
+	cheap := mkConflict(original, 2_100, 250)
+	if _, err := p.AddOrReplace(cheap, baseTime); !errors.Is(err, ErrReplacementUnderpriced) {
+		t.Fatalf("underpriced accepted: %v", err)
+	}
+	if !p.Contains(original.ID) {
+		t.Error("original evicted despite rejection")
+	}
+}
+
+func TestAddOrReplaceEvictsDescendants(t *testing.T) {
+	p := New()
+	original := mkTx(1_000, 250, 1)
+	if err := p.Add(original, baseTime); err != nil {
+		t.Fatal(err)
+	}
+	child := mkChild(original, 50_000, 200)
+	if err := p.Add(child, baseTime.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	replacement := mkConflict(original, 10_000, 250)
+	evicted, err := p.AddOrReplace(replacement, baseTime.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 2 {
+		t.Fatalf("evicted %d, want original+child", len(evicted))
+	}
+	if p.Contains(child.ID) {
+		t.Error("orphaned child survived")
+	}
+	if p.Len() != 1 {
+		t.Errorf("pool size = %d", p.Len())
+	}
+}
+
+func TestEvictToSize(t *testing.T) {
+	p := New(WithMinFeeRate(0))
+	cheap := mkTx(250, 250, 1)   // 1 sat/vB
+	mid := mkTx(2_500, 250, 2)   // 10 sat/vB
+	rich := mkTx(25_000, 250, 3) // 100 sat/vB
+	for _, tx := range []*chain.Tx{cheap, mid, rich} {
+		if err := p.Add(tx, baseTime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evicted := p.EvictToSize(500)
+	if len(evicted) != 1 || evicted[0].ID != cheap.ID {
+		t.Fatalf("evicted = %v", evicted)
+	}
+	if p.TotalVSize() != 500 {
+		t.Errorf("vsize = %d", p.TotalVSize())
+	}
+	// Evicting to zero clears the pool.
+	evicted = p.EvictToSize(0)
+	if p.Len() != 0 || len(evicted) != 2 {
+		t.Errorf("full eviction: len=%d evicted=%d", p.Len(), len(evicted))
+	}
+	// No-op on an empty pool, and negative clamps.
+	if got := p.EvictToSize(-5); len(got) != 0 {
+		t.Error("empty pool eviction")
+	}
+}
+
+func TestEvictToSizeTakesDescendants(t *testing.T) {
+	p := New(WithMinFeeRate(0))
+	parent := mkTx(250, 250, 1) // cheapest: first victim
+	if err := p.Add(parent, baseTime); err != nil {
+		t.Fatal(err)
+	}
+	child := mkChild(parent, 80_000, 200)
+	if err := p.Add(child, baseTime.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	filler := mkTx(5_000, 250, 2)
+	if err := p.Add(filler, baseTime); err != nil {
+		t.Fatal(err)
+	}
+	evicted := p.EvictToSize(300)
+	// Parent is the cheapest; its child must go with it even though the
+	// child's own fee-rate is high.
+	ids := map[chain.TxID]bool{}
+	for _, tx := range evicted {
+		ids[tx.ID] = true
+	}
+	if !ids[parent.ID] || !ids[child.ID] {
+		t.Fatalf("evicted set wrong: %v", evicted)
+	}
+	if !p.Contains(filler.ID) {
+		t.Error("filler wrongly evicted")
+	}
+}
+
+func TestEvictDeterministic(t *testing.T) {
+	run := func() []chain.TxID {
+		p := New(WithMinFeeRate(0))
+		for i := 0; i < 20; i++ {
+			tx := mkTx(1_000, 250, byte(i)) // all equal fee-rates
+			if err := p.Add(tx, baseTime); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var ids []chain.TxID
+		for _, tx := range p.EvictToSize(250 * 10) {
+			ids = append(ids, tx.ID)
+		}
+		return ids
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 10 {
+		t.Fatalf("eviction counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tie-broken eviction not deterministic")
+		}
+	}
+}

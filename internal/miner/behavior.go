@@ -1,0 +1,190 @@
+// Package miner models mining pool operators: their identities, hash-rate
+// driven block discovery, honest GetBlockTemplate-based block construction,
+// and the deviant behaviours the paper detects — selfish prioritization of
+// the pool's own transactions (§5.2), collusive prioritization of partner
+// pools' transactions, dark-fee acceleration (§5.4), and (configurable)
+// censorship, which §5.3 tests for and does not find in the wild.
+package miner
+
+import (
+	"chainaudit/internal/chain"
+	"chainaudit/internal/gbt"
+)
+
+// Context carries the information a behaviour may act on when finalizing a
+// block template.
+type Context struct {
+	// Height of the block being built.
+	Height int64
+	// PriorityAddresses are wallets whose transactions the pool treats
+	// preferentially (its own, plus any colluding partners').
+	PriorityAddresses map[chain.Address]bool
+	// Accelerated reports whether a dark-fee acceleration was purchased for
+	// the transaction at this pool. Nil means no acceleration service.
+	Accelerated func(chain.TxID) bool
+	// Blacklist are wallets whose transactions the pool censors.
+	Blacklist map[chain.Address]bool
+}
+
+// Behavior rewrites a block template before the block is assembled.
+// Behaviors compose: a pool applies its behaviours in order.
+type Behavior interface {
+	Name() string
+	Apply(tpl gbt.Template, ctx *Context) gbt.Template
+}
+
+// Honest leaves the template untouched (norm-following miner).
+type Honest struct{}
+
+// Name implements Behavior.
+func (Honest) Name() string { return "honest" }
+
+// Apply implements Behavior.
+func (Honest) Apply(tpl gbt.Template, _ *Context) gbt.Template { return tpl }
+
+// SelfInterest moves transactions touching the context's priority addresses
+// to the top of the block, ahead of higher fee-rate transactions. This is
+// the planted misbehaviour behind Table 2: accelerated inclusion (the
+// binomial test's signal) and top-of-block placement (the SPPE signal).
+type SelfInterest struct{}
+
+// Name implements Behavior.
+func (SelfInterest) Name() string { return "self-interest" }
+
+// Apply implements Behavior.
+func (SelfInterest) Apply(tpl gbt.Template, ctx *Context) gbt.Template {
+	if len(ctx.PriorityAddresses) == 0 {
+		return tpl
+	}
+	return promote(tpl, func(tx *chain.Tx) bool {
+		return tx.TouchesAny(ctx.PriorityAddresses)
+	})
+}
+
+// DarkFee moves transactions with purchased acceleration to the top of the
+// block. The public fee plays no role — that is what makes the fee "dark".
+type DarkFee struct{}
+
+// Name implements Behavior.
+func (DarkFee) Name() string { return "dark-fee" }
+
+// Apply implements Behavior.
+func (DarkFee) Apply(tpl gbt.Template, ctx *Context) gbt.Template {
+	if ctx.Accelerated == nil {
+		return tpl
+	}
+	return promote(tpl, func(tx *chain.Tx) bool {
+		return ctx.Accelerated(tx.ID)
+	})
+}
+
+// Censor drops transactions touching blacklisted wallets from the template
+// entirely. The paper finds no evidence of this in practice (§5.3); the
+// behaviour exists so the deceleration test can be exercised against a
+// planted positive.
+type Censor struct{}
+
+// Name implements Behavior.
+func (Censor) Name() string { return "censor" }
+
+// Apply implements Behavior.
+func (Censor) Apply(tpl gbt.Template, ctx *Context) gbt.Template {
+	if len(ctx.Blacklist) == 0 {
+		return tpl
+	}
+	drop := make(map[chain.TxID]bool)
+	for _, tx := range tpl.Txs {
+		if tx.TouchesAny(ctx.Blacklist) {
+			drop[tx.ID] = true
+		}
+	}
+	if len(drop) == 0 {
+		return tpl
+	}
+	// Dropping a parent forces dropping its in-template descendants.
+	inTpl := make(map[chain.TxID]bool, len(tpl.Txs))
+	for _, tx := range tpl.Txs {
+		inTpl[tx.ID] = true
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, tx := range tpl.Txs {
+			if drop[tx.ID] {
+				continue
+			}
+			for _, in := range tx.Inputs {
+				if inTpl[in.PrevOut.TxID] && drop[in.PrevOut.TxID] {
+					drop[tx.ID] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	var out gbt.Template
+	for _, tx := range tpl.Txs {
+		if drop[tx.ID] {
+			continue
+		}
+		out.Txs = append(out.Txs, tx)
+		out.TotalFee += tx.Fee
+		out.VSize += tx.VSize
+	}
+	return out
+}
+
+// promote stably moves every transaction matching sel (together with the
+// in-template ancestors it depends on) to the front of the template,
+// preserving relative order within both groups and never placing a child
+// before its parent.
+func promote(tpl gbt.Template, sel func(*chain.Tx) bool) gbt.Template {
+	if len(tpl.Txs) == 0 {
+		return tpl
+	}
+	pos := make(map[chain.TxID]int, len(tpl.Txs))
+	for i, tx := range tpl.Txs {
+		pos[tx.ID] = i
+	}
+	promoted := make([]bool, len(tpl.Txs))
+	// Mark matches, then close over in-template ancestors so dependencies
+	// travel with their children.
+	var markAncestors func(i int)
+	markAncestors = func(i int) {
+		if promoted[i] {
+			return
+		}
+		promoted[i] = true
+		for _, in := range tpl.Txs[i].Inputs {
+			if j, ok := pos[in.PrevOut.TxID]; ok {
+				markAncestors(j)
+			}
+		}
+	}
+	any := false
+	for i, tx := range tpl.Txs {
+		if sel(tx) {
+			markAncestors(i)
+			any = true
+		}
+	}
+	if !any {
+		return tpl
+	}
+	out := gbt.Template{
+		Txs:      make([]*chain.Tx, 0, len(tpl.Txs)),
+		TotalFee: tpl.TotalFee,
+		VSize:    tpl.VSize,
+	}
+	for i, tx := range tpl.Txs {
+		if promoted[i] {
+			out.Txs = append(out.Txs, tx)
+		}
+	}
+	for i, tx := range tpl.Txs {
+		if !promoted[i] {
+			out.Txs = append(out.Txs, tx)
+		}
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+package p2p
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"chainaudit/internal/chain"
+)
+
+// Binary codec for ledger types. All integers are little-endian; strings
+// and slices are length-prefixed with uvarint. The encoding is canonical:
+// encode(decode(b)) == b for valid inputs.
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *encoder) str(s string) { e.bytes([]byte(s)) }
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated %s at offset %d", ErrBadMessage, what, d.off)
+	}
+}
+
+func (d *decoder) u64(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) bytes(what string, max uint64) []byte {
+	n := d.uvarint(what)
+	if d.err != nil {
+		return nil
+	}
+	if n > max || d.off+int(n) > len(d.buf) {
+		d.fail(what)
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+func (d *decoder) str(what string, max uint64) string { return string(d.bytes(what, max)) }
+
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func encodeTxInto(e *encoder, tx *chain.Tx) {
+	e.buf = append(e.buf, tx.ID[:]...)
+	e.u64(uint64(tx.VSize))
+	e.u64(uint64(tx.Fee))
+	e.u64(uint64(tx.Time.UnixNano()))
+	e.uvarint(uint64(len(tx.Inputs)))
+	for _, in := range tx.Inputs {
+		e.buf = append(e.buf, in.PrevOut.TxID[:]...)
+		e.u64(uint64(in.PrevOut.Index))
+		e.str(string(in.Address))
+		e.u64(uint64(in.Value))
+	}
+	e.uvarint(uint64(len(tx.Outputs)))
+	for _, out := range tx.Outputs {
+		e.str(string(out.Address))
+		e.u64(uint64(out.Value))
+	}
+	e.str(tx.CoinbaseTag)
+}
+
+func decodeTxFrom(d *decoder) *chain.Tx {
+	tx := &chain.Tx{}
+	if d.off+32 > len(d.buf) {
+		d.fail("txid")
+		return tx
+	}
+	copy(tx.ID[:], d.buf[d.off:])
+	d.off += 32
+	tx.VSize = int64(d.u64("vsize"))
+	tx.Fee = chain.Amount(d.u64("fee"))
+	tx.Time = time.Unix(0, int64(d.u64("time")))
+	nIn := d.uvarint("input count")
+	const maxVec = 1 << 16
+	if nIn > maxVec {
+		d.fail("input count")
+		return tx
+	}
+	for i := uint64(0); i < nIn && d.err == nil; i++ {
+		var in chain.TxIn
+		if d.off+32 > len(d.buf) {
+			d.fail("prevout")
+			return tx
+		}
+		copy(in.PrevOut.TxID[:], d.buf[d.off:])
+		d.off += 32
+		in.PrevOut.Index = uint32(d.u64("prevout index"))
+		in.Address = chain.Address(d.str("input address", 256))
+		in.Value = chain.Amount(d.u64("input value"))
+		tx.Inputs = append(tx.Inputs, in)
+	}
+	nOut := d.uvarint("output count")
+	if nOut > maxVec {
+		d.fail("output count")
+		return tx
+	}
+	for i := uint64(0); i < nOut && d.err == nil; i++ {
+		var out chain.TxOut
+		out.Address = chain.Address(d.str("output address", 256))
+		out.Value = chain.Amount(d.u64("output value"))
+		tx.Outputs = append(tx.Outputs, out)
+	}
+	tx.CoinbaseTag = d.str("coinbase tag", 1024)
+	return tx
+}
+
+// EncodeTx serializes a transaction.
+func EncodeTx(tx *chain.Tx) []byte {
+	var e encoder
+	encodeTxInto(&e, tx)
+	return e.buf
+}
+
+// DecodeTx parses a transaction payload.
+func DecodeTx(b []byte) (*chain.Tx, error) {
+	d := &decoder{buf: b}
+	tx := decodeTxFrom(d)
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+// EncodeBlock serializes a block.
+func EncodeBlock(blk *chain.Block) []byte {
+	var e encoder
+	e.u64(uint64(blk.Height))
+	e.buf = append(e.buf, blk.Hash[:]...)
+	e.u64(uint64(blk.Time.UnixNano()))
+	e.uvarint(uint64(len(blk.Txs)))
+	for _, tx := range blk.Txs {
+		encodeTxInto(&e, tx)
+	}
+	return e.buf
+}
+
+// DecodeBlock parses a block payload.
+func DecodeBlock(b []byte) (*chain.Block, error) {
+	d := &decoder{buf: b}
+	blk := &chain.Block{}
+	blk.Height = int64(d.u64("height"))
+	if d.off+32 > len(d.buf) {
+		return nil, fmt.Errorf("%w: truncated block hash", ErrBadMessage)
+	}
+	copy(blk.Hash[:], d.buf[d.off:])
+	d.off += 32
+	blk.Time = time.Unix(0, int64(d.u64("block time")))
+	n := d.uvarint("tx count")
+	if n > 1<<20 {
+		return nil, fmt.Errorf("%w: absurd tx count %d", ErrBadMessage, n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		blk.Txs = append(blk.Txs, decodeTxFrom(d))
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+// EncodeInv serializes an inventory of transaction IDs.
+func EncodeInv(ids []chain.TxID) []byte {
+	var e encoder
+	e.uvarint(uint64(len(ids)))
+	for i := range ids {
+		e.buf = append(e.buf, ids[i][:]...)
+	}
+	return e.buf
+}
+
+// DecodeInv parses an inventory payload.
+func DecodeInv(b []byte) ([]chain.TxID, error) {
+	d := &decoder{buf: b}
+	n := d.uvarint("inv count")
+	if n > 1<<20 {
+		return nil, fmt.Errorf("%w: absurd inv count %d", ErrBadMessage, n)
+	}
+	ids := make([]chain.TxID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if d.off+32 > len(d.buf) {
+			return nil, fmt.Errorf("%w: truncated inv", ErrBadMessage)
+		}
+		var id chain.TxID
+		copy(id[:], d.buf[d.off:])
+		d.off += 32
+		ids = append(ids, id)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// EncodeVersion serializes a version handshake (node name + tip height).
+func EncodeVersion(name string, tip int64) []byte {
+	var e encoder
+	e.str(name)
+	e.u64(uint64(tip))
+	return e.buf
+}
+
+// DecodeVersion parses a version payload.
+func DecodeVersion(b []byte) (name string, tip int64, err error) {
+	d := &decoder{buf: b}
+	name = d.str("node name", 256)
+	tip = int64(d.u64("tip height"))
+	if err := d.done(); err != nil {
+		return "", 0, err
+	}
+	return name, tip, nil
+}

@@ -1,0 +1,190 @@
+// Package report renders the reproduction's tables and figure series as
+// text and CSV: fixed-width tables matching the paper's layout, and CDF
+// series (the paper's dominant figure form) at plot-ready resolution.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"chainaudit/internal/stats"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = formatFloat(x)
+		case float32:
+			row[i] = formatFloat(float64(x))
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x < 0.0001 && x > -0.0001:
+		return fmt.Sprintf("%.3e", x)
+	default:
+		return fmt.Sprintf("%.4f", x)
+	}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (comma-separated, quoted when needed).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is one named CDF series of a figure.
+type Series struct {
+	Name   string
+	Points []stats.CDFPoint
+}
+
+// CDFSeries builds a plot-ready CDF series (n points) from a sample.
+func CDFSeries(name string, sample []float64, n int) Series {
+	return Series{Name: name, Points: stats.NewECDF(sample).Points(n)}
+}
+
+// Figure is a set of CDF series sharing an axis.
+type Figure struct {
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// NewFigure creates a figure.
+func NewFigure(title, xlabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel}
+}
+
+// Add appends a series built from the sample.
+func (f *Figure) Add(name string, sample []float64, points int) {
+	f.Series = append(f.Series, CDFSeries(name, sample, points))
+}
+
+// Render writes the figure as aligned columns: x, F(x) per series.
+func (f *Figure) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", f.Title)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "-- series %q (%s vs CDF) --\n", s.Name, f.XLabel)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%14.6g  %8.4f\n", p.X, p.F)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the figure as long-form CSV: series,x,F.
+func (f *Figure) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("series,x,cdf\n")
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%g,%g\n", s.Name, p.X, p.F)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SummaryRow appends a stats.Summary as a row of (label, n, mean, std, min,
+// p25, median, p75, max) — Table 5's shape.
+func SummaryRow(t *Table, label string, s stats.Summary) {
+	t.AddRow(label, s.N, s.Mean, s.Std, s.Min, s.P25, s.Median, s.P75, s.Max)
+}
+
+// SummaryColumns returns the column headers matching SummaryRow.
+func SummaryColumns(labelName string) []string {
+	return []string{labelName, "n", "mean", "std", "min", "p25", "median", "p75", "max"}
+}
+
+// SortedKeys returns map keys in sorted order, for deterministic rendering.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

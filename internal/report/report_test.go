@@ -1,0 +1,122 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chainaudit/internal/stats"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Demo", "pool", "x", "p")
+	tbl.AddRow("F2Pool", 466, 0.00001)
+	tbl.AddRow("ViaBTC", 412, 1.0)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== Demo ==", "pool", "F2Pool", "466", "e-05", "1.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("line count = %d", len(lines))
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("plain", `quo"ted`)
+	tbl.AddRow("with,comma", 3)
+	var buf bytes.Buffer
+	if err := tbl.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"quo""ted"`) {
+		t.Errorf("quote escaping: %s", out)
+	}
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("comma quoting: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("header: %s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if formatFloat(0) != "0" {
+		t.Error("zero")
+	}
+	if got := formatFloat(1e-7); !strings.Contains(got, "e-07") {
+		t.Errorf("tiny = %q", got)
+	}
+	if got := formatFloat(3.14159); got != "3.1416" {
+		t.Errorf("normal = %q", got)
+	}
+}
+
+func TestFigure(t *testing.T) {
+	f := NewFigure("Fig 7: PPE", "PPE (%)")
+	sample := make([]float64, 100)
+	for i := range sample {
+		sample[i] = float64(i)
+	}
+	f.Add("overall", sample, 10)
+	f.Add("F2Pool", sample[:50], 10)
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig 7: PPE") || !strings.Contains(out, `series "overall"`) {
+		t.Errorf("render: %s", out)
+	}
+
+	buf.Reset()
+	if err := f.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.String()
+	if !strings.HasPrefix(csv, "series,x,cdf\n") {
+		t.Errorf("csv header: %s", csv)
+	}
+	if n := strings.Count(csv, "\n"); n != 21 { // header + 2×10 points
+		t.Errorf("csv rows = %d", n)
+	}
+}
+
+func TestCDFSeriesMonotone(t *testing.T) {
+	s := CDFSeries("x", []float64{5, 3, 9, 1, 7}, 5)
+	if len(s.Points) != 5 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].F < s.Points[i-1].F || s.Points[i].X < s.Points[i-1].X {
+			t.Fatal("series not monotone")
+		}
+	}
+}
+
+func TestSummaryRow(t *testing.T) {
+	tbl := NewTable("t", SummaryColumns("era")...)
+	SummaryRow(tbl, "2020", stats.Summarize([]float64{1, 2, 3}))
+	if len(tbl.Rows) != 1 || len(tbl.Rows[0]) != 9 {
+		t.Fatalf("row = %v", tbl.Rows)
+	}
+	if tbl.Rows[0][0] != "2020" || tbl.Rows[0][1] != "3" {
+		t.Errorf("row = %v", tbl.Rows[0])
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("keys = %v", got)
+	}
+}

@@ -1,0 +1,148 @@
+// Package sim is the discrete-event simulator that stands in for the
+// Bitcoin mainnet data the paper collected. It drives user transaction
+// arrivals through a latency-modelled relay fabric into mining pools'
+// shared mempool and per-observer mempools, schedules Poisson block
+// discovery weighted by hash rate, lets pools apply their (mis)behaviours
+// when building blocks, and records everything the audits consume: the
+// chain, observer snapshot streams, per-transaction first-seen metadata,
+// and the ground truth of every planted deviation.
+package sim
+
+import (
+	"time"
+
+	"chainaudit/internal/accel"
+	"chainaudit/internal/chain"
+	"chainaudit/internal/miner"
+	"chainaudit/internal/workload"
+)
+
+// ObserverConfig describes one observation node (the paper ran two: a
+// default-configuration node for data set A and a permissive, well-peered
+// node for data set B).
+type ObserverConfig struct {
+	// Name keys the observer's data in the result.
+	Name string
+	// MinFeeRate is the node's admission threshold (1 sat/vB default
+	// config; 0 for the permissive node).
+	MinFeeRate chain.SatPerVByte
+	// MedianDelay is the median propagation delay from broadcast to this
+	// node. A poorly peered node (8 peers) sees transactions later than a
+	// well-peered one (125 peers).
+	MedianDelay time.Duration
+	// FullSnapshotEvery captures the complete pending set on every Nth
+	// 15-second snapshot (0 disables full captures).
+	FullSnapshotEvery int
+}
+
+// ScamConfig plants a scam-payment episode (§5.3's Twitter scam analogue).
+type ScamConfig struct {
+	// Wallet is the attacker's address.
+	Wallet chain.Address
+	// Start/End bound the attack window.
+	Start, End time.Time
+	// Count is the approximate number of victim payments.
+	Count int
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Seed determines every random choice in the run.
+	Seed uint64
+	// Start is the simulated wall-clock origin.
+	Start time.Time
+	// Duration is the simulated time span.
+	Duration time.Duration
+	// Pools mine blocks. Their behaviours must be wired before the run.
+	Pools []*miner.Pool
+	// BlockCapacity is the block body budget in vbytes. The default
+	// simulations scale the real 1 MB down (fewer transactions per block,
+	// identical queueing shape) to keep run times tractable; see DESIGN.md.
+	BlockCapacity int64
+	// MempoolCapacity caps each node's pending set in vbytes; when the
+	// backlog exceeds it, the lowest-fee-rate transactions are evicted,
+	// the way Bitcoin Core trims an over-budget mempool (whose default,
+	// 300 MB against 1 MB blocks, is a similarly loose bound). Defaults to
+	// 200 block capacities: far above any congestion level the paper
+	// observed (15x), so it never touches experiment dynamics, while
+	// bounding memory and per-block template cost under pathological
+	// sustained overload.
+	MempoolCapacity int64
+	// MeanBlockInterval is the expected block spacing (default 10 min).
+	MeanBlockInterval time.Duration
+	// StartHeight is the first mined block's height (default 630,000 — the
+	// 6.25 BTC subsidy era of 2020). Earlier heights select earlier
+	// halving eras for Table 5 style experiments.
+	StartHeight int64
+	// FeeFactor scales the workload's median fee-rate (default 1), for
+	// modelling hotter or cooler fee markets across eras.
+	FeeFactor float64
+	// EmptyBlockProb is the chance a winning pool mines a coinbase-only
+	// block (the paper's data sets contain 18-240 such blocks).
+	EmptyBlockProb float64
+	// Arrivals is the user transaction arrival schedule; MaxArrivalRate
+	// must bound it.
+	Arrivals       workload.RateSchedule
+	MaxArrivalRate float64
+	// Users is the size of the synthetic user population.
+	Users int
+	// Observers to instrument (may be empty: data set C needs none).
+	Observers []ObserverConfig
+	// MinerMedianDelay is the median broadcast-to-miner propagation delay.
+	MinerMedianDelay time.Duration
+	// PayoutMeanInterval is the mean spacing of each top pool's payout
+	// (self-interest) transactions; zero disables payouts.
+	PayoutMeanInterval time.Duration
+	// PayoutPools names the pools that issue payouts (default: all).
+	PayoutPools []string
+	// Scam optionally plants a scam episode.
+	Scam *ScamConfig
+	// LowFeeMeanInterval is the mean spacing of deliberately sub-minimum
+	// fee transactions; zero disables them.
+	LowFeeMeanInterval time.Duration
+	// Accel optionally attaches acceleration services. Purchases happen
+	// when a congested low-fee transaction is issued, with AccelProb.
+	Accel     []*accel.Service
+	AccelProb float64
+	// RBFProb is the chance a freshly issued user transaction is later
+	// fee-bumped (replace-by-fee double-spend); zero disables RBF.
+	RBFProb float64
+	// RBFDelay is the mean delay before the bump is broadcast.
+	RBFDelay time.Duration
+}
+
+// withDefaults fills zero fields with production defaults.
+func (c Config) withDefaults() Config {
+	if c.Start.IsZero() {
+		c.Start = time.Unix(1_577_836_800, 0) // 2020-01-01T00:00:00Z
+	}
+	if c.BlockCapacity == 0 {
+		c.BlockCapacity = 100_000
+	}
+	if c.MempoolCapacity == 0 {
+		c.MempoolCapacity = 200 * c.BlockCapacity
+	}
+	if c.MeanBlockInterval == 0 {
+		c.MeanBlockInterval = miner.TargetBlockInterval
+	}
+	if c.Users == 0 {
+		c.Users = 2_000
+	}
+	if c.MinerMedianDelay == 0 {
+		c.MinerMedianDelay = 400 * time.Millisecond
+	}
+	if c.StartHeight == 0 {
+		c.StartHeight = 630_000
+	}
+	if c.FeeFactor == 0 {
+		c.FeeFactor = 1
+	}
+	if c.Arrivals == nil {
+		// Hover around 85% of capacity so the mempool oscillates between
+		// clear and congested, like Figure 3.
+		rate := 0.85 * float64(c.BlockCapacity) / c.MeanBlockInterval.Seconds() / 300.0
+		c.Arrivals = workload.ConstantRate(rate)
+		c.MaxArrivalRate = rate
+	}
+	return c
+}

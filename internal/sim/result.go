@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"time"
+
+	"chainaudit/internal/accel"
+	"chainaudit/internal/chain"
+	"chainaudit/internal/mempool"
+)
+
+// SeenInfo records an observer's first contact with a transaction.
+type SeenInfo struct {
+	// Time the observer's node admitted the transaction.
+	Time time.Time
+	// TipHeight was the chain tip when admitted; commit delay in blocks is
+	// confirmation height minus this.
+	TipHeight int64
+	// Congestion at admission, for the fee-vs-congestion analyses.
+	Congestion mempool.CongestionLevel
+	// FeeRate is the transaction's public fee-rate, recorded here so the
+	// fee/delay analyses need no chain lookup.
+	FeeRate chain.SatPerVByte
+}
+
+// ObserverData is everything one observation node recorded.
+type ObserverData struct {
+	Name string
+	// Summaries is the 15-second snapshot stream (counts and sizes only).
+	Summaries []mempool.Snapshot
+	// Fulls are the periodic complete captures of the pending set.
+	Fulls []mempool.Snapshot
+	// Seen maps every admitted transaction to its first-contact metadata.
+	Seen map[chain.TxID]SeenInfo
+	// DroppedBelowMin counts transactions the node refused for violating
+	// its fee-rate policy.
+	DroppedBelowMin int64
+}
+
+// GroundTruth records every planted deviation so audits can be validated
+// against known positives and negatives.
+type GroundTruth struct {
+	// PayoutTxs lists each pool's self-interest transactions (pool name →
+	// issued payout txids).
+	PayoutTxs map[string][]chain.TxID
+	// ScamTxs are the victim payments of the planted scam episode.
+	ScamTxs []chain.TxID
+	// ScamWallet is the attacker's address ("" when no scam was planted).
+	ScamWallet chain.Address
+	// LowFeeTxs are the sub-minimum fee-rate transactions issued.
+	LowFeeTxs []chain.TxID
+	// Accelerated maps pool name → dark-fee purchases at that pool's
+	// service.
+	Accelerated map[string][]accel.Record
+	// Replacements records fee-bump (RBF) double-spends: the original and
+	// the conflicting replacement that superseded it.
+	Replacements []Replacement
+}
+
+// Replacement is one replace-by-fee pair.
+type Replacement struct {
+	Old, New chain.TxID
+}
+
+// Result is a completed simulation run.
+type Result struct {
+	Config    Config
+	Chain     *chain.Chain
+	Observers map[string]*ObserverData
+	Truth     GroundTruth
+	// TxIssued counts all user-workload transactions broadcast.
+	TxIssued int64
+}
+
+// Observer returns the named observer's data, or nil.
+func (r *Result) Observer(name string) *ObserverData {
+	return r.Observers[name]
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram buckets observations into fixed bins. It backs the congestion
+// binning (§4.1.2: mempool size in {<1 MB, 1–2 MB, 2–4 MB, >4 MB}) and the
+// fee-band splits (Figures 5 and 12).
+type Histogram struct {
+	// Edges are the interior bin boundaries, ascending. len(Edges)+1 bins:
+	// (-inf, e0], (e0, e1], ..., (e_{k-1}, +inf).
+	Edges  []float64
+	Counts []int64
+	total  int64
+}
+
+// NewHistogram creates a histogram with the given interior edges, which must
+// be strictly ascending.
+func NewHistogram(edges ...float64) (*Histogram, error) {
+	for i := 1; i < len(edges); i++ {
+		if !(edges[i] > edges[i-1]) {
+			return nil, fmt.Errorf("stats: histogram edges not strictly ascending at %d", i)
+		}
+	}
+	return &Histogram{
+		Edges:  append([]float64(nil), edges...),
+		Counts: make([]int64, len(edges)+1),
+	}, nil
+}
+
+// BinOf returns the bin index x falls in: the number of edges < x... more
+// precisely, bin i covers (e_{i-1}, e_i], with bin 0 = (-inf, e_0].
+func (h *Histogram) BinOf(x float64) int {
+	// sort.SearchFloat64s gives the first i with Edges[i] >= x, which is
+	// exactly the half-open-below, closed-above bin convention.
+	return sort.SearchFloat64s(h.Edges, x)
+}
+
+// Observe adds one observation. NaNs are ignored.
+func (h *Histogram) Observe(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	h.Counts[h.BinOf(x)]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Fractions returns each bin's share of the total, or nil when empty.
+func (h *Histogram) Fractions() []float64 {
+	if h.total == 0 {
+		return nil
+	}
+	out := make([]float64, len(h.Counts))
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// BinLabel renders a human-readable label for bin i given a unit string.
+func (h *Histogram) BinLabel(i int, unit string) string {
+	switch {
+	case len(h.Edges) == 0:
+		return "(-inf, +inf)"
+	case i == 0:
+		return fmt.Sprintf("<= %g %s", h.Edges[0], unit)
+	case i >= len(h.Edges):
+		return fmt.Sprintf("> %g %s", h.Edges[len(h.Edges)-1], unit)
+	default:
+		return fmt.Sprintf("(%g, %g] %s", h.Edges[i-1], h.Edges[i], unit)
+	}
+}
+
+// LogBins returns n logarithmically spaced interior edges between lo and hi
+// (both > 0), handy for fee-rate histograms spanning many decades.
+func LogBins(lo, hi float64, n int) ([]float64, error) {
+	if !(lo > 0) || !(hi > lo) || n < 1 {
+		return nil, fmt.Errorf("stats: invalid log bins lo=%v hi=%v n=%d", lo, hi, n)
+	}
+	edges := make([]float64, n)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := range edges {
+		edges[i] = math.Exp(llo + (lhi-llo)*float64(i)/float64(n-1))
+	}
+	return edges, nil
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMannWhitneyKnownSmall(t *testing.T) {
+	// Classic textbook example: x = {1,2,3}, y = {4,5,6}: U1 = 0.
+	res, err := MannWhitneyU([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U1 != 0 || res.U2 != 9 {
+		t.Errorf("U = %v/%v, want 0/9", res.U1, res.U2)
+	}
+	if res.CommonLanguage != 0 {
+		t.Errorf("common language = %v", res.CommonLanguage)
+	}
+	if res.PLess > 0.05 {
+		t.Errorf("PLess = %v, want small", res.PLess)
+	}
+	if res.PGreater < 0.9 {
+		t.Errorf("PGreater = %v, want ~1", res.PGreater)
+	}
+}
+
+func TestMannWhitneyUSymmetry(t *testing.T) {
+	x := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	y := []float64{2, 7, 1, 8, 2, 8}
+	a, err := MannWhitneyU(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MannWhitneyU(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(a.U1, b.U2, 1e-9) || !approxEq(a.U2, b.U1, 1e-9) {
+		t.Errorf("U not symmetric: %v/%v vs %v/%v", a.U1, a.U2, b.U1, b.U2)
+	}
+	if !approxEq(a.PGreater, b.PLess, 1e-9) {
+		t.Errorf("p-values not mirrored: %v vs %v", a.PGreater, b.PLess)
+	}
+	if !approxEq(a.U1+a.U2, float64(len(x)*len(y)), 1e-9) {
+		t.Error("U1+U2 != n1*n2")
+	}
+}
+
+func TestMannWhitneyShiftDetected(t *testing.T) {
+	rng := NewRNG(77)
+	x := make([]float64, 400)
+	y := make([]float64, 350)
+	for i := range x {
+		x[i] = rng.NormFloat64() + 0.5 // shifted up
+	}
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	res, err := MannWhitneyU(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PGreater > 1e-6 {
+		t.Errorf("shift not detected: PGreater = %v", res.PGreater)
+	}
+	if res.CommonLanguage < 0.55 {
+		t.Errorf("common language = %v, want > 0.55", res.CommonLanguage)
+	}
+	if res.PTwoSided > 2*res.PGreater+1e-12 {
+		t.Error("two-sided p inconsistent")
+	}
+}
+
+func TestMannWhitneyNullUniform(t *testing.T) {
+	// Same distribution: p-values should be unremarkable most of the time.
+	rng := NewRNG(101)
+	rejections := 0
+	trials := 200
+	for trial := 0; trial < trials; trial++ {
+		x := make([]float64, 60)
+		y := make([]float64, 60)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		for i := range y {
+			y[i] = rng.Float64()
+		}
+		res, err := MannWhitneyU(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PTwoSided < 0.05 {
+			rejections++
+		}
+	}
+	// Expect ~5% type I error; allow generous slack.
+	if rejections > trials/5 {
+		t.Errorf("null rejected %d/%d times", rejections, trials)
+	}
+}
+
+func TestMannWhitneyTies(t *testing.T) {
+	// Heavy ties: identical samples must give U1 = U2 and p ~ 1.
+	x := []float64{1, 1, 2, 2, 3, 3}
+	y := []float64{1, 1, 2, 2, 3, 3}
+	res, err := MannWhitneyU(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(res.U1, res.U2, 1e-9) {
+		t.Errorf("tied identical samples: U = %v/%v", res.U1, res.U2)
+	}
+	if res.PTwoSided < 0.9 {
+		t.Errorf("identical samples p = %v", res.PTwoSided)
+	}
+	// All values identical: degenerate variance path.
+	res, err = MannWhitneyU([]float64{5, 5, 5}, []float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PTwoSided != 1 || res.PGreater != 0.5 {
+		t.Errorf("degenerate case: %+v", res)
+	}
+}
+
+func TestMannWhitneyErrors(t *testing.T) {
+	if _, err := MannWhitneyU(nil, []float64{1}); !errors.Is(err, ErrSampleSize) {
+		t.Errorf("empty x: %v", err)
+	}
+	if _, err := MannWhitneyU([]float64{1}, nil); !errors.Is(err, ErrSampleSize) {
+		t.Errorf("empty y: %v", err)
+	}
+}
+
+func TestMannWhitneyHandComputed(t *testing.T) {
+	// x = {1,4,6,9,12}, y = {2,3,5,7,8}: pairs with x > y are
+	// 0+2+3+5+5 = 15, so U1 = 15, U2 = 10. Normal approximation:
+	// mean = 12.5, var = 5*5*11/12, z_G = (15-0.5-12.5)/sqrt(var).
+	res, err := MannWhitneyU([]float64{1, 4, 6, 9, 12}, []float64{2, 3, 5, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U1 != 15 || res.U2 != 10 {
+		t.Fatalf("U = %v/%v, want 15/10", res.U1, res.U2)
+	}
+	wantP := NormalSF((15 - 0.5 - 12.5) / math.Sqrt(25.0*11/12))
+	if math.Abs(res.PGreater-wantP) > 1e-12 {
+		t.Errorf("PGreater = %v, want %v", res.PGreater, wantP)
+	}
+	if !approxEq(res.CommonLanguage, 0.6, 1e-12) {
+		t.Errorf("common language = %v, want 0.6", res.CommonLanguage)
+	}
+}

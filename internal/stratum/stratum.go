@@ -1,0 +1,446 @@
+// Package stratum implements a miniature Stratum-style mining protocol —
+// the pool-internal work distribution layer the paper notes sits on top of
+// GetBlockTemplate (§2.1, footnote 4: "Even within mining pools, the widely
+// used Stratum protocol internally uses the GetBlockTemplate mechanism").
+//
+// A pool-side Server pushes jobs (block templates rendered down to a work
+// header) to connected Workers; workers grind nonces and submit shares; the
+// server validates shares against a share difficulty and credits them,
+// which is how real pools estimate member hash rate. The protocol is
+// newline-delimited JSON-RPC like real Stratum v1, carried over any
+// net.Conn.
+package stratum
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"chainaudit/internal/chain"
+)
+
+// Message is one JSON-RPC frame. Requests carry Method and Params; replies
+// carry Result or Error for the same ID.
+type Message struct {
+	ID     int64           `json:"id"`
+	Method string          `json:"method,omitempty"`
+	Params json.RawMessage `json:"params,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// Protocol method names (the subset of Stratum v1 the simulation needs).
+const (
+	MethodSubscribe = "mining.subscribe"
+	MethodAuthorize = "mining.authorize"
+	MethodNotify    = "mining.notify"
+	MethodSubmit    = "mining.submit"
+)
+
+// Job is one unit of work derived from a block template.
+type Job struct {
+	ID string `json:"job_id"`
+	// Height and PrevHash anchor the work.
+	Height   int64  `json:"height"`
+	PrevHash string `json:"prev_hash"`
+	// MerkleSeed condenses the template's transactions (a stand-in for the
+	// merkle branch list real Stratum ships).
+	MerkleSeed string `json:"merkle_seed"`
+	// ShareBits is the number of leading zero bits a share hash needs.
+	ShareBits uint8 `json:"share_bits"`
+	// CleanJobs tells workers to abandon previous jobs.
+	CleanJobs bool `json:"clean_jobs"`
+}
+
+// Share is a worker's claim of work done.
+type Share struct {
+	Worker string `json:"worker"`
+	JobID  string `json:"job_id"`
+	Nonce  uint64 `json:"nonce"`
+}
+
+// shareHash is the grind function: H(jobID || merkleSeed || nonce).
+func shareHash(job *Job, nonce uint64) [32]byte {
+	h := sha256.New()
+	h.Write([]byte(job.ID))
+	h.Write([]byte(job.MerkleSeed))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], nonce)
+	h.Write(b[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// meetsTarget reports whether the hash has at least bits leading zero bits.
+func meetsTarget(h [32]byte, bits uint8) bool {
+	full := int(bits) / 8
+	for i := 0; i < full; i++ {
+		if h[i] != 0 {
+			return false
+		}
+	}
+	if rem := bits % 8; rem != 0 {
+		if h[full]>>(8-rem) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NewJob derives a job from a block template's identity.
+func NewJob(id string, height int64, prevHash [32]byte, txs []*chain.Tx, shareBits uint8, clean bool) *Job {
+	h := sha256.New()
+	for _, tx := range txs {
+		h.Write(tx.ID[:])
+	}
+	return &Job{
+		ID:         id,
+		Height:     height,
+		PrevHash:   hex.EncodeToString(prevHash[:8]),
+		MerkleSeed: hex.EncodeToString(h.Sum(nil)[:16]),
+		ShareBits:  shareBits,
+		CleanJobs:  clean,
+	}
+}
+
+// Server is the pool side: it tracks authorized workers, pushes jobs, and
+// credits valid shares.
+type Server struct {
+	mu      sync.Mutex
+	job     *Job
+	seen    map[string]bool // jobID|worker|nonce dedup
+	credits map[string]int64
+	conns   map[*serverConn]struct{}
+	closed  bool
+}
+
+// NewServer creates a server with no current job.
+func NewServer() *Server {
+	return &Server{
+		seen:    make(map[string]bool),
+		credits: make(map[string]int64),
+		conns:   make(map[*serverConn]struct{}),
+	}
+}
+
+// Shares returns the credited share count per worker.
+func (s *Server) Shares() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.credits))
+	for k, v := range s.credits {
+		out[k] = v
+	}
+	return out
+}
+
+// SetJob replaces the current job and notifies every connected worker.
+func (s *Server) SetJob(job *Job) {
+	s.mu.Lock()
+	s.job = job
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.notify(job)
+	}
+}
+
+// Errors returned by share validation.
+var (
+	ErrNoJob          = errors.New("stratum: no active job")
+	ErrStaleJob       = errors.New("stratum: stale job")
+	ErrDuplicateShare = errors.New("stratum: duplicate share")
+	ErrLowDifficulty  = errors.New("stratum: share does not meet target")
+	ErrUnauthorized   = errors.New("stratum: worker not authorized")
+)
+
+// SubmitShare validates and credits one share (exposed for direct use and
+// exercised by the wire path).
+func (s *Server) SubmitShare(sh Share) error {
+	s.mu.Lock()
+	job := s.job
+	s.mu.Unlock()
+	if job == nil {
+		return ErrNoJob
+	}
+	if sh.JobID != job.ID {
+		return ErrStaleJob
+	}
+	if !meetsTarget(shareHash(job, sh.Nonce), job.ShareBits) {
+		return ErrLowDifficulty
+	}
+	key := fmt.Sprintf("%s|%s|%d", sh.JobID, sh.Worker, sh.Nonce)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen[key] {
+		return ErrDuplicateShare
+	}
+	s.seen[key] = true
+	s.credits[sh.Worker]++
+	return nil
+}
+
+// serverConn is one worker connection.
+type serverConn struct {
+	srv    *Server
+	conn   net.Conn
+	enc    *json.Encoder
+	encMu  sync.Mutex
+	worker string
+}
+
+// Serve attaches a connection and blocks until it closes. Run it in a
+// goroutine per connection (ListenAndServe does).
+func (s *Server) Serve(conn net.Conn) error {
+	c := &serverConn{srv: s, conn: conn, enc: json.NewEncoder(conn)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return errors.New("stratum: server closed")
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := bufio.NewScanner(conn)
+	dec.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for dec.Scan() {
+		var msg Message
+		if err := json.Unmarshal(dec.Bytes(), &msg); err != nil {
+			return fmt.Errorf("stratum: bad frame: %w", err)
+		}
+		if err := c.handle(&msg); err != nil {
+			return err
+		}
+	}
+	return dec.Err()
+}
+
+func (c *serverConn) reply(id int64, result any, errStr string) {
+	raw, _ := json.Marshal(result)
+	c.send(&Message{ID: id, Result: raw, Error: errStr})
+}
+
+func (c *serverConn) send(m *Message) {
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	_ = c.enc.Encode(m)
+}
+
+func (c *serverConn) notify(job *Job) {
+	raw, _ := json.Marshal(job)
+	c.send(&Message{Method: MethodNotify, Params: raw})
+}
+
+func (c *serverConn) handle(m *Message) error {
+	switch m.Method {
+	case MethodSubscribe:
+		c.reply(m.ID, "ok", "")
+		// Push the current job immediately, as real pools do.
+		c.srv.mu.Lock()
+		job := c.srv.job
+		c.srv.mu.Unlock()
+		if job != nil {
+			c.notify(job)
+		}
+	case MethodAuthorize:
+		var params struct {
+			Worker string `json:"worker"`
+		}
+		if err := json.Unmarshal(m.Params, &params); err != nil || params.Worker == "" {
+			c.reply(m.ID, nil, "bad authorize params")
+			return nil
+		}
+		c.worker = params.Worker
+		c.reply(m.ID, "ok", "")
+	case MethodSubmit:
+		if c.worker == "" {
+			c.reply(m.ID, nil, ErrUnauthorized.Error())
+			return nil
+		}
+		var sh Share
+		if err := json.Unmarshal(m.Params, &sh); err != nil {
+			c.reply(m.ID, nil, "bad submit params")
+			return nil
+		}
+		sh.Worker = c.worker
+		if err := c.srv.SubmitShare(sh); err != nil {
+			c.reply(m.ID, nil, err.Error())
+			return nil
+		}
+		c.reply(m.ID, "accepted", "")
+	default:
+		c.reply(m.ID, nil, "unknown method "+m.Method)
+	}
+	return nil
+}
+
+// ListenAndServe accepts connections until the listener fails.
+func (s *Server) ListenAndServe(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() { _ = s.Serve(conn) }()
+	}
+}
+
+// Close shuts the server down.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+}
+
+// Worker is the miner side: it subscribes, receives jobs, grinds nonces,
+// and submits shares.
+type Worker struct {
+	Name string
+
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *json.Encoder
+	job     *Job
+	nextID  int64
+	results map[int64]chan *Message
+	jobCh   chan *Job
+}
+
+// NewWorker creates a named worker.
+func NewWorker(name string) *Worker {
+	return &Worker{Name: name, results: make(map[int64]chan *Message), jobCh: make(chan *Job, 16)}
+}
+
+// Connect attaches the worker to a pool connection, performing subscribe
+// and authorize. The read loop runs until the connection drops.
+func (w *Worker) Connect(conn net.Conn) error {
+	w.mu.Lock()
+	w.conn = conn
+	w.enc = json.NewEncoder(conn)
+	w.mu.Unlock()
+	go w.readLoop()
+	if _, err := w.call(MethodSubscribe, struct{}{}); err != nil {
+		return err
+	}
+	_, err := w.call(MethodAuthorize, map[string]string{"worker": w.Name})
+	return err
+}
+
+func (w *Worker) readLoop() {
+	sc := bufio.NewScanner(w.conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var msg Message
+		if json.Unmarshal(sc.Bytes(), &msg) != nil {
+			return
+		}
+		if msg.Method == MethodNotify {
+			var job Job
+			if json.Unmarshal(msg.Params, &job) == nil {
+				w.mu.Lock()
+				w.job = &job
+				w.mu.Unlock()
+				select {
+				case w.jobCh <- &job:
+				default:
+				}
+			}
+			continue
+		}
+		w.mu.Lock()
+		ch := w.results[msg.ID]
+		delete(w.results, msg.ID)
+		w.mu.Unlock()
+		if ch != nil {
+			ch <- &msg
+		}
+	}
+}
+
+// call performs one request/response round trip.
+func (w *Worker) call(method string, params any) (*Message, error) {
+	raw, err := json.Marshal(params)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	w.nextID++
+	id := w.nextID
+	ch := make(chan *Message, 1)
+	w.results[id] = ch
+	enc := w.enc
+	w.mu.Unlock()
+	if enc == nil {
+		return nil, errors.New("stratum: worker not connected")
+	}
+	if err := enc.Encode(&Message{ID: id, Method: method, Params: raw}); err != nil {
+		return nil, err
+	}
+	msg := <-ch
+	if msg.Error != "" {
+		return msg, errors.New(msg.Error)
+	}
+	return msg, nil
+}
+
+// Jobs exposes the stream of notify pushes.
+func (w *Worker) Jobs() <-chan *Job { return w.jobCh }
+
+// CurrentJob returns the latest job, or nil.
+func (w *Worker) CurrentJob() *Job {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.job
+}
+
+// Mine grinds up to maxNonces nonces on the current job and submits every
+// share that meets the target, returning how many the pool accepted.
+func (w *Worker) Mine(maxNonces uint64) (accepted int, err error) {
+	job := w.CurrentJob()
+	if job == nil {
+		return 0, ErrNoJob
+	}
+	for nonce := uint64(0); nonce < maxNonces; nonce++ {
+		if !meetsTarget(shareHash(job, nonce), job.ShareBits) {
+			continue
+		}
+		if _, err := w.call(MethodSubmit, Share{JobID: job.ID, Nonce: nonce}); err != nil {
+			// Stale/duplicate shares are routine; keep grinding.
+			continue
+		}
+		accepted++
+	}
+	return accepted, nil
+}
+
+// Close drops the connection.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.conn != nil {
+		w.conn.Close()
+	}
+}

@@ -1,0 +1,228 @@
+package stratum
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"chainaudit/internal/chain"
+)
+
+func testJob(id string, bits uint8) *Job {
+	tx := &chain.Tx{VSize: 100, Fee: 10, Outputs: []chain.TxOut{{Address: "x", Value: 1}}}
+	tx.Inputs = []chain.TxIn{{Address: "a", Value: 11}}
+	tx.ComputeID()
+	return NewJob(id, 650_000, [32]byte{1, 2, 3}, []*chain.Tx{tx}, bits, true)
+}
+
+func TestShareHashTarget(t *testing.T) {
+	job := testJob("j1", 8)
+	// Find a nonce meeting 8 bits; expected ~256 tries.
+	found := uint64(0)
+	ok := false
+	for n := uint64(0); n < 100_000; n++ {
+		if meetsTarget(shareHash(job, n), job.ShareBits) {
+			found, ok = n, true
+			break
+		}
+	}
+	if !ok {
+		t.Fatal("no share found in 100k nonces at 8 bits")
+	}
+	// Determinism.
+	if !meetsTarget(shareHash(job, found), 8) {
+		t.Fatal("hash not deterministic")
+	}
+	// Stricter target rejects most shares that pass a loose one.
+	if meetsTarget(shareHash(job, found), 32) {
+		t.Log("exceptional: share also meets 32 bits (possible but ~1e-7)")
+	}
+	// 0 bits accepts everything.
+	if !meetsTarget(shareHash(job, 12345), 0) {
+		t.Error("0-bit target rejected a share")
+	}
+	// Non-byte-aligned targets: 0b00001000 has exactly 4 leading zeros.
+	if !meetsTarget([32]byte{0b00001000}, 4) {
+		t.Error("4-bit target on 0b00001xxx should pass")
+	}
+	if meetsTarget([32]byte{0b00001000}, 5) {
+		t.Error("5-bit target on 0b00001xxx should fail")
+	}
+	// Byte-aligned boundary: one zero byte meets 8 bits, not 9.
+	if !meetsTarget([32]byte{0, 0x80}, 8) || meetsTarget([32]byte{0, 0x80}, 9) {
+		t.Error("byte boundary handling")
+	}
+}
+
+func TestSubmitShareValidation(t *testing.T) {
+	s := NewServer()
+	if err := s.SubmitShare(Share{Worker: "w", JobID: "j1", Nonce: 1}); !errors.Is(err, ErrNoJob) {
+		t.Errorf("no job: %v", err)
+	}
+	job := testJob("j1", 4)
+	s.SetJob(job)
+
+	// Find a valid nonce.
+	var nonce uint64
+	for ; ; nonce++ {
+		if meetsTarget(shareHash(job, nonce), 4) {
+			break
+		}
+	}
+	if err := s.SubmitShare(Share{Worker: "w", JobID: "j1", Nonce: nonce}); err != nil {
+		t.Fatalf("valid share rejected: %v", err)
+	}
+	if err := s.SubmitShare(Share{Worker: "w", JobID: "j1", Nonce: nonce}); !errors.Is(err, ErrDuplicateShare) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if err := s.SubmitShare(Share{Worker: "w", JobID: "old", Nonce: nonce}); !errors.Is(err, ErrStaleJob) {
+		t.Errorf("stale: %v", err)
+	}
+	// A nonce that fails the target.
+	var bad uint64
+	for ; ; bad++ {
+		if !meetsTarget(shareHash(job, bad), 4) {
+			break
+		}
+	}
+	if err := s.SubmitShare(Share{Worker: "w", JobID: "j1", Nonce: bad}); !errors.Is(err, ErrLowDifficulty) {
+		t.Errorf("low difficulty: %v", err)
+	}
+	if got := s.Shares()["w"]; got != 1 {
+		t.Errorf("credits = %d", got)
+	}
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	srv := NewServer()
+	defer srv.Close()
+	go srv.ListenAndServe(l)
+	srv.SetJob(testJob("job-1", 6))
+
+	w := NewWorker("rig-7")
+	defer w.Close()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Connect(conn); err != nil {
+		t.Fatal(err)
+	}
+	// The subscribe push delivers the current job.
+	select {
+	case job := <-w.Jobs():
+		if job.ID != "job-1" || job.Height != 650_000 {
+			t.Fatalf("job = %+v", job)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no job pushed after subscribe")
+	}
+
+	accepted, err := w.Mine(2000) // expect ~31 shares at 6 bits
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted < 5 {
+		t.Fatalf("accepted = %d, want a healthy handful", accepted)
+	}
+	if got := srv.Shares()["rig-7"]; got != int64(accepted) {
+		t.Errorf("server credits %d != worker accepted %d", got, accepted)
+	}
+}
+
+func TestJobRotationNotifiesWorkers(t *testing.T) {
+	server, client := net.Pipe()
+	srv := NewServer()
+	defer srv.Close()
+	go srv.Serve(server)
+
+	w := NewWorker("rig-1")
+	defer w.Close()
+	if err := w.Connect(client); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetJob(testJob("epoch-1", 4))
+	waitJob := func(want string) {
+		t.Helper()
+		deadline := time.After(3 * time.Second)
+		for {
+			select {
+			case job := <-w.Jobs():
+				if job.ID == want {
+					return
+				}
+			case <-deadline:
+				t.Fatalf("job %s never arrived", want)
+			}
+		}
+	}
+	waitJob("epoch-1")
+	srv.SetJob(testJob("epoch-2", 4))
+	waitJob("epoch-2")
+	if w.CurrentJob().ID != "epoch-2" {
+		t.Error("current job not rotated")
+	}
+	// Shares against the old job are stale at the server.
+	if err := srv.SubmitShare(Share{Worker: "rig-1", JobID: "epoch-1", Nonce: 0}); !errors.Is(err, ErrStaleJob) {
+		t.Errorf("stale rotation: %v", err)
+	}
+}
+
+func TestUnauthorizedSubmitRejected(t *testing.T) {
+	server, client := net.Pipe()
+	srv := NewServer()
+	defer srv.Close()
+	go srv.Serve(server)
+	srv.SetJob(testJob("j", 0))
+
+	w := NewWorker("")
+	defer w.Close()
+	w.mu.Lock()
+	w.conn = client
+	w.enc = jsonEncoder(client)
+	w.mu.Unlock()
+	go w.readLoop()
+	// Subscribe but never authorize.
+	if _, err := w.call(MethodSubscribe, struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.call(MethodSubmit, Share{JobID: "j", Nonce: 1}); err == nil {
+		t.Error("unauthorized submit accepted")
+	}
+}
+
+func TestServerRejectsGarbage(t *testing.T) {
+	server, client := net.Pipe()
+	srv := NewServer()
+	defer srv.Close()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(server) }()
+	client.Write([]byte("this is not json\n"))
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("garbage accepted")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("server did not drop garbage peer")
+	}
+	client.Close()
+}
+
+func TestWorkerMineWithoutJob(t *testing.T) {
+	w := NewWorker("idle")
+	if _, err := w.Mine(10); !errors.Is(err, ErrNoJob) {
+		t.Errorf("mine without job: %v", err)
+	}
+}
+
+// jsonEncoder is a tiny test helper so the unauthorized-submit test can
+// hand-roll a partially connected worker.
+func jsonEncoder(conn net.Conn) *json.Encoder { return json.NewEncoder(conn) }

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"sort"
+	"time"
+
+	"chainaudit/internal/stats"
+)
+
+// RateSchedule gives the instantaneous transaction arrival rate (tx/s) as a
+// function of time, driving the non-homogeneous Poisson arrival process.
+type RateSchedule interface {
+	RateAt(t time.Time) float64
+}
+
+// ConstantRate is a flat schedule.
+type ConstantRate float64
+
+// RateAt implements RateSchedule.
+func (r ConstantRate) RateAt(time.Time) float64 { return float64(r) }
+
+// Phase is one segment of a piecewise-constant schedule.
+type Phase struct {
+	Start time.Time
+	Rate  float64
+}
+
+// PiecewiseRate is a piecewise-constant schedule. Phases must be sorted by
+// start time; times before the first phase use the first phase's rate.
+type PiecewiseRate []Phase
+
+// RateAt implements RateSchedule.
+func (p PiecewiseRate) RateAt(t time.Time) float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	// Find the last phase starting at or before t.
+	i := sort.Search(len(p), func(i int) bool { return p[i].Start.After(t) })
+	if i == 0 {
+		return p[0].Rate
+	}
+	return p[i-1].Rate
+}
+
+// CongestionWaves builds a randomized piecewise schedule alternating calm
+// periods (arrivals below block capacity) and bursts (above capacity),
+// reproducing the mempool backlogs of Figure 3: congestion most of the
+// time, with occasional spikes of many block-sizes of pending work.
+//
+// baseRate is the calm arrival rate and burstRate the congested one, both
+// in tx/s; the wave lengths are exponential with the given means.
+func CongestionWaves(rng *stats.RNG, start time.Time, span time.Duration,
+	baseRate, burstRate float64, calmMean, burstMean time.Duration) PiecewiseRate {
+
+	var phases PiecewiseRate
+	t := start
+	end := start.Add(span)
+	calm := true
+	for t.Before(end) {
+		var rate float64
+		var mean time.Duration
+		if calm {
+			rate = baseRate * (0.8 + 0.4*rng.Float64())
+			mean = calmMean
+		} else {
+			rate = burstRate * (0.8 + 0.5*rng.Float64())
+			mean = burstMean
+		}
+		phases = append(phases, Phase{Start: t, Rate: rate})
+		t = t.Add(time.Duration(float64(mean) * rng.ExpFloat64()))
+		calm = !calm
+	}
+	return phases
+}
+
+// NextArrival samples the next event time of a non-homogeneous Poisson
+// process with the given schedule, using thinning against maxRate (an upper
+// bound on the schedule's rate; values below the true maximum bias the
+// process, so pass a safe bound).
+func NextArrival(rng *stats.RNG, sched RateSchedule, now time.Time, maxRate float64) time.Time {
+	if maxRate <= 0 {
+		return now.Add(time.Hour * 24 * 365)
+	}
+	t := now
+	for i := 0; i < 1_000_000; i++ {
+		t = t.Add(time.Duration(rng.ExpFloat64() / maxRate * float64(time.Second)))
+		if rng.Float64() <= sched.RateAt(t)/maxRate {
+			return t
+		}
+	}
+	return t
+}
+
+// MaxRate returns an upper bound of a piecewise schedule's rate.
+func (p PiecewiseRate) MaxRate() float64 {
+	m := 0.0
+	for _, ph := range p {
+		if ph.Rate > m {
+			m = ph.Rate
+		}
+	}
+	return m
+}
