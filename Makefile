@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: check build vet test race bench bench-key reproduce clean
+
+# check is the tier-1 gate: vet, build, and the full test suite under the
+# race detector.
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs every experiment benchmark; bench-key just the two the
+# shared-index refactor is measured by (see EXPERIMENTS.md).
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+bench-key:
+	$(GO) test -bench='BenchmarkFig07PPE|BenchmarkTable2SelfInterest' -benchtime=3x -run=^$$ .
+
+reproduce:
+	$(GO) run ./cmd/reproduce
+
+clean:
+	$(GO) clean ./...

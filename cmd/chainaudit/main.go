@@ -66,7 +66,7 @@ func run(args []string, out io.Writer) error {
 		rep := aud.PPEReport(5)
 		fmt.Fprintf(out, "PPE overall: %s\n", rep.Overall)
 		t := report.NewTable("PPE by pool", report.SummaryColumns("pool")...)
-		for _, pool := range report.SortedKeys(rep.PerPool) {
+		for _, pool := range rep.SortedPools() {
 			report.SummaryRow(t, pool, rep.PerPool[pool])
 		}
 		if err := t.Render(out); err != nil {
@@ -93,7 +93,7 @@ func run(args []string, out io.Writer) error {
 		if *windows > 1 && len(findings) > 0 {
 			w := report.NewTable(fmt.Sprintf("Fisher-combined over %d windows", *windows),
 				"owner", "pool", "p_accel_combined", "p_decel_combined")
-			sets := core.SelfInterestSets(c, aud.Registry)
+			sets := aud.Index().SelfInterestSets()
 			for _, fdg := range findings {
 				res, err := core.WindowedDifferentialTest(c, aud.Registry, fdg.Result.Pool, sets[fdg.Owner], *windows)
 				if err != nil {
@@ -144,7 +144,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out)
 	}
 	if *darkPool != "" {
-		cands := core.DetectAccelerated(c, poolid.DefaultRegistry(), *darkPool, *sppeThr)
+		cands := core.DetectAcceleratedOnIndex(aud.Index(), *darkPool, *sppeThr)
 		t := report.NewTable(fmt.Sprintf("SPPE >= %g%% candidates in %s blocks", *sppeThr, *darkPool),
 			"txid", "height", "sppe")
 		for _, cand := range cands {

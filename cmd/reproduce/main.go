@@ -3,22 +3,31 @@
 //
 // Usage:
 //
-//	reproduce [-seed N] [-scale X] [-csv] [-exp list]
+//	reproduce [-seed N] [-scale X] [-csv] [-exp list] [-parallel]
+//	          [-cpuprofile f] [-memprofile f]
 //
 // -exp selects experiments by id (comma separated): fig1..fig14, table1..
 // table5, norm3, ablations, or "all" (default). -scale grows the simulated
-// spans (1 = bench scale: A 12 h, B 16 h, C 48 h).
+// spans (1 = bench scale: A 12 h, B 16 h, C 48 h). With -parallel (the
+// default) the selected experiments fan out over the pipeline executor and
+// their outputs are emitted in deterministic order; -parallel=false forces
+// the serial reference path. -cpuprofile/-memprofile write pprof profiles
+// covering the whole run, for measuring pipeline speedups.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"chainaudit/internal/experiments"
+	"chainaudit/internal/pipeline"
 )
 
 type renderable interface {
@@ -39,6 +48,9 @@ func run(args []string, out io.Writer) error {
 	scale := fs.Float64("scale", 1, "data set duration scale")
 	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	expFlag := fs.String("exp", "all", "comma-separated experiment ids (fig1..fig14, table1..table5, norm3, extensions, ablations, all)")
+	par := fs.Bool("parallel", true, "run selected experiments on the parallel pipeline executor")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +72,32 @@ func run(args []string, out io.Writer) error {
 	}
 	selected := func(id string) bool { return want["all"] || want[id] }
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "reproduce: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "reproduce: memprofile:", err)
+			}
+		}()
+	}
+
 	start := time.Now()
 	fmt.Fprintf(out, "building data sets (seed=%d scale=%g)...\n", *seed, *scale)
 	suite, err := experiments.NewSuite(*seed, *scale)
@@ -68,165 +106,185 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "data sets ready in %v\n\n", time.Since(start).Round(time.Second))
 
-	emit := func(r renderable) error {
+	emit := func(w io.Writer, r renderable) error {
 		var err error
 		if *asCSV {
-			err = r.RenderCSV(out)
+			err = r.RenderCSV(w)
 		} else {
-			err = r.Render(out)
+			err = r.Render(w)
 		}
 		if err == nil {
-			_, err = fmt.Fprintln(out)
+			_, err = fmt.Fprintln(w)
 		}
 		return err
 	}
 
 	type step struct {
 		id  string
-		run func() error
+		run func(w io.Writer) error
 	}
 	steps := []step{
-		{"fig1", func() error {
+		{"fig1", func(w io.Writer) error {
 			f, err := suite.Fig01NormShift()
 			if err != nil {
 				return err
 			}
-			return emit(f)
+			return emit(w, f)
 		}},
-		{"table1", func() error { return emit(suite.Table1()) }},
-		{"fig2", func() error { return emit(suite.Fig02PoolShares()) }},
-		{"fig3", func() error {
+		{"table1", func(w io.Writer) error { return emit(w, suite.Table1()) }},
+		{"fig2", func(w io.Writer) error { return emit(w, suite.Fig02PoolShares()) }},
+		{"fig3", func(w io.Writer) error {
 			fb, fc, cum := suite.Fig03Congestion()
-			if err := emit(cum); err != nil {
+			if err := emit(w, cum); err != nil {
 				return err
 			}
-			if err := emit(fb); err != nil {
+			if err := emit(w, fb); err != nil {
 				return err
 			}
-			return emit(fc)
+			return emit(w, fc)
 		}},
-		{"fig4", func() error {
+		{"fig4", func(w io.Writer) error {
 			fa, fb, fc := suite.Fig04DelaysFees()
 			for _, f := range []renderable{fa, fb, fc} {
-				if err := emit(f); err != nil {
+				if err := emit(w, f); err != nil {
 					return err
 				}
 			}
 			return nil
 		}},
-		{"fig5", func() error { return emit(suite.Fig05FeeDelay()) }},
-		{"fig6", func() error {
+		{"fig5", func(w io.Writer) error { return emit(w, suite.Fig05FeeDelay()) }},
+		{"fig6", func(w io.Writer) error {
 			all, non := suite.Fig06ViolationPairs(30)
-			if err := emit(all); err != nil {
+			if err := emit(w, all); err != nil {
 				return err
 			}
-			return emit(non)
+			return emit(w, non)
 		}},
-		{"fig7", func() error {
+		{"fig7", func(w io.Writer) error {
 			f, overall := suite.Fig07PPE()
-			fmt.Fprintf(out, "PPE overall: %s\n", overall)
-			return emit(f)
+			fmt.Fprintf(w, "PPE overall: %s\n", overall)
+			return emit(w, f)
 		}},
-		{"fig8", func() error { return emit(suite.Fig08PoolWallets()) }},
-		{"table2", func() error {
+		{"fig8", func(w io.Writer) error { return emit(w, suite.Fig08PoolWallets()) }},
+		{"table2", func(w io.Writer) error {
 			t, _, err := suite.Table2SelfInterest()
 			if err != nil {
 				return err
 			}
-			return emit(t)
+			return emit(w, t)
 		}},
-		{"table3", func() error {
+		{"table3", func(w io.Writer) error {
 			t, _, err := suite.Table3Scam()
 			if err != nil {
 				return err
 			}
-			return emit(t)
+			return emit(w, t)
 		}},
-		{"table4", func() error {
+		{"table4", func(w io.Writer) error {
 			t, _ := suite.Table4DarkFee()
-			return emit(t)
+			return emit(w, t)
 		}},
-		{"table5", func() error {
+		{"table5", func(w io.Writer) error {
 			t, _, err := suite.Table5FeeRevenue()
 			if err != nil {
 				return err
 			}
-			return emit(t)
+			return emit(w, t)
 		}},
-		{"norm3", func() error { return emit(suite.NormIIICensus()) }},
-		{"fig9", func() error { return emit(suite.Fig09MempoolB()) }},
-		{"fig10", func() error { return emit(suite.Fig10FeeratesByPool()) }},
-		{"fig11", func() error { return emit(suite.Fig11CongestionFeesB()) }},
-		{"fig12", func() error { return emit(suite.Fig12FeeDelayB()) }},
-		{"fig13", func() error { return emit(suite.Fig13ScamWindowShares()) }},
-		{"fig14", func() error {
+		{"norm3", func(w io.Writer) error { return emit(w, suite.NormIIICensus()) }},
+		{"fig9", func(w io.Writer) error { return emit(w, suite.Fig09MempoolB()) }},
+		{"fig10", func(w io.Writer) error { return emit(w, suite.Fig10FeeratesByPool()) }},
+		{"fig11", func(w io.Writer) error { return emit(w, suite.Fig11CongestionFeesB()) }},
+		{"fig12", func(w io.Writer) error { return emit(w, suite.Fig12FeeDelayB()) }},
+		{"fig13", func(w io.Writer) error { return emit(w, suite.Fig13ScamWindowShares()) }},
+		{"fig14", func(w io.Writer) error {
 			f, ratios := suite.Fig14AccelFees()
-			fmt.Fprintf(out, "acceleration-fee multiple of public fee: %s\n", ratios)
-			return emit(f)
+			fmt.Fprintf(w, "acceleration-fee multiple of public fee: %s\n", ratios)
+			return emit(w, f)
 		}},
-		{"extensions", func() error {
+		{"extensions", func(w io.Writer) error {
 			bias, err := suite.ExtFeeEstimatorBias()
 			if err != nil {
 				return err
 			}
-			if err := emit(bias); err != nil {
+			if err := emit(w, bias); err != nil {
 				return err
 			}
 			cens, err := suite.ExtCensorshipPower()
 			if err != nil {
 				return err
 			}
-			if err := emit(cens); err != nil {
+			if err := emit(w, cens); err != nil {
 				return err
 			}
 			sig, err := suite.ExtDelaySignificance()
 			if err != nil {
 				return err
 			}
-			if err := emit(sig); err != nil {
+			if err := emit(w, sig); err != nil {
 				return err
 			}
 			cmp, err := suite.ExtNormComparison()
 			if err != nil {
 				return err
 			}
-			if err := emit(cmp); err != nil {
+			if err := emit(w, cmp); err != nil {
 				return err
 			}
 			rbf, err := suite.ExtConflictOutcomes()
 			if err != nil {
 				return err
 			}
-			return emit(rbf)
+			return emit(w, rbf)
 		}},
-		{"ablations", func() error {
+		{"ablations", func(w io.Writer) error {
 			gap, err := suite.AblationPolicyGap()
 			if err != nil {
 				return err
 			}
-			if err := emit(gap); err != nil {
+			if err := emit(w, gap); err != nil {
 				return err
 			}
-			if err := emit(suite.AblationBinomApprox()); err != nil {
+			if err := emit(w, suite.AblationBinomApprox()); err != nil {
 				return err
 			}
-			return emit(suite.AblationSnapshotSampling())
+			return emit(w, suite.AblationSnapshotSampling())
 		}},
 	}
-	ran := 0
+	var picked []step
 	for _, s := range steps {
-		if !selected(s.id) {
-			continue
+		if selected(s.id) {
+			picked = append(picked, s)
 		}
-		fmt.Fprintf(out, "### %s\n", s.id)
-		if err := s.run(); err != nil {
-			return fmt.Errorf("%s: %w", s.id, err)
-		}
-		ran++
 	}
-	if ran == 0 {
+	if len(picked) == 0 {
 		return fmt.Errorf("no experiment matched %q", *expFlag)
 	}
-	fmt.Fprintf(out, "done: %d experiments in %v\n", ran, time.Since(start).Round(time.Second))
+	if *par {
+		// Fan the selected experiments out over the executor; each renders
+		// into its own buffer and the buffers are emitted in selection
+		// order, so the output is byte-identical to the serial path.
+		bufs := make([]bytes.Buffer, len(picked))
+		results := pipeline.MapErr(pipeline.Default(), len(picked), func(i int) (struct{}, error) {
+			return struct{}{}, picked[i].run(&bufs[i])
+		})
+		for i, r := range results {
+			if r.Err != nil {
+				return fmt.Errorf("%s: %w", picked[i].id, r.Err)
+			}
+			fmt.Fprintf(out, "### %s\n", picked[i].id)
+			if _, err := bufs[i].WriteTo(out); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, s := range picked {
+			fmt.Fprintf(out, "### %s\n", s.id)
+			if err := s.run(out); err != nil {
+				return fmt.Errorf("%s: %w", s.id, err)
+			}
+		}
+	}
+	fmt.Fprintf(out, "done: %d experiments in %v\n", len(picked), time.Since(start).Round(time.Second))
 	return nil
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -52,5 +54,60 @@ func TestRunCSVMode(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "dataset,from,to") {
 		t.Errorf("CSV header missing:\n%s", out.String())
+	}
+}
+
+// stripTimings drops the wall-clock lines, the only legitimately
+// non-deterministic output.
+func stripTimings(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "data sets ready in") || strings.HasPrefix(line, "done:") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+func TestParallelMatchesSerialOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds data sets")
+	}
+	// A multi-experiment selection exercises the executor's merge order.
+	sel := "table1,fig2,fig7,table4,norm3"
+	var par, ser bytes.Buffer
+	if err := run([]string{"-scale", "0.1", "-seed", "5", "-exp", sel, "-parallel=true"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scale", "0.1", "-seed", "5", "-exp", sel, "-parallel=false"}, &ser); err != nil {
+		t.Fatal(err)
+	}
+	if stripTimings(par.String()) != stripTimings(ser.String()) {
+		t.Errorf("parallel and serial outputs diverge:\n--- parallel ---\n%s\n--- serial ---\n%s",
+			par.String(), ser.String())
+	}
+}
+
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds data sets")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.1", "-seed", "5", "-exp", "table1",
+		"-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }

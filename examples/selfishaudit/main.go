@@ -14,6 +14,7 @@ import (
 
 	"chainaudit/internal/core"
 	"chainaudit/internal/dataset"
+	"chainaudit/internal/index"
 	"chainaudit/internal/stats"
 )
 
@@ -27,19 +28,21 @@ func main() {
 	}
 	c := ds.Result.Chain
 	reg := ds.Registry
+	ix := index.Build(c, reg)
 
 	// Step 1: find the pool's wallets from its coinbase outputs, then every
 	// confirmed transaction touching them — exactly the paper's §5.2
-	// methodology, using only public chain data.
-	sets := core.SelfInterestSets(c, reg)
+	// methodology, using only public chain data. The index caches the
+	// wallet derivation alongside the pool attribution.
+	sets := ix.SelfInterestSets()
 	set := sets[*pool]
 	fmt.Printf("%s: %d self-interest transactions inferred from reward wallets\n", *pool, len(set))
 	if len(set) == 0 {
 		log.Fatalf("no self-interest transactions found for %q", *pool)
 	}
 
-	// Step 2: the one-sided binomial tests.
-	res, err := core.DifferentialTestEstimated(c, reg, *pool, set)
+	// Step 2: the one-sided binomial tests, over the prebuilt index.
+	res, err := core.DifferentialTestEstimatedOnIndex(ix, *pool, set)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,22 +2,47 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"chainaudit/internal/chain"
+	"chainaudit/internal/index"
+	"chainaudit/internal/pipeline"
 	"chainaudit/internal/poolid"
 	"chainaudit/internal/stats"
 )
 
 // Auditor bundles the chain and pool attribution for running the paper's
-// full audit pipeline with one call site.
+// full audit pipeline with one call site. All audits consume one shared
+// index.BlockIndex, built lazily on first use (or supplied prebuilt via
+// NewIndexedAuditor), so the chain is attributed and position-analyzed
+// exactly once no matter how many audits run.
 type Auditor struct {
 	Chain    *chain.Chain
 	Registry *poolid.Registry
+
+	idx     *index.BlockIndex
+	idxOnce sync.Once
 }
 
 // NewAuditor creates an auditor with the default pool registry.
 func NewAuditor(c *chain.Chain) *Auditor {
 	return &Auditor{Chain: c, Registry: poolid.DefaultRegistry()}
+}
+
+// NewIndexedAuditor creates an auditor over a prebuilt shared index,
+// avoiding a rebuild when the caller already has one.
+func NewIndexedAuditor(ix *index.BlockIndex) *Auditor {
+	return &Auditor{Chain: ix.Chain(), Registry: ix.Registry(), idx: ix}
+}
+
+// Index returns the auditor's shared block index, building it on first use.
+func (a *Auditor) Index() *index.BlockIndex {
+	a.idxOnce.Do(func() {
+		if a.idx == nil {
+			a.idx = index.Build(a.Chain, a.Registry)
+		}
+	})
+	return a.idx
 }
 
 // PPEReport summarizes norm II adherence across the chain.
@@ -29,20 +54,31 @@ type PPEReport struct {
 	PerPool map[string]stats.Summary
 }
 
+// SortedPools returns the PerPool keys in sorted order, so report rendering
+// is deterministic across runs (map iteration order must never leak into
+// output).
+func (r PPEReport) SortedPools() []string {
+	pools := make([]string, 0, len(r.PerPool))
+	for pool := range r.PerPool {
+		pools = append(pools, pool)
+	}
+	sort.Strings(pools)
+	return pools
+}
+
 // PPEReport computes Figure 7's statistics: the distribution of per-block
 // position prediction error, overall and per pool (pools with fewer than
-// minBlocks auditable blocks are omitted from the per-pool map).
+// minBlocks auditable blocks are omitted from the per-pool map). The
+// per-block values come precomputed from the shared index.
 func (a *Auditor) PPEReport(minBlocks int) PPEReport {
 	var all []float64
 	perPool := make(map[string][]float64)
-	for _, b := range a.Chain.Blocks() {
-		v, ok := PPE(b)
-		if !ok {
+	for _, rec := range a.Index().Records() {
+		if !rec.PPEValid {
 			continue
 		}
-		all = append(all, v)
-		pool := a.Registry.AttributeBlock(b)
-		perPool[pool] = append(perPool[pool], v)
+		all = append(all, rec.PPE)
+		perPool[rec.Pool] = append(perPool[rec.Pool], rec.PPE)
 	}
 	rep := PPEReport{Overall: stats.Summarize(all), PerPool: make(map[string]stats.Summary)}
 	for pool, vals := range perPool {
@@ -53,11 +89,10 @@ func (a *Auditor) PPEReport(minBlocks int) PPEReport {
 	return rep
 }
 
-// SelfInterestAudit runs the Table 2 pipeline: derive each pool's
-// self-interest transaction set from its reward wallets, then test every
-// (testing pool, transaction owner) combination among pools with at least
-// minShare of blocks. Rows with significant acceleration or deceleration
-// at the strong threshold are returned, ordered by acceleration p-value.
+// SelfInterestFinding is one row of the Table 2 pipeline: derive each
+// pool's self-interest transaction set from its reward wallets, then test
+// every (testing pool, transaction owner) combination among pools with at
+// least minShare of blocks.
 type SelfInterestFinding struct {
 	// Owner is the pool whose transactions are being prioritized; Result
 	// names the pool doing the prioritizing (Result.Pool == Owner means
@@ -70,42 +105,74 @@ type SelfInterestFinding struct {
 	QAccel float64
 }
 
-// SelfInterestAudit audits differential prioritization of pools' own
-// transactions. All tested combinations are returned in `all`; the rows
-// rejecting the null at p < 0.001 (either tail) in `findings`.
-func (a *Auditor) SelfInterestAudit(minShare float64) (findings []SelfInterestFinding, all []SelfInterestFinding, err error) {
-	sets := SelfInterestSets(a.Chain, a.Registry)
-	testPools := TopPoolsByShare(a.Chain, a.Registry, minShare)
+// SelfInterestGrid tests every (owner, testing pool) combination of the
+// given transaction sets against the index's pools with at least minShare
+// of blocks, fanning the differential tests out over the worker pool.
+// Owners are iterated in sorted order and results merged back in grid
+// order, so the output is bit-identical to the serial loop. Rows come back
+// with the Benjamini–Hochberg adjusted acceleration p-value filled in.
+//
+// Benign no-signal rows (no c-blocks, pool absent, degenerate θ0) are
+// skipped; any other test error aborts the grid and is returned — the first
+// such error in grid order.
+func SelfInterestGrid(ix *index.BlockIndex, sets map[string]map[chain.TxID]bool, minShare float64) ([]SelfInterestFinding, error) {
+	testPools := ix.TopPoolsByShare(minShare)
 	owners := make([]string, 0, len(sets))
 	for owner := range sets {
 		owners = append(owners, owner)
 	}
 	sort.Strings(owners)
+	type combo struct{ owner, tester string }
+	var combos []combo
 	for _, owner := range owners {
-		set := sets[owner]
-		if len(set) == 0 {
+		if len(sets[owner]) == 0 {
 			continue
 		}
 		for _, tester := range testPools {
-			res, terr := DifferentialTestEstimated(a.Chain, a.Registry, tester, set)
-			if terr != nil {
-				continue
-			}
-			all = append(all, SelfInterestFinding{Owner: owner, Result: res})
+			combos = append(combos, combo{owner: owner, tester: tester})
 		}
 	}
-	// Multiple-testing correction across the whole family before selecting
-	// findings.
+	results := pipeline.MapErr(pipeline.Default(), len(combos), func(i int) (DifferentialResult, error) {
+		return DifferentialTestEstimatedOnIndex(ix, combos[i].tester, sets[combos[i].owner])
+	})
+	var all []SelfInterestFinding
+	for i, r := range results {
+		if r.Err != nil {
+			if BenignTestError(r.Err) {
+				continue
+			}
+			return nil, r.Err
+		}
+		all = append(all, SelfInterestFinding{Owner: combos[i].owner, Result: r.Value})
+	}
+	// Multiple-testing correction across the whole family before any
+	// significance selection.
 	if len(all) > 0 {
 		ps := make([]float64, len(all))
 		for i, f := range all {
 			ps[i] = f.Result.AccelP
 		}
-		if qs, qerr := stats.BenjaminiHochberg(ps); qerr == nil {
+		if qs, err := stats.BenjaminiHochberg(ps); err == nil {
 			for i := range all {
 				all[i].QAccel = qs[i]
 			}
 		}
+	}
+	return all, nil
+}
+
+// SelfInterestAudit audits differential prioritization of pools' own
+// transactions (§5.2): each pool's self-interest set is derived from its
+// reward wallets, and the full grid is tested. All tested combinations are
+// returned in `all`; the rows rejecting the null at p < 0.001 (either
+// tail), ordered by acceleration p-value, in `findings`. The returned error
+// is the first unexpected test failure (benign no-signal combinations are
+// skipped, as the paper's grid does).
+func (a *Auditor) SelfInterestAudit(minShare float64) (findings []SelfInterestFinding, all []SelfInterestFinding, err error) {
+	ix := a.Index()
+	all, err = SelfInterestGrid(ix, ix.SelfInterestSets(), minShare)
+	if err != nil {
+		return nil, nil, err
 	}
 	for _, f := range all {
 		if f.Result.SignificantAccel() || f.Result.SignificantDecel() {
@@ -119,15 +186,24 @@ func (a *Auditor) SelfInterestAudit(minShare float64) (findings []SelfInterestFi
 }
 
 // ScamAudit runs the Table 3 pipeline over a transaction set (e.g. all
-// payments to a scam wallet): one differential test per top pool.
+// payments to a scam wallet): one differential test per top pool, fanned
+// out in parallel with deterministic row order. Benign no-signal pools are
+// skipped; other errors are returned.
 func (a *Auditor) ScamAudit(set map[chain.TxID]bool, minShare float64) ([]DifferentialResult, error) {
+	ix := a.Index()
+	pools := ix.TopPoolsByShare(minShare)
+	results := pipeline.MapErr(pipeline.Default(), len(pools), func(i int) (DifferentialResult, error) {
+		return DifferentialTestEstimatedOnIndex(ix, pools[i], set)
+	})
 	var out []DifferentialResult
-	for _, pool := range TopPoolsByShare(a.Chain, a.Registry, minShare) {
-		res, err := DifferentialTestEstimated(a.Chain, a.Registry, pool, set)
-		if err != nil {
-			continue
+	for _, r := range results {
+		if r.Err != nil {
+			if BenignTestError(r.Err) {
+				continue
+			}
+			return nil, r.Err
 		}
-		out = append(out, res)
+		out = append(out, r.Value)
 	}
 	if len(out) == 0 {
 		return nil, ErrNoCBlocks

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"chainaudit/internal/chain"
+	"chainaudit/internal/index"
 	"chainaudit/internal/poolid"
 )
 
@@ -25,14 +26,37 @@ func DetectAccelerated(c *chain.Chain, reg *poolid.Registry, pool string, minSPP
 			continue
 		}
 		info := analyzeBlock(b)
-		n := info.n()
+		n := info.N()
 		if n < 2 {
 			continue
 		}
-		for _, id := range info.ids {
-			s := percentileRank(info.predicted[id], n) - percentileRank(info.observed[id], n)
+		for _, id := range info.IDs {
+			s := percentileRank(info.Predicted[id], n) - percentileRank(info.Observed[id], n)
 			if s >= minSPPE {
 				out = append(out, Candidate{TxID: id, Height: b.Height, SPPE: s})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].SPPE > out[j].SPPE })
+	return out
+}
+
+// DetectAcceleratedOnIndex is DetectAccelerated over a prebuilt index: the
+// pool's blocks and their position analyses are already cached, so each
+// threshold scan is a cheap read.
+func DetectAcceleratedOnIndex(ix *index.BlockIndex, pool string, minSPPE float64) []Candidate {
+	var out []Candidate
+	for _, bi := range ix.PoolRecords(pool) {
+		rec := ix.Record(bi)
+		info := rec.Positions
+		n := info.N()
+		if n < 2 {
+			continue
+		}
+		for _, id := range info.IDs {
+			s := percentileRank(info.Predicted[id], n) - percentileRank(info.Observed[id], n)
+			if s >= minSPPE {
+				out = append(out, Candidate{TxID: id, Height: rec.Block.Height, SPPE: s})
 			}
 		}
 	}
@@ -75,6 +99,47 @@ func ValidateDetector(c *chain.Chain, reg *poolid.Registry, pool string, thresho
 		out = append(out, row)
 	}
 	return out
+}
+
+// ValidateDetectorOnIndex is ValidateDetector over a prebuilt index: the
+// position analysis is computed once for the whole chain instead of once
+// per threshold. The oracle must be safe for concurrent reads (it is called
+// from one goroutine at a time per threshold, thresholds in order).
+func ValidateDetectorOnIndex(ix *index.BlockIndex, pool string, thresholds []float64, oracle func(chain.TxID) bool) []DetectorRow {
+	out := make([]DetectorRow, 0, len(thresholds))
+	for _, thr := range thresholds {
+		cands := DetectAcceleratedOnIndex(ix, pool, thr)
+		row := DetectorRow{MinSPPE: thr, Candidates: len(cands)}
+		for _, cand := range cands {
+			if oracle(cand.TxID) {
+				row.Accelerated++
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// BaselineAcceleratedRateOnIndex is BaselineAcceleratedRate over a prebuilt
+// index, reading the cached pool attribution instead of re-attributing
+// every block.
+func BaselineAcceleratedRateOnIndex(ix *index.BlockIndex, pool string, sampleEvery int, oracle func(chain.TxID) bool) (sampled, accelerated int) {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	i := 0
+	for _, bi := range ix.PoolRecords(pool) {
+		for _, tx := range ix.Record(bi).Block.Body() {
+			if i%sampleEvery == 0 {
+				sampled++
+				if oracle(tx.ID) {
+					accelerated++
+				}
+			}
+			i++
+		}
+	}
+	return sampled, accelerated
 }
 
 // BaselineAcceleratedRate estimates the acceleration base rate: the

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"chainaudit/internal/chain"
+	"chainaudit/internal/index"
 	"chainaudit/internal/poolid"
 	"chainaudit/internal/stats"
 )
@@ -43,6 +44,22 @@ func (r DifferentialResult) SignificantDecel() bool { return r.DecelP < stats.St
 
 // ErrNoCBlocks reports a differential test with an empty c-block set.
 var ErrNoCBlocks = errors.New("core: no blocks contain the tested transactions")
+
+// ErrPoolNoBlocks reports an estimated differential test for a pool that
+// mined no blocks in the chain (θ0 would be 0).
+var ErrPoolNoBlocks = errors.New("core: pool mined no blocks")
+
+// ErrDegenerateTest reports an estimated differential test for a pool that
+// mined every block (θ0 would be 1).
+var ErrDegenerateTest = errors.New("core: pool mined every block; test degenerate")
+
+// BenignTestError reports whether the error is an expected no-signal
+// condition of a differential test (no c-blocks, pool absent, or a
+// degenerate θ0) rather than a genuine failure. The grid audits skip benign
+// rows and propagate everything else.
+func BenignTestError(err error) bool {
+	return errors.Is(err, ErrNoCBlocks) || errors.Is(err, ErrPoolNoBlocks) || errors.Is(err, ErrDegenerateTest)
+}
 
 // DifferentialTest runs the §5.1 test: given the chain, a pool attribution
 // registry, the tested pool's name and hash rate θ0, and the c-transaction
@@ -95,12 +112,69 @@ func DifferentialTestEstimated(c *chain.Chain, reg *poolid.Registry, pool string
 	shares := poolid.EstimateShares(c, reg)
 	theta0 := poolid.HashRateOf(shares, pool)
 	if theta0 == 0 {
-		return DifferentialResult{}, fmt.Errorf("core: pool %q mined no blocks", pool)
+		return DifferentialResult{}, fmt.Errorf("%w: %q", ErrPoolNoBlocks, pool)
 	}
 	if theta0 >= 1 {
-		return DifferentialResult{}, fmt.Errorf("core: pool %q mined every block; test degenerate", pool)
+		return DifferentialResult{}, fmt.Errorf("%w: %q", ErrDegenerateTest, pool)
 	}
 	return DifferentialTest(c, reg, pool, theta0, set)
+}
+
+// DifferentialTestOnIndex runs the §5.1 test against a prebuilt index. The
+// c-blocks are located through the chain's transaction index (O(|set|)
+// instead of a full-chain scan) and the SPPE within m's blocks reads the
+// cached position analysis; results are bit-identical to DifferentialTest.
+func DifferentialTestOnIndex(ix *index.BlockIndex, pool string, theta0 float64, set map[chain.TxID]bool) (DifferentialResult, error) {
+	if theta0 <= 0 || theta0 >= 1 {
+		return DifferentialResult{}, fmt.Errorf("core: theta0 %v out of (0,1)", theta0)
+	}
+	res := DifferentialResult{Pool: pool, Theta0: theta0}
+	seen := make(map[int]bool)
+	var cIdxs []int
+	for id := range set {
+		if bi, ok := ix.LocateRecord(id); ok && !seen[bi] {
+			seen[bi] = true
+			cIdxs = append(cIdxs, bi)
+		}
+	}
+	sort.Ints(cIdxs)
+	var mRecs []*index.BlockRecord
+	for _, bi := range cIdxs {
+		rec := ix.Record(bi)
+		res.Y++
+		if rec.Pool == pool {
+			res.X++
+			mRecs = append(mRecs, rec)
+		}
+	}
+	if res.Y == 0 {
+		return res, ErrNoCBlocks
+	}
+	acc, err := stats.ExactBinomialTest(res.X, res.Y, theta0, stats.Greater)
+	if err != nil {
+		return res, err
+	}
+	dec, err := stats.ExactBinomialTest(res.X, res.Y, theta0, stats.Less)
+	if err != nil {
+		return res, err
+	}
+	res.AccelP, res.AccelPNormal = acc.P, acc.PNormal
+	res.DecelP, res.DecelPNormal = dec.P, dec.PNormal
+	res.SPPE, res.SPPECount = sppeOnRecords(mRecs, set)
+	return res, nil
+}
+
+// DifferentialTestEstimatedOnIndex is DifferentialTestOnIndex with θ0 taken
+// from the index's cached hash-rate estimates.
+func DifferentialTestEstimatedOnIndex(ix *index.BlockIndex, pool string, set map[chain.TxID]bool) (DifferentialResult, error) {
+	theta0 := ix.HashRateOf(pool)
+	if theta0 == 0 {
+		return DifferentialResult{}, fmt.Errorf("%w: %q", ErrPoolNoBlocks, pool)
+	}
+	if theta0 >= 1 {
+		return DifferentialResult{}, fmt.Errorf("%w: %q", ErrDegenerateTest, pool)
+	}
+	return DifferentialTestOnIndex(ix, pool, theta0, set)
 }
 
 // WindowedResult is a Fisher-combined differential test over consecutive

@@ -14,60 +14,22 @@
 //   - the norm III low-fee confirmation census (§4.2.3);
 //   - the SPPE-threshold dark-fee detector validated in Table 4 (§5.4.2);
 //   - commit-delay and fee/congestion analyses (§4.1).
+//
+// The canonical per-block position analysis lives in internal/index; the
+// helpers here are its per-block entry points, and every whole-chain audit
+// has an *OnIndex form that consumes a shared, precomputed
+// index.BlockIndex instead of re-deriving positions and attributions.
 package core
 
 import (
-	"sort"
-
 	"chainaudit/internal/chain"
+	"chainaudit/internal/index"
 )
 
-// positionInfo caches a block's per-transaction observed and predicted
-// ranks among its audited (non-CPFP, non-coinbase) transactions.
-type positionInfo struct {
-	// ids[i] is the i-th audited transaction in observed order.
-	ids []chain.TxID
-	// observed and predicted are 0-based ranks keyed by txid.
-	observed  map[chain.TxID]int
-	predicted map[chain.TxID]int
-}
-
-// n returns the number of audited transactions.
-func (p *positionInfo) n() int { return len(p.ids) }
-
-// analyzeBlock computes observed and predicted positions for the block's
-// auditable transactions. CPFP transactions are excluded (their placement
-// is dependency-driven, not norm-driven — the paper discards them), as is
-// the coinbase. Prediction sorts by fee-rate descending, the greedy GBT
-// norm; ties keep observed order (the norm does not constrain ties).
-func analyzeBlock(b *chain.Block) *positionInfo {
-	cpfp := b.CPFPSet()
-	body := b.Body()
-	info := &positionInfo{
-		observed:  make(map[chain.TxID]int),
-		predicted: make(map[chain.TxID]int),
-	}
-	type ranked struct {
-		id   chain.TxID
-		rate chain.SatPerVByte
-		obs  int
-	}
-	var audit []ranked
-	for _, tx := range body {
-		if cpfp[tx.ID] {
-			continue
-		}
-		audit = append(audit, ranked{id: tx.ID, rate: tx.FeeRate(), obs: len(audit)})
-	}
-	for _, r := range audit {
-		info.ids = append(info.ids, r.id)
-		info.observed[r.id] = r.obs
-	}
-	sort.SliceStable(audit, func(i, j int) bool { return audit[i].rate > audit[j].rate })
-	for i, r := range audit {
-		info.predicted[r.id] = i
-	}
-	return info
+// analyzeBlock computes the block's position analysis (see
+// index.AnalyzeBlock for the norm and exclusions).
+func analyzeBlock(b *chain.Block) *index.Positions {
+	return index.AnalyzeBlock(b)
 }
 
 // PPE returns the block's position prediction error (§4.2.2): the mean
@@ -75,20 +37,7 @@ func analyzeBlock(b *chain.Block) *positionInfo {
 // block's auditable transactions, normalized by their count and expressed
 // as a percentage. ok is false for blocks with no auditable transactions.
 func PPE(b *chain.Block) (ppe float64, ok bool) {
-	info := analyzeBlock(b)
-	n := info.n()
-	if n == 0 {
-		return 0, false
-	}
-	sum := 0.0
-	for _, id := range info.ids {
-		d := info.predicted[id] - info.observed[id]
-		if d < 0 {
-			d = -d
-		}
-		sum += float64(d)
-	}
-	return sum * 100 / (float64(n) * float64(n)), true
+	return analyzeBlock(b).PPE()
 }
 
 // PPESeries computes the PPE of every block in the chain that has at least
@@ -103,13 +52,22 @@ func PPESeries(c *chain.Chain) []float64 {
 	return out
 }
 
+// PPESeriesOnIndex is PPESeries over a prebuilt index: the per-block values
+// are already cached, so this is a copy, not a recomputation.
+func PPESeriesOnIndex(ix *index.BlockIndex) []float64 {
+	var out []float64
+	for _, rec := range ix.Records() {
+		if rec.PPEValid {
+			out = append(out, rec.PPE)
+		}
+	}
+	return out
+}
+
 // percentileRank converts a 0-based rank among n items to a percentile in
 // [0, 100]. A single-item block puts its transaction at the 0th percentile.
 func percentileRank(rank, n int) float64 {
-	if n <= 1 {
-		return 0
-	}
-	return float64(rank) * 100 / float64(n-1)
+	return index.PercentileRank(rank, n)
 }
 
 // TxSPPE returns the signed position prediction error of one transaction
@@ -119,14 +77,7 @@ func percentileRank(rank, n int) float64 {
 // ok is false when the transaction is not auditable in this block (CPFP,
 // coinbase, or absent).
 func TxSPPE(b *chain.Block, id chain.TxID) (sppe float64, ok bool) {
-	info := analyzeBlock(b)
-	obs, okObs := info.observed[id]
-	if !okObs {
-		return 0, false
-	}
-	pred := info.predicted[id]
-	n := info.n()
-	return percentileRank(pred, n) - percentileRank(obs, n), true
+	return analyzeBlock(b).SPPE(id)
 }
 
 // BlockSPPEs returns the signed position prediction error of every
@@ -135,10 +86,10 @@ func TxSPPE(b *chain.Block, id chain.TxID) (sppe float64, ok bool) {
 // re-analyzes the block on every call).
 func BlockSPPEs(b *chain.Block) map[chain.TxID]float64 {
 	info := analyzeBlock(b)
-	n := info.n()
+	n := info.N()
 	out := make(map[chain.TxID]float64, n)
-	for _, id := range info.ids {
-		out[id] = percentileRank(info.predicted[id], n) - percentileRank(info.observed[id], n)
+	for _, id := range info.IDs {
+		out[id] = percentileRank(info.Predicted[id], n) - percentileRank(info.Observed[id], n)
 	}
 	return out
 }
@@ -150,7 +101,7 @@ func BlockSPPEs(b *chain.Block) map[chain.TxID]float64 {
 func SPPE(blocks []*chain.Block, set map[chain.TxID]bool) (sppe float64, count int) {
 	var sum float64
 	for _, b := range blocks {
-		var info *positionInfo
+		var info *index.Positions
 		for _, tx := range b.Body() {
 			if !set[tx.ID] {
 				continue
@@ -158,12 +109,39 @@ func SPPE(blocks []*chain.Block, set map[chain.TxID]bool) (sppe float64, count i
 			if info == nil {
 				info = analyzeBlock(b)
 			}
-			obs, ok := info.observed[tx.ID]
+			obs, ok := info.Observed[tx.ID]
 			if !ok {
 				continue
 			}
-			pred := info.predicted[tx.ID]
-			n := info.n()
+			pred := info.Predicted[tx.ID]
+			n := info.N()
+			sum += percentileRank(pred, n) - percentileRank(obs, n)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	return sum / float64(count), count
+}
+
+// sppeOnRecords is SPPE over prebuilt block records: the same accumulation
+// in the same order, reading the cached position analysis instead of
+// re-deriving it per block.
+func sppeOnRecords(recs []*index.BlockRecord, set map[chain.TxID]bool) (sppe float64, count int) {
+	var sum float64
+	for _, rec := range recs {
+		info := rec.Positions
+		for _, tx := range rec.Block.Body() {
+			if !set[tx.ID] {
+				continue
+			}
+			obs, ok := info.Observed[tx.ID]
+			if !ok {
+				continue
+			}
+			pred := info.Predicted[tx.ID]
+			n := info.N()
 			sum += percentileRank(pred, n) - percentileRank(obs, n)
 			count++
 		}

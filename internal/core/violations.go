@@ -5,6 +5,7 @@ import (
 
 	"chainaudit/internal/chain"
 	"chainaudit/internal/mempool"
+	"chainaudit/internal/pipeline"
 	"chainaudit/internal/stats"
 )
 
@@ -94,7 +95,9 @@ func ViolationPairs(snap mempool.Snapshot, c *chain.Chain, opts ViolationOptions
 
 // ViolationSurvey samples up to sampleN full snapshots uniformly at random
 // (the paper samples 30) and computes violation statistics for each under
-// the given options.
+// the given options. Sampling happens up front (one deterministic draw from
+// rng); the per-snapshot O(n²) pair scans then fan out over the worker
+// pool, with results merged in sample order.
 func ViolationSurvey(snaps []mempool.Snapshot, c *chain.Chain, opts ViolationOptions, sampleN int, rng *stats.RNG) []ViolationStats {
 	full := make([]mempool.Snapshot, 0, len(snaps))
 	for _, s := range snaps {
@@ -110,11 +113,9 @@ func ViolationSurvey(snaps []mempool.Snapshot, c *chain.Chain, opts ViolationOpt
 		}
 		full = picked
 	}
-	out := make([]ViolationStats, 0, len(full))
-	for _, s := range full {
-		out = append(out, ViolationPairs(s, c, opts))
-	}
-	return out
+	return pipeline.Map(len(full), func(i int) ViolationStats {
+		return ViolationPairs(full[i], c, opts)
+	})
 }
 
 // ViolationFractions extracts the per-snapshot violating fractions from a

@@ -1,0 +1,129 @@
+package dataset
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCachedReturnsSameDataset(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	opts := Options{Seed: 77, Duration: 2 * time.Hour}
+	a, err := Cached(BuilderA, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cached(BuilderA, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second Cached call rebuilt instead of hitting the cache")
+	}
+	if CacheLen() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", CacheLen())
+	}
+}
+
+func TestCachedNormalizesDefaultOptions(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	// Explicit defaults and zero values must share one entry.
+	short := Options{Seed: 78, Duration: 2 * time.Hour}
+	explicit := Options{Seed: 78, Duration: 2 * time.Hour, BlockCapacity: 100_000}
+	a, err := Cached(BuilderA, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cached(BuilderA, explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("zero BlockCapacity and the explicit default built separate entries")
+	}
+}
+
+func TestCachedKeysAreDistinct(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	a1, err := Cached(BuilderA, Options{Seed: 79, Duration: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Cached(BuilderA, Options{Seed: 80, Duration: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a2 {
+		t.Fatal("different seeds shared one cache entry")
+	}
+	if CacheLen() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", CacheLen())
+	}
+}
+
+func TestCachedDeterministicAcrossColdBuilds(t *testing.T) {
+	opts := Options{Seed: 81, Duration: 2 * time.Hour}
+	ResetCache()
+	a, err := Cached(BuilderA, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetCache()
+	b, err := Cached(BuilderA, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ResetCache()
+	if a == b {
+		t.Fatal("ResetCache did not drop the entry")
+	}
+	ca, cb := a.Result.Chain, b.Result.Chain
+	if ca.Len() != cb.Len() || ca.TxCount() != cb.TxCount() {
+		t.Fatalf("cold rebuilds diverged: (%d blocks, %d txs) vs (%d blocks, %d txs)",
+			ca.Len(), ca.TxCount(), cb.Len(), cb.TxCount())
+	}
+	for i, blk := range ca.Blocks() {
+		other := cb.Blocks()[i]
+		if blk.Hash != other.Hash {
+			t.Fatalf("block %d hashes diverged across cold rebuilds", i)
+		}
+	}
+}
+
+func TestCachedConcurrentBuildsShareOneSimulation(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	opts := Options{Seed: 82, Duration: 2 * time.Hour}
+	const callers = 8
+	results := make([]*Dataset, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Cached(BuilderA, opts)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatal("concurrent callers received different datasets")
+		}
+	}
+	if CacheLen() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", CacheLen())
+	}
+}
+
+func TestCachedUnknownBuilder(t *testing.T) {
+	if _, err := Cached(Builder("Z"), Options{Seed: 1}); err == nil {
+		t.Fatal("unknown builder did not error")
+	}
+}

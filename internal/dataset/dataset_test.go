@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"time"
 
@@ -12,22 +13,49 @@ import (
 )
 
 // Small-scale builds shared across the package's tests (building once per
-// test would dominate runtime).
+// test would dominate runtime). Built lazily so tests that don't need a
+// set — and race runs, which skip the heavy set C — don't pay for it.
 var (
-	dsA = mustBuild(func() (*Dataset, error) { return BuildA(Options{Seed: 1, Duration: 6 * time.Hour}) })
-	dsB = mustBuild(func() (*Dataset, error) { return BuildB(Options{Seed: 2, Duration: 6 * time.Hour}) })
-	dsC = mustBuild(func() (*Dataset, error) { return BuildC(Options{Seed: 3, Duration: 24 * time.Hour}) })
+	onceA, onceB, onceC sync.Once
+	memoA, memoB, memoC *Dataset
+	errA, errB, errC    error
 )
 
-func mustBuild(f func() (*Dataset, error)) *Dataset {
-	d, err := f()
-	if err != nil {
-		panic(err)
+func getA(t *testing.T) *Dataset {
+	t.Helper()
+	onceA.Do(func() { memoA, errA = BuildA(Options{Seed: 1, Duration: 6 * time.Hour}) })
+	if errA != nil {
+		t.Fatal(errA)
 	}
-	return d
+	return memoA
+}
+
+func getB(t *testing.T) *Dataset {
+	t.Helper()
+	onceB.Do(func() { memoB, errB = BuildB(Options{Seed: 2, Duration: 6 * time.Hour}) })
+	if errB != nil {
+		t.Fatal(errB)
+	}
+	return memoB
+}
+
+func getC(t *testing.T) *Dataset {
+	t.Helper()
+	if raceEnabled {
+		// The 24h set-C simulation alone runs ~10x slower under the race
+		// detector and risks the package's 10-minute budget. Builder and
+		// cache concurrency stay covered by the A/B builds and cache tests.
+		t.Skip("24h set-C build too heavy under -race")
+	}
+	onceC.Do(func() { memoC, errC = BuildC(Options{Seed: 3, Duration: 24 * time.Hour}) })
+	if errC != nil {
+		t.Fatal(errC)
+	}
+	return memoC
 }
 
 func TestBuildABasics(t *testing.T) {
+	dsA := getA(t)
 	if dsA.Name != "A" {
 		t.Error("name")
 	}
@@ -48,7 +76,7 @@ func TestBuildABasics(t *testing.T) {
 }
 
 func TestBuildBPermissive(t *testing.T) {
-	obs := dsB.Result.Observer("B")
+	obs := getB(t).Result.Observer("B")
 	if obs == nil {
 		t.Fatal("observer B missing")
 	}
@@ -69,6 +97,7 @@ func TestBuildBPermissive(t *testing.T) {
 }
 
 func TestBuildCPlantedBehaviours(t *testing.T) {
+	dsC := getC(t)
 	c := dsC.Result.Chain
 	if c.Len() < 100 {
 		t.Fatalf("blocks = %d", c.Len())
@@ -106,6 +135,7 @@ func TestBuildCPlantedBehaviours(t *testing.T) {
 func TestBuildCSelfInterestDetectable(t *testing.T) {
 	// The flagship result: the planted selfish pools must be caught by the
 	// audit, and honest pools must not.
+	dsC := getC(t)
 	c := dsC.Result.Chain
 	reg := dsC.Registry
 	payouts := dsC.Result.Truth.PayoutTxs
@@ -161,6 +191,7 @@ func TestBuildCSelfInterestDetectable(t *testing.T) {
 }
 
 func TestScamWindowNeutral(t *testing.T) {
+	dsC := getC(t)
 	win := dsC.ScamWindow()
 	if win.Len() == 0 {
 		t.Fatal("empty scam window")
@@ -186,6 +217,7 @@ func TestScamWindowNeutral(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
+	dsC := getC(t)
 	row := dsC.Table1()
 	if row.Name != "C" || row.Blocks != dsC.Result.Chain.Len() {
 		t.Errorf("row = %+v", row)
@@ -234,6 +266,7 @@ func TestTable5(t *testing.T) {
 }
 
 func TestChainCSVRoundTrip(t *testing.T) {
+	dsA := getA(t)
 	c := dsA.Result.Chain
 	var buf bytes.Buffer
 	if err := WriteChainCSV(&buf, c); err != nil {

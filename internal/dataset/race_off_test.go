@@ -1,0 +1,7 @@
+//go:build !race
+
+package dataset
+
+// raceEnabled reports whether the package tests run under the race
+// detector (see race_on_test.go).
+const raceEnabled = false

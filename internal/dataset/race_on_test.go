@@ -1,0 +1,8 @@
+//go:build race
+
+package dataset
+
+// raceEnabled reports whether the package tests run under the race
+// detector (see race_off_test.go). The 24h set-C build skips under
+// race to keep the package within the default test timeout.
+const raceEnabled = true

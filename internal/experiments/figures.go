@@ -198,17 +198,19 @@ func (s *Suite) Fig06ViolationPairs(sampleN int) (*report.Figure, *report.Figure
 }
 
 // Fig07PPE reproduces Figure 7: the PPE distribution over all blocks of C
-// and per top-6 pool.
+// and per top-6 pool. Per-block PPE and attribution come precomputed from
+// the shared C index; this just aggregates.
 func (s *Suite) Fig07PPE() (*report.Figure, stats.Summary) {
-	aud := core.Auditor{Chain: s.C.Result.Chain, Registry: s.C.Registry}
+	ix := s.CIndex()
+	aud := core.NewIndexedAuditor(ix)
 	rep := aud.PPEReport(1)
 	f := report.NewFigure("Figure 7: position prediction error (C)", "PPE (%)")
-	f.Add("overall", core.PPESeries(s.C.Result.Chain), cdfPoints)
+	f.Add("overall", core.PPESeriesOnIndex(ix), cdfPoints)
 	for _, pool := range s.top6C() {
 		var vals []float64
-		for _, b := range poolid.BlocksOf(s.C.Result.Chain, s.C.Registry, pool) {
-			if v, ok := core.PPE(b); ok {
-				vals = append(vals, v)
+		for _, bi := range ix.PoolRecords(pool) {
+			if rec := ix.Record(bi); rec.PPEValid {
+				vals = append(vals, rec.PPE)
 			}
 		}
 		f.Add(pool, vals, cdfPoints)
@@ -221,8 +223,8 @@ func (s *Suite) Fig07PPE() (*report.Figure, stats.Summary) {
 func (s *Suite) Fig08PoolWallets() *report.Table {
 	t := report.NewTable("Figure 8: pool wallets and self-interest transactions (C)",
 		"pool", "reward_addresses", "self_interest_txs")
-	addrs := poolid.RewardAddresses(s.C.Result.Chain, s.C.Registry)
-	sets := core.SelfInterestSets(s.C.Result.Chain, s.C.Registry)
+	addrs := s.CIndex().RewardAddresses()
+	sets := s.CIndex().SelfInterestSets()
 	for _, pool := range report.SortedKeys(addrs) {
 		if pool == poolid.Unknown {
 			continue
@@ -255,8 +257,7 @@ func (s *Suite) Fig09MempoolB() *report.Figure {
 func (s *Suite) Fig10FeeratesByPool() *report.Figure {
 	f := report.NewFigure("Figure 10: fee-rates by top-5 MPO (A)", "fee-rate (BTC/KB)")
 	byPool := core.ConfirmedFeeRatesByPool(s.A.Result.Chain, s.A.Registry)
-	shares := poolid.EstimateShares(s.A.Result.Chain, s.A.Registry)
-	for i, sh := range poolid.TopShares(shares, 5) {
+	for i, sh := range poolid.TopShares(s.AIndex().Shares(), 5) {
 		if vals := byPool[sh.Pool]; len(vals) > 0 {
 			f.Add(fmt.Sprintf("%d.%s", i+1, sh.Pool), vals, cdfPoints)
 		}

@@ -1,0 +1,85 @@
+//go:build race
+
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"chainaudit/internal/core"
+)
+
+const raceEnabled = true
+
+// TestSuiteConcurrentAccess hammers the suite's concurrent surfaces under
+// the race detector at a scale the 10-minute package budget affords: the
+// dataset cache, the lazy per-suite indexes, and the pipeline fan-outs
+// inside the grid audits. The statistical assertions live in the plain
+// (non-race) test run at 0.5 scale.
+func TestSuiteConcurrentAccess(t *testing.T) {
+	s, err := NewSuite(42, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	run := func(f func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := f(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	// Two goroutines per analysis: both hit the sync.Once-guarded CIndex/
+	// AIndex and the memoized self-interest sets concurrently.
+	for i := 0; i < 2; i++ {
+		run(func() error {
+			_, overall := s.Fig07PPE()
+			if overall.N == 0 {
+				t.Error("empty PPE series")
+			}
+			return nil
+		})
+		run(func() error {
+			_, _, err := s.Table2SelfInterest()
+			return err
+		})
+		run(func() error {
+			if tbl, _ := s.Table4DarkFee(); tbl == nil {
+				t.Error("nil Table 4")
+			}
+			return nil
+		})
+		run(func() error {
+			if tbl := s.Fig08PoolWallets(); tbl == nil {
+				t.Error("nil Fig 8")
+			}
+			return nil
+		})
+		run(func() error {
+			if f := s.Fig10FeeratesByPool(); f == nil {
+				t.Error("nil Fig 10")
+			}
+			return nil
+		})
+	}
+	// A second suite with the same (seed, scale) shares the cached datasets
+	// while the first is mid-audit.
+	run(func() error {
+		other, err := NewSuite(42, 0.1)
+		if err != nil {
+			return err
+		}
+		if other.C != s.C {
+			t.Error("dataset cache missed for identical suite")
+		}
+		// At this scale the scam window may hold no c-blocks; only
+		// non-benign failures matter here.
+		if _, _, err := other.Table3Scam(); err != nil && !core.BenignTestError(err) {
+			return err
+		}
+		return nil
+	})
+	wg.Wait()
+}

@@ -7,42 +7,67 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"chainaudit/internal/chain"
 	"chainaudit/internal/core"
 	"chainaudit/internal/dataset"
+	"chainaudit/internal/index"
 	"chainaudit/internal/poolid"
 	"chainaudit/internal/sim"
 	"chainaudit/internal/stats"
 )
 
-// Suite holds the built data sets all experiments draw from.
+// Suite holds the built data sets all experiments draw from, plus the
+// shared audit indexes the analyses consume. Data sets come from the
+// process-local dataset cache, so two suites with the same (seed, scale)
+// share one simulation; indexes are built lazily, once per suite.
 type Suite struct {
 	Seed    uint64
 	A, B, C *dataset.Dataset
 	rng     *stats.RNG
+
+	aIdxOnce sync.Once
+	aIdx     *index.BlockIndex
+	cIdxOnce sync.Once
+	cIdx     *index.BlockIndex
 }
 
 // NewSuite builds the three data sets at the given scale. Scale 1 targets a
 // bench/test budget (A 12 h, B 16 h, C 48 h of simulated time); pass larger
-// scales from cmd/reproduce or cmd/gendata for paper-sized spans.
+// scales from cmd/reproduce or cmd/gendata for paper-sized spans. Builds go
+// through dataset.Cached, so repeated suites in one process (benchmarks,
+// tests) stop re-simulating.
 func NewSuite(seed uint64, scale float64) (*Suite, error) {
 	if scale <= 0 {
 		scale = 1
 	}
 	s := &Suite{Seed: seed, rng: stats.NewRNG(seed ^ 0xE59)}
 	var err error
-	if s.A, err = dataset.BuildA(dataset.Options{Seed: seed + 1, Duration: scaleDur(12*time.Hour, scale)}); err != nil {
+	if s.A, err = dataset.Cached(dataset.BuilderA, dataset.Options{Seed: seed + 1, Duration: scaleDur(12*time.Hour, scale)}); err != nil {
 		return nil, fmt.Errorf("experiments: building A: %w", err)
 	}
-	if s.B, err = dataset.BuildB(dataset.Options{Seed: seed + 2, Duration: scaleDur(16*time.Hour, scale)}); err != nil {
+	if s.B, err = dataset.Cached(dataset.BuilderB, dataset.Options{Seed: seed + 2, Duration: scaleDur(16*time.Hour, scale)}); err != nil {
 		return nil, fmt.Errorf("experiments: building B: %w", err)
 	}
-	if s.C, err = dataset.BuildC(dataset.Options{Seed: seed + 3, Duration: scaleDur(48*time.Hour, scale)}); err != nil {
+	if s.C, err = dataset.Cached(dataset.BuilderC, dataset.Options{Seed: seed + 3, Duration: scaleDur(48*time.Hour, scale)}); err != nil {
 		return nil, fmt.Errorf("experiments: building C: %w", err)
 	}
 	return s, nil
+}
+
+// AIndex returns the shared audit index over data set A's chain.
+func (s *Suite) AIndex() *index.BlockIndex {
+	s.aIdxOnce.Do(func() { s.aIdx = index.Build(s.A.Result.Chain, s.A.Registry) })
+	return s.aIdx
+}
+
+// CIndex returns the shared audit index over data set C's chain — the one
+// the PPE, self-interest, and dark-fee analyses all consume.
+func (s *Suite) CIndex() *index.BlockIndex {
+	s.cIdxOnce.Do(func() { s.cIdx = index.Build(s.C.Result.Chain, s.C.Registry) })
+	return s.cIdx
 }
 
 func scaleDur(d time.Duration, scale float64) time.Duration {
@@ -72,10 +97,10 @@ func payoutSet(ids []chain.TxID) map[chain.TxID]bool {
 	return set
 }
 
-// top6C returns the six largest pools of data set C by estimated share.
+// top6C returns the six largest pools of data set C by estimated share,
+// from the shared index's cached attribution.
 func (s *Suite) top6C() []string {
-	shares := poolid.EstimateShares(s.C.Result.Chain, s.C.Registry)
-	top := poolid.TopShares(shares, 6)
+	top := poolid.TopShares(s.CIndex().Shares(), 6)
 	names := make([]string, len(top))
 	for i, sh := range top {
 		names[i] = sh.Pool

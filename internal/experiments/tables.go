@@ -3,10 +3,10 @@ package experiments
 import (
 	"time"
 
+	"chainaudit/internal/chain"
 	"chainaudit/internal/core"
 	"chainaudit/internal/dataset"
 	"chainaudit/internal/report"
-	"chainaudit/internal/stats"
 )
 
 // Table1 reproduces the paper's Table 1: a summary of the three data sets.
@@ -32,31 +32,17 @@ func (s *Suite) Table1() *report.Table {
 func (s *Suite) Table2SelfInterest() (*report.Table, []core.SelfInterestFinding, error) {
 	t := report.NewTable("Table 2: differential prioritization of self-interest transactions",
 		"owner", "pool", "theta0", "x", "y", "p_accel", "q_accel", "p_decel", "sppe", "sppe_n")
-	c := s.C.Result.Chain
-	reg := s.C.Registry
-	// First pass: every (owner, tester) combination, for the
-	// multiple-testing family.
-	var all []core.SelfInterestFinding
-	for _, owner := range report.SortedKeys(s.C.Result.Truth.PayoutTxs) {
-		set := payoutSet(s.C.Result.Truth.PayoutTxs[owner])
-		for _, tester := range core.TopPoolsByShare(c, reg, 0.04) {
-			res, err := core.DifferentialTestEstimated(c, reg, tester, set)
-			if err != nil {
-				continue
-			}
-			all = append(all, core.SelfInterestFinding{Owner: owner, Result: res})
-		}
+	// Every (owner, tester) combination forms the multiple-testing family;
+	// the grid fans the differential tests out over the shared C index.
+	sets := make(map[string]map[chain.TxID]bool, len(s.C.Result.Truth.PayoutTxs))
+	for owner, ids := range s.C.Result.Truth.PayoutTxs {
+		sets[owner] = payoutSet(ids)
 	}
-	ps := make([]float64, len(all))
-	for i, f := range all {
-		ps[i] = f.Result.AccelP
+	all, err := core.SelfInterestGrid(s.CIndex(), sets, 0.04)
+	if err != nil {
+		return nil, nil, err
 	}
-	if qs, err := stats.BenjaminiHochberg(ps); err == nil {
-		for i := range all {
-			all[i].QAccel = qs[i]
-		}
-	}
-	// Second pass: report the rows significant in either tail.
+	// Report the rows significant in either tail.
 	var findings []core.SelfInterestFinding
 	for _, f := range all {
 		res := f.Result
@@ -94,14 +80,14 @@ func (s *Suite) Table3Scam() (*report.Table, []core.DifferentialResult, error) {
 // baseline.
 func (s *Suite) Table4DarkFee() (*report.Table, []core.DetectorRow) {
 	svc := s.C.Services["BTC.com"]
-	rows := core.ValidateDetector(s.C.Result.Chain, s.C.Registry, "BTC.com",
+	rows := core.ValidateDetectorOnIndex(s.CIndex(), "BTC.com",
 		[]float64{100, 99, 90, 50, 1}, svc.IsAccelerated)
 	t := report.NewTable("Table 4: detecting accelerated transactions by SPPE threshold (BTC.com)",
 		"sppe_min", "candidates", "accelerated", "pct_accelerated")
 	for _, r := range rows {
 		t.AddRow(r.MinSPPE, r.Candidates, r.Accelerated, r.Precision()*100)
 	}
-	sampled, accel := core.BaselineAcceleratedRate(s.C.Result.Chain, s.C.Registry, "BTC.com", 13, svc.IsAccelerated)
+	sampled, accel := core.BaselineAcceleratedRateOnIndex(s.CIndex(), "BTC.com", 13, svc.IsAccelerated)
 	t.AddRow("random-sample baseline", sampled, accel, float64(accel)*100/float64(max(sampled, 1)))
 	return t, rows
 }

@@ -1,0 +1,374 @@
+// Package index builds the shared, immutable audit index every analysis
+// layer consumes. The paper's pipeline is a one-pass derivation of
+// (position, fee-rate, arrival, attribution) facts that many statistical
+// tests then read; Build mirrors that structurally: one parallel sweep over
+// the chain precomputes per-block pool attribution, per-transaction observed
+// and predicted positions, per-block PPE, fee-rate arrays, and CPFP flags,
+// and the audits in internal/core become cheap consumers instead of each
+// re-walking the chain.
+//
+// A BlockIndex is immutable after Build and safe for concurrent readers; the
+// lazily derived aggregates (self-interest sets, reward addresses) are
+// memoized behind sync.Once.
+package index
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/pipeline"
+	"chainaudit/internal/poolid"
+)
+
+// Positions caches a block's per-transaction observed and predicted ranks
+// among its audited (non-CPFP, non-coinbase) transactions. It is the
+// canonical position analysis behind PPE, SPPE, and the dark-fee detector;
+// internal/core's per-block helpers delegate here.
+type Positions struct {
+	// IDs holds the audited transactions in observed order.
+	IDs []chain.TxID
+	// Observed and Predicted are 0-based ranks keyed by txid.
+	Observed  map[chain.TxID]int
+	Predicted map[chain.TxID]int
+}
+
+// N returns the number of audited transactions.
+func (p *Positions) N() int { return len(p.IDs) }
+
+// AnalyzeBlock computes observed and predicted positions for the block's
+// auditable transactions. CPFP transactions are excluded (their placement is
+// dependency-driven, not norm-driven — the paper discards them), as is the
+// coinbase. Prediction sorts by fee-rate descending, the greedy GBT norm;
+// ties keep observed order (the norm does not constrain ties).
+func AnalyzeBlock(b *chain.Block) *Positions {
+	cpfp := b.CPFPSet()
+	body := b.Body()
+	info := &Positions{
+		Observed:  make(map[chain.TxID]int),
+		Predicted: make(map[chain.TxID]int),
+	}
+	type ranked struct {
+		id   chain.TxID
+		rate chain.SatPerVByte
+		obs  int
+	}
+	var audit []ranked
+	for _, tx := range body {
+		if cpfp[tx.ID] {
+			continue
+		}
+		audit = append(audit, ranked{id: tx.ID, rate: tx.FeeRate(), obs: len(audit)})
+	}
+	for _, r := range audit {
+		info.IDs = append(info.IDs, r.id)
+		info.Observed[r.id] = r.obs
+	}
+	sort.SliceStable(audit, func(i, j int) bool { return audit[i].rate > audit[j].rate })
+	for i, r := range audit {
+		info.Predicted[r.id] = i
+	}
+	return info
+}
+
+// PPE returns the block's position prediction error (§4.2.2): the mean
+// absolute difference between predicted and observed positions, normalized
+// by the audited count and expressed as a percentage. ok is false for blocks
+// with no auditable transactions.
+func (p *Positions) PPE() (ppe float64, ok bool) {
+	n := p.N()
+	if n == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, id := range p.IDs {
+		d := p.Predicted[id] - p.Observed[id]
+		if d < 0 {
+			d = -d
+		}
+		sum += float64(d)
+	}
+	return sum * 100 / (float64(n) * float64(n)), true
+}
+
+// PercentileRank converts a 0-based rank among n items to a percentile in
+// [0, 100]. A single-item block puts its transaction at the 0th percentile.
+func PercentileRank(rank, n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(rank) * 100 / float64(n-1)
+}
+
+// SPPE returns the signed position prediction error of one audited
+// transaction: predicted percentile minus observed percentile, in
+// [-100, 100]. ok is false when the transaction is not auditable here.
+func (p *Positions) SPPE(id chain.TxID) (sppe float64, ok bool) {
+	obs, okObs := p.Observed[id]
+	if !okObs {
+		return 0, false
+	}
+	n := p.N()
+	return PercentileRank(p.Predicted[id], n) - PercentileRank(obs, n), true
+}
+
+// BlockRecord holds everything the one-pass sweep derived for one block.
+type BlockRecord struct {
+	Block *chain.Block
+	// Pool is the block's coinbase-marker attribution (poolid.Unknown when
+	// unrecognized).
+	Pool string
+	// Positions is the cached position analysis of the block.
+	Positions *Positions
+	// PPE is the block's position prediction error; PPEValid is false for
+	// blocks with no auditable transactions.
+	PPE      float64
+	PPEValid bool
+	// CPFP flags the block's child-pays-for-parent transactions.
+	CPFP map[chain.TxID]bool
+	// FeeRates holds the body transactions' fee-rates in committed order,
+	// aligned with Block.Body().
+	FeeRates []chain.SatPerVByte
+}
+
+// BlockIndex is the immutable one-pass index over a chain.
+type BlockIndex struct {
+	chain    *chain.Chain
+	registry *poolid.Registry
+	records  []BlockRecord
+	// byPool maps pool name to the indices of its blocks in height order.
+	byPool map[string][]int
+	shares []poolid.Share
+	// firstSeen optionally carries observer arrival times (see WithFirstSeen).
+	firstSeen map[chain.TxID]time.Time
+	exec      *pipeline.Executor
+
+	selfOnce sync.Once
+	selfSets map[string]map[chain.TxID]bool
+
+	rewardOnce sync.Once
+	rewardAddr map[string]map[chain.Address]bool
+}
+
+// Option configures Build.
+type Option func(*BlockIndex)
+
+// WithFirstSeen attaches observer first-seen times to the index, for
+// consumers that correlate positions with arrival order. The map is stored
+// as given and must not be mutated afterwards.
+func WithFirstSeen(seen map[chain.TxID]time.Time) Option {
+	return func(ix *BlockIndex) { ix.firstSeen = seen }
+}
+
+// WithExecutor overrides the worker pool the sweep runs on (the default is
+// a machine-sized pool). The result does not depend on the executor — the
+// equivalence tests build with forced serial and forced parallel pools and
+// require identical indexes.
+func WithExecutor(e *pipeline.Executor) Option {
+	return func(ix *BlockIndex) { ix.exec = e }
+}
+
+// Build runs the one-pass sweep: every block is attributed and
+// position-analyzed exactly once, in parallel over a machine-sized worker
+// pool. Records land at their block's index, so the result is identical to
+// a serial sweep.
+func Build(c *chain.Chain, reg *poolid.Registry, opts ...Option) *BlockIndex {
+	ix := &BlockIndex{chain: c, registry: reg, byPool: make(map[string][]int)}
+	for _, opt := range opts {
+		opt(ix)
+	}
+	blocks := c.Blocks()
+	ix.records = make([]BlockRecord, len(blocks))
+	exec := ix.exec
+	if exec == nil {
+		exec = pipeline.Default()
+	}
+	exec.Each(len(blocks), func(i int) {
+		b := blocks[i]
+		rec := BlockRecord{
+			Block:     b,
+			Pool:      reg.AttributeBlock(b),
+			Positions: AnalyzeBlock(b),
+			CPFP:      b.CPFPSet(),
+		}
+		rec.PPE, rec.PPEValid = rec.Positions.PPE()
+		body := b.Body()
+		rec.FeeRates = make([]chain.SatPerVByte, len(body))
+		for j, tx := range body {
+			rec.FeeRates[j] = tx.FeeRate()
+		}
+		ix.records[i] = rec
+	})
+	// Serial aggregation keeps the derived orderings identical to the
+	// historical per-audit computations.
+	byPool := make(map[string]*poolid.Share)
+	for i := range ix.records {
+		rec := &ix.records[i]
+		ix.byPool[rec.Pool] = append(ix.byPool[rec.Pool], i)
+		s := byPool[rec.Pool]
+		if s == nil {
+			s = &poolid.Share{Pool: rec.Pool}
+			byPool[rec.Pool] = s
+		}
+		s.Blocks++
+		s.Txs += int64(len(rec.Block.Body()))
+	}
+	ix.shares = make([]poolid.Share, 0, len(byPool))
+	for _, s := range byPool {
+		if len(ix.records) > 0 {
+			s.HashRate = float64(s.Blocks) / float64(len(ix.records))
+		}
+		ix.shares = append(ix.shares, *s)
+	}
+	sort.Slice(ix.shares, func(i, j int) bool {
+		if ix.shares[i].Blocks != ix.shares[j].Blocks {
+			return ix.shares[i].Blocks > ix.shares[j].Blocks
+		}
+		return ix.shares[i].Pool < ix.shares[j].Pool
+	})
+	return ix
+}
+
+// Chain returns the indexed chain.
+func (ix *BlockIndex) Chain() *chain.Chain { return ix.chain }
+
+// Registry returns the attribution registry the index was built with.
+func (ix *BlockIndex) Registry() *poolid.Registry { return ix.registry }
+
+// Len returns the number of indexed blocks.
+func (ix *BlockIndex) Len() int { return len(ix.records) }
+
+// Record returns the i-th block's record (height order). The record is
+// shared and must not be modified.
+func (ix *BlockIndex) Record(i int) *BlockRecord { return &ix.records[i] }
+
+// Records returns all block records in height order, shared and read-only.
+func (ix *BlockIndex) Records() []BlockRecord { return ix.records }
+
+// Shares returns the per-pool block/transaction counts and hash-rate
+// estimates, ordered by block count descending (ties by name) — the same
+// ordering poolid.EstimateShares produces. Shared and read-only.
+func (ix *BlockIndex) Shares() []poolid.Share { return ix.shares }
+
+// HashRateOf returns the estimated hash rate of the named pool, or 0.
+func (ix *BlockIndex) HashRateOf(pool string) float64 {
+	return poolid.HashRateOf(ix.shares, pool)
+}
+
+// TopPoolsByShare lists pool names whose estimated hash rate meets the
+// threshold, ordered by share descending, excluding Unknown — the roster the
+// differential audits test.
+func (ix *BlockIndex) TopPoolsByShare(minShare float64) []string {
+	var out []string
+	for _, s := range ix.shares {
+		if s.Pool == poolid.Unknown || s.HashRate < minShare {
+			continue
+		}
+		out = append(out, s.Pool)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return ix.HashRateOf(out[i]) > ix.HashRateOf(out[j])
+	})
+	return out
+}
+
+// PoolRecords returns the indices (height order) of the named pool's blocks.
+func (ix *BlockIndex) PoolRecords(pool string) []int { return ix.byPool[pool] }
+
+// BlocksOf returns the named pool's blocks in height order.
+func (ix *BlockIndex) BlocksOf(pool string) []*chain.Block {
+	idxs := ix.byPool[pool]
+	out := make([]*chain.Block, len(idxs))
+	for i, bi := range idxs {
+		out[i] = ix.records[bi].Block
+	}
+	return out
+}
+
+// LocateRecord returns the record index of the block confirming the
+// transaction. ok is false for unconfirmed transactions.
+func (ix *BlockIndex) LocateRecord(id chain.TxID) (int, bool) {
+	loc, ok := ix.chain.Locate(id)
+	if !ok || len(ix.records) == 0 {
+		return 0, false
+	}
+	off := loc.Height - ix.records[0].Block.Height
+	if off < 0 || off >= int64(len(ix.records)) {
+		return 0, false
+	}
+	return int(off), true
+}
+
+// FirstSeen returns the attached observer arrival time for the transaction;
+// ok is false when the index was built without arrival data or the
+// transaction was never seen.
+func (ix *BlockIndex) FirstSeen(id chain.TxID) (time.Time, bool) {
+	t, ok := ix.firstSeen[id]
+	return t, ok
+}
+
+// RewardAddresses returns the distinct coinbase reward addresses each pool
+// used across the chain (Figure 8a), computed once from the cached
+// attributions and memoized.
+func (ix *BlockIndex) RewardAddresses() map[string]map[chain.Address]bool {
+	ix.rewardOnce.Do(func() {
+		out := make(map[string]map[chain.Address]bool)
+		for i := range ix.records {
+			rec := &ix.records[i]
+			addr := rec.Block.RewardAddress()
+			if addr == "" {
+				continue
+			}
+			set := out[rec.Pool]
+			if set == nil {
+				set = make(map[chain.Address]bool)
+				out[rec.Pool] = set
+			}
+			set[addr] = true
+		}
+		ix.rewardAddr = out
+	})
+	return ix.rewardAddr
+}
+
+// SelfInterestSets derives, for each pool, the confirmed transactions in
+// which the pool's reward wallets are a party (sender or receiver) — the
+// paper's §5.2 methodology — using the cached attributions. Memoized; the
+// returned maps are shared and read-only.
+func (ix *BlockIndex) SelfInterestSets() map[string]map[chain.TxID]bool {
+	ix.selfOnce.Do(func() {
+		owner := make(map[chain.Address]string)
+		for pool, addrs := range ix.RewardAddresses() {
+			if pool == poolid.Unknown {
+				continue
+			}
+			for a := range addrs {
+				owner[a] = pool
+			}
+		}
+		out := make(map[string]map[chain.TxID]bool)
+		for i := range ix.records {
+			for _, tx := range ix.records[i].Block.Body() {
+				credit := func(addr chain.Address) {
+					if pool, ok := owner[addr]; ok {
+						set := out[pool]
+						if set == nil {
+							set = make(map[chain.TxID]bool)
+							out[pool] = set
+						}
+						set[tx.ID] = true
+					}
+				}
+				for _, in := range tx.Inputs {
+					credit(in.Address)
+				}
+				for _, o := range tx.Outputs {
+					credit(o.Address)
+				}
+			}
+		}
+		ix.selfSets = out
+	})
+	return ix.selfSets
+}

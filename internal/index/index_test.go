@@ -1,0 +1,204 @@
+package index_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/core"
+	"chainaudit/internal/dataset"
+	"chainaudit/internal/index"
+	"chainaudit/internal/pipeline"
+	"chainaudit/internal/poolid"
+)
+
+func buildA(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Cached(dataset.BuilderA, dataset.Options{Seed: 11, Duration: 4 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestBuildSerialParallelIdentical is the tentpole equivalence guarantee:
+// the index built on a forced multi-worker pool is bit-identical to the one
+// built serially.
+func TestBuildSerialParallelIdentical(t *testing.T) {
+	ds := buildA(t)
+	c, reg := ds.Result.Chain, ds.Registry
+	serial := index.Build(c, reg, index.WithExecutor(pipeline.Serial()))
+	par := index.Build(c, reg, index.WithExecutor(pipeline.New(8)))
+
+	if serial.Len() != par.Len() || serial.Len() != c.Len() {
+		t.Fatalf("lengths: serial %d parallel %d chain %d", serial.Len(), par.Len(), c.Len())
+	}
+	for i := 0; i < serial.Len(); i++ {
+		sr, pr := serial.Record(i), par.Record(i)
+		if sr.Block != pr.Block || sr.Pool != pr.Pool {
+			t.Fatalf("block %d: attribution diverged (%q vs %q)", i, sr.Pool, pr.Pool)
+		}
+		if sr.PPEValid != pr.PPEValid || sr.PPE != pr.PPE {
+			t.Fatalf("block %d: PPE diverged (%v,%v) vs (%v,%v)", i, sr.PPE, sr.PPEValid, pr.PPE, pr.PPEValid)
+		}
+		if len(sr.Positions.IDs) != len(pr.Positions.IDs) {
+			t.Fatalf("block %d: audited counts diverged", i)
+		}
+		for _, id := range sr.Positions.IDs {
+			if sr.Positions.Observed[id] != pr.Positions.Observed[id] ||
+				sr.Positions.Predicted[id] != pr.Positions.Predicted[id] {
+				t.Fatalf("block %d tx %s: positions diverged", i, id)
+			}
+		}
+		for j, fr := range sr.FeeRates {
+			if pr.FeeRates[j] != fr {
+				t.Fatalf("block %d: fee-rate %d diverged", i, j)
+			}
+		}
+	}
+	ss, ps := serial.Shares(), par.Shares()
+	if len(ss) != len(ps) {
+		t.Fatalf("share counts diverged: %d vs %d", len(ss), len(ps))
+	}
+	for i := range ss {
+		if ss[i] != ps[i] {
+			t.Fatalf("share %d diverged: %+v vs %+v", i, ss[i], ps[i])
+		}
+	}
+}
+
+// TestIndexMatchesSerialAudits pins every index-derived aggregate to the
+// historical serial computation it replaced.
+func TestIndexMatchesSerialAudits(t *testing.T) {
+	ds := buildA(t)
+	c, reg := ds.Result.Chain, ds.Registry
+	ix := index.Build(c, reg)
+
+	// Per-block PPE series.
+	want := core.PPESeries(c)
+	got := core.PPESeriesOnIndex(ix)
+	if len(want) != len(got) {
+		t.Fatalf("PPE series lengths: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("PPE[%d]: %v vs %v", i, want[i], got[i])
+		}
+	}
+
+	// Hash-rate shares.
+	shares := poolid.EstimateShares(c, reg)
+	ixShares := ix.Shares()
+	if len(shares) != len(ixShares) {
+		t.Fatalf("share counts: %d vs %d", len(shares), len(ixShares))
+	}
+	for i := range shares {
+		if shares[i] != ixShares[i] {
+			t.Fatalf("share %d: %+v vs %+v", i, shares[i], ixShares[i])
+		}
+	}
+
+	// Top-pool roster.
+	wantTop := core.TopPoolsByShare(c, reg, 0.04)
+	gotTop := ix.TopPoolsByShare(0.04)
+	if len(wantTop) != len(gotTop) {
+		t.Fatalf("top pools: %v vs %v", wantTop, gotTop)
+	}
+	for i := range wantTop {
+		if wantTop[i] != gotTop[i] {
+			t.Fatalf("top pools: %v vs %v", wantTop, gotTop)
+		}
+	}
+
+	// Reward addresses and self-interest sets.
+	wantAddrs := poolid.RewardAddresses(c, reg)
+	gotAddrs := ix.RewardAddresses()
+	if len(wantAddrs) != len(gotAddrs) {
+		t.Fatalf("reward address pool counts: %d vs %d", len(wantAddrs), len(gotAddrs))
+	}
+	for pool, set := range wantAddrs {
+		if len(gotAddrs[pool]) != len(set) {
+			t.Fatalf("pool %q reward addresses: %d vs %d", pool, len(set), len(gotAddrs[pool]))
+		}
+		for a := range set {
+			if !gotAddrs[pool][a] {
+				t.Fatalf("pool %q missing reward address %q", pool, a)
+			}
+		}
+	}
+	wantSets := core.SelfInterestSets(c, reg)
+	gotSets := ix.SelfInterestSets()
+	if len(wantSets) != len(gotSets) {
+		t.Fatalf("self-interest pool counts: %d vs %d", len(wantSets), len(gotSets))
+	}
+	for pool, set := range wantSets {
+		if len(gotSets[pool]) != len(set) {
+			t.Fatalf("pool %q self-interest sets: %d vs %d txs", pool, len(set), len(gotSets[pool]))
+		}
+		for id := range set {
+			if !gotSets[pool][id] {
+				t.Fatalf("pool %q missing self-interest tx %s", pool, id)
+			}
+		}
+	}
+}
+
+// TestLocateRecordAndFirstSeen covers the index's transaction lookups.
+func TestLocateRecordAndFirstSeen(t *testing.T) {
+	ds := buildA(t)
+	c, reg := ds.Result.Chain, ds.Registry
+
+	seen := map[chain.TxID]time.Time{}
+	var probe chain.TxID
+	for _, b := range c.Blocks() {
+		for _, tx := range b.Body() {
+			probe = tx.ID
+			seen[tx.ID] = b.Time
+		}
+	}
+	ix := index.Build(c, reg, index.WithFirstSeen(seen))
+
+	for i := 0; i < ix.Len(); i++ {
+		rec := ix.Record(i)
+		for _, tx := range rec.Block.Body() {
+			bi, ok := ix.LocateRecord(tx.ID)
+			if !ok || bi != i {
+				t.Fatalf("LocateRecord(%s) = (%d, %v), want (%d, true)", tx.ID, bi, ok, i)
+			}
+		}
+	}
+	if probe != (chain.TxID{}) {
+		if _, ok := ix.FirstSeen(probe); !ok {
+			t.Fatalf("FirstSeen(%s) missing", probe)
+		}
+	}
+	if _, ok := ix.LocateRecord(chain.TxID{0xde, 0xad}); ok {
+		t.Fatal("LocateRecord found a nonexistent transaction")
+	}
+}
+
+// TestSPPEConsistency ties Positions.SPPE to the definition.
+func TestSPPEConsistency(t *testing.T) {
+	ds := buildA(t)
+	ix := index.Build(ds.Result.Chain, ds.Registry)
+	checked := 0
+	for i := 0; i < ix.Len() && checked < 200; i++ {
+		p := ix.Record(i).Positions
+		n := p.N()
+		for _, id := range p.IDs {
+			s, ok := p.SPPE(id)
+			if !ok {
+				t.Fatalf("SPPE not ok for audited tx %s", id)
+			}
+			want := index.PercentileRank(p.Predicted[id], n) - index.PercentileRank(p.Observed[id], n)
+			if math.Abs(s-want) > 1e-12 {
+				t.Fatalf("SPPE(%s) = %v, want %v", id, s, want)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no audited transactions checked")
+	}
+}

@@ -1,0 +1,123 @@
+// Package pipeline provides the deterministic parallel executor the audit
+// layers fan out on. Work items are identified by index; results are always
+// placed back at the item's index, so the merged output of a parallel run is
+// bit-identical to the serial loop it replaces regardless of worker count or
+// scheduling. The executor is allocation-light (one goroutine per worker, an
+// atomic cursor for work stealing) so it is safe to use for both coarse
+// stages (one experiment per task) and fine ones (one block per task).
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Executor runs indexed work items over a fixed-size worker pool.
+type Executor struct {
+	workers int
+}
+
+// New returns an executor with the given worker count; counts below one
+// select runtime.GOMAXPROCS(0).
+func New(workers int) *Executor {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Executor{workers: workers}
+}
+
+// Default returns an executor sized to the machine (GOMAXPROCS workers).
+func Default() *Executor { return New(0) }
+
+// Serial returns a single-worker executor — the reference serial path.
+func Serial() *Executor { return New(1) }
+
+// Workers returns the pool size.
+func (e *Executor) Workers() int { return e.workers }
+
+// Each invokes f(i) for every i in [0, n), distributing indices over the
+// worker pool and blocking until all complete. Indices are claimed with an
+// atomic cursor, so f must not assume any execution order; determinism comes
+// from writing results keyed by i. A panic in any f is re-raised on the
+// calling goroutine after the pool drains.
+func (e *Executor) Each(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		pmu    sync.Mutex
+		pval   any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pmu.Lock()
+					if pval == nil {
+						pval = r
+					}
+					pmu.Unlock()
+				}
+			}()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if pval != nil {
+		panic(fmt.Sprintf("pipeline: worker panic: %v", pval))
+	}
+}
+
+// MapWith computes f(i) for every i in [0, n) on the executor and returns
+// the results in index order.
+func MapWith[T any](e *Executor, n int, f func(i int) T) []T {
+	out := make([]T, n)
+	e.Each(n, func(i int) { out[i] = f(i) })
+	return out
+}
+
+// Map computes f over [0, n) on a machine-sized pool, results in index
+// order.
+func Map[T any](n int, f func(i int) T) []T {
+	return MapWith(Default(), n, f)
+}
+
+// Result pairs a value with the error its task produced, for fan-outs whose
+// stages can fail.
+type Result[T any] struct {
+	Value T
+	Err   error
+}
+
+// MapErr computes f over [0, n) in parallel and returns value/error pairs in
+// index order. The caller decides which errors are fatal — typically by
+// scanning the results in order and returning the first unexpected error,
+// which keeps error selection deterministic too.
+func MapErr[T any](e *Executor, n int, f func(i int) (T, error)) []Result[T] {
+	return MapWith(e, n, func(i int) Result[T] {
+		v, err := f(i)
+		return Result[T]{Value: v, Err: err}
+	})
+}

@@ -1,0 +1,95 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 1000
+			hits := make([]int32, n)
+			New(workers).Each(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("index %d ran %d times", i, h)
+				}
+			}
+		})
+	}
+}
+
+func TestEachEmptyAndTiny(t *testing.T) {
+	Default().Each(0, func(int) { t.Fatal("called for n=0") })
+	var ran int32
+	Default().Each(1, func(int) { atomic.AddInt32(&ran, 1) })
+	if ran != 1 {
+		t.Fatalf("n=1 ran %d times", ran)
+	}
+}
+
+func TestMapDeterministicOrder(t *testing.T) {
+	const n = 500
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, e := range []*Executor{Serial(), Default(), New(3)} {
+		got := MapWith(e, n, func(i int) int { return i * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("result[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapErrKeepsIndexAlignment(t *testing.T) {
+	results := MapErr(Default(), 100, func(i int) (int, error) {
+		if i%7 == 3 {
+			return 0, fmt.Errorf("boom %d", i)
+		}
+		return i * 2, nil
+	})
+	for i, r := range results {
+		if i%7 == 3 {
+			if r.Err == nil || r.Err.Error() != fmt.Sprintf("boom %d", i) {
+				t.Fatalf("result[%d]: want error, got %v", i, r.Err)
+			}
+			continue
+		}
+		if r.Err != nil || r.Value != i*2 {
+			t.Fatalf("result[%d] = (%d, %v), want (%d, nil)", i, r.Value, r.Err, i*2)
+		}
+	}
+}
+
+func TestEachPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "marker") {
+			t.Fatalf("unexpected panic payload %v", r)
+		}
+	}()
+	New(4).Each(100, func(i int) {
+		if i == 42 {
+			panic("marker")
+		}
+	})
+}
+
+// TestEachConcurrentStress exercises the atomic cursor under -race.
+func TestEachConcurrentStress(t *testing.T) {
+	var sum int64
+	const n = 10_000
+	New(8).Each(n, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if want := int64(n) * (n - 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
