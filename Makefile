@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-key reproduce clean
+.PHONY: check build vet test race bench bench-key reproduce smoke-metrics clean
 
-# check is the tier-1 gate: vet, build, and the full test suite under the
-# race detector.
-check: vet build race
+# check is the tier-1 gate: vet, build, the full test suite under the
+# race detector, and the metrics manifest smoke test.
+check: vet build race smoke-metrics
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,13 @@ bench-key:
 
 reproduce:
 	$(GO) run ./cmd/reproduce
+
+# smoke-metrics runs one small experiment with -metrics and validates the
+# emitted manifest against the internal/obs schema, keeping the
+# observability surface from rotting.
+smoke-metrics:
+	$(GO) run ./cmd/reproduce -exp fig7 -scale 0.1 -metrics /tmp/chainaudit-metrics.json > /dev/null
+	$(GO) run ./cmd/reproduce -validate-metrics /tmp/chainaudit-metrics.json
 
 clean:
 	$(GO) clean ./...

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	reproduce [-seed N] [-scale X] [-csv] [-exp list] [-parallel]
-//	          [-cpuprofile f] [-memprofile f]
+//	          [-cpuprofile f] [-memprofile f] [-metrics f]
+//	reproduce -validate-metrics f
 //
 // -exp selects experiments by id (comma separated): fig1..fig14, table1..
 // table5, norm3, ablations, or "all" (default). -scale grows the simulated
@@ -13,6 +14,15 @@
 // their outputs are emitted in deterministic order; -parallel=false forces
 // the serial reference path. -cpuprofile/-memprofile write pprof profiles
 // covering the whole run, for measuring pipeline speedups.
+//
+// -metrics writes a run manifest (internal/obs schema chainaudit.metrics/v1)
+// carrying provenance (seed, config hash, git revision), per-experiment wall
+// times, data-set cache hits, and pipeline worker occupancy, and prints a
+// human-readable digest on stderr; the experiment output on stdout is
+// unaffected, so parallel runs stay byte-identical to serial ones.
+// -validate-metrics checks an existing manifest against the schema and
+// exits; the Makefile's check gate uses it to keep the observability surface
+// from rotting.
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"time"
 
 	"chainaudit/internal/experiments"
+	"chainaudit/internal/obs"
 	"chainaudit/internal/pipeline"
 )
 
@@ -51,8 +62,20 @@ func run(args []string, out io.Writer) error {
 	par := fs.Bool("parallel", true, "run selected experiments on the parallel pipeline executor")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	metricsPath := fs.String("metrics", "", "write a run manifest (JSON) to this file and a summary to stderr")
+	validatePath := fs.String("validate-metrics", "", "validate an existing run manifest and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *validatePath != "" {
+		m, err := obs.ValidateManifestFile(*validatePath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "manifest ok: %s, %d experiments, config %s\n",
+			*validatePath, len(m.Experiments), m.ConfigHash)
+		return nil
 	}
 
 	known := map[string]bool{"all": true, "norm3": true, "extensions": true, "ablations": true}
@@ -260,13 +283,22 @@ func run(args []string, out io.Writer) error {
 	if len(picked) == 0 {
 		return fmt.Errorf("no experiment matched %q", *expFlag)
 	}
+	// Per-experiment wall times for the manifest. Timing observes the runs
+	// without altering them, so stdout stays byte-identical across modes.
+	expWall := make([]time.Duration, len(picked))
+	timed := func(i int, w io.Writer) error {
+		t0 := time.Now()
+		err := picked[i].run(w)
+		expWall[i] = time.Since(t0)
+		return err
+	}
 	if *par {
 		// Fan the selected experiments out over the executor; each renders
 		// into its own buffer and the buffers are emitted in selection
 		// order, so the output is byte-identical to the serial path.
 		bufs := make([]bytes.Buffer, len(picked))
 		results := pipeline.MapErr(pipeline.Default(), len(picked), func(i int) (struct{}, error) {
-			return struct{}{}, picked[i].run(&bufs[i])
+			return struct{}{}, timed(i, &bufs[i])
 		})
 		for i, r := range results {
 			if r.Err != nil {
@@ -278,13 +310,41 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	} else {
-		for _, s := range picked {
+		for i, s := range picked {
 			fmt.Fprintf(out, "### %s\n", s.id)
-			if err := s.run(out); err != nil {
+			if err := timed(i, out); err != nil {
 				return fmt.Errorf("%s: %w", s.id, err)
 			}
 		}
 	}
 	fmt.Fprintf(out, "done: %d experiments in %v\n", len(picked), time.Since(start).Round(time.Second))
+
+	if *metricsPath != "" {
+		workers := 1
+		if *par {
+			workers = pipeline.Default().Workers()
+		}
+		m := obs.NewManifest("", *seed, *scale, obs.ConfigHash(
+			fmt.Sprintf("seed=%d", *seed),
+			fmt.Sprintf("scale=%g", *scale),
+			fmt.Sprintf("exp=%s", *expFlag),
+			fmt.Sprintf("parallel=%t", *par),
+			fmt.Sprintf("workers=%d", workers),
+		))
+		m.Parallel = *par
+		m.Workers = workers
+		m.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+		for i, s := range picked {
+			m.Experiments = append(m.Experiments, obs.ExperimentTiming{
+				ID:     s.id,
+				WallMS: float64(expWall[i]) / float64(time.Millisecond),
+			})
+		}
+		m.FillFromSnapshot(obs.Default.Snapshot())
+		if err := m.WriteFile(*metricsPath); err != nil {
+			return err
+		}
+		m.Summary(os.Stderr)
+	}
 	return nil
 }

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"chainaudit/internal/obs"
 )
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
@@ -86,6 +88,64 @@ func TestParallelMatchesSerialOutput(t *testing.T) {
 	if stripTimings(par.String()) != stripTimings(ser.String()) {
 		t.Errorf("parallel and serial outputs diverge:\n--- parallel ---\n%s\n--- serial ---\n%s",
 			par.String(), ser.String())
+	}
+}
+
+func TestMetricsFlagWritesValidManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds data sets")
+	}
+	path := filepath.Join(t.TempDir(), "m.json")
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.1", "-seed", "5", "-exp", "table1,fig7",
+		"-metrics", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.ValidateManifestFile(path)
+	if err != nil {
+		t.Fatalf("manifest does not validate: %v", err)
+	}
+	if m.Seed != 5 || m.Scale != 0.1 {
+		t.Errorf("manifest provenance = seed %d scale %g", m.Seed, m.Scale)
+	}
+	ids := make([]string, len(m.Experiments))
+	for i, e := range m.Experiments {
+		ids[i] = e.ID
+	}
+	if len(ids) != 2 || ids[0] != "table1" || ids[1] != "fig7" {
+		t.Errorf("experiment timings = %v, want [table1 fig7]", ids)
+	}
+	// The selection touches all three data sets, so cache activity and the
+	// simulator counters must be present in the snapshot.
+	if m.CacheHits+m.CacheMisses == 0 {
+		t.Error("manifest records no cache activity")
+	}
+	if m.Metrics.Counters["sim.events"] == 0 {
+		t.Error("manifest snapshot missing sim.events")
+	}
+
+	// The written manifest must pass the -validate-metrics path too.
+	var vout bytes.Buffer
+	if err := run([]string{"-validate-metrics", path}, &vout); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(vout.String(), "manifest ok") {
+		t.Errorf("validate output %q", vout.String())
+	}
+}
+
+func TestValidateMetricsRejectsBadFile(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-validate-metrics", bad}, &out); err == nil {
+		t.Error("wrong-schema manifest accepted")
+	}
+	if err := run([]string{"-validate-metrics", filepath.Join(dir, "missing.json")}, &out); err == nil {
+		t.Error("missing manifest accepted")
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"chainaudit/internal/obs"
 )
 
 // Builder names one of the data-set builders for the cache API.
@@ -72,9 +74,15 @@ func Cached(b Builder, opts Options) (*Dataset, error) {
 	if e == nil {
 		e = &cacheEntry{}
 		cache[key] = e
+		// The entry's creator is the miss; every later caller of the same
+		// key is a hit, even when it blocks on a build in flight.
+		obs.Inc("dataset.cache.miss")
+	} else {
+		obs.Inc("dataset.cache.hit")
 	}
 	cacheMu.Unlock()
 	e.once.Do(func() {
+		defer obs.Timed("dataset.build." + string(b))()
 		e.ds, e.err = builderFuncs[b](norm)
 	})
 	return e.ds, e.err

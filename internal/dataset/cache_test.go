@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"chainaudit/internal/obs"
 )
 
 func TestCachedReturnsSameDataset(t *testing.T) {
@@ -125,5 +127,33 @@ func TestCachedConcurrentBuildsShareOneSimulation(t *testing.T) {
 func TestCachedUnknownBuilder(t *testing.T) {
 	if _, err := Cached(Builder("Z"), Options{Seed: 1}); err == nil {
 		t.Fatal("unknown builder did not error")
+	}
+}
+
+func TestCachedRecordsHitMissAndBuildTime(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	hits0 := obs.Default.Counter("dataset.cache.hit").Value()
+	miss0 := obs.Default.Counter("dataset.cache.miss").Value()
+	builds0 := obs.Default.Timer("dataset.build.A").Stats().Count
+
+	opts := Options{Seed: 83, Duration: 2 * time.Hour}
+	if _, err := Cached(BuilderA, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Cached(BuilderA, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Cached(BuilderA, opts); err != nil {
+		t.Fatal(err)
+	}
+	if d := obs.Default.Counter("dataset.cache.miss").Value() - miss0; d != 1 {
+		t.Errorf("miss delta = %d, want 1", d)
+	}
+	if d := obs.Default.Counter("dataset.cache.hit").Value() - hits0; d != 2 {
+		t.Errorf("hit delta = %d, want 2", d)
+	}
+	if d := obs.Default.Timer("dataset.build.A").Stats().Count - builds0; d != 1 {
+		t.Errorf("build timer delta = %d, want 1 (cache hits must not rebuild)", d)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"chainaudit/internal/core"
 	"chainaudit/internal/gbt"
 	"chainaudit/internal/miner"
+	"chainaudit/internal/obs"
 	"chainaudit/internal/report"
 	"chainaudit/internal/sim"
 	"chainaudit/internal/stats"
@@ -19,6 +20,7 @@ import (
 // the part of Figure 7's error attributable to CPFP-aware selection rather
 // than misbehaviour.
 func (s *Suite) AblationPolicyGap() (*report.Table, error) {
+	defer obs.Timed("experiment.ablation.policy_gap")()
 	run := func(policy gbt.Policy, seed uint64) (stats.Summary, error) {
 		pools := []*miner.Pool{miner.NewPool("P1", "/P1/", 0.6, 2), miner.NewPool("P2", "/P2/", 0.4, 2)}
 		for _, p := range pools {
@@ -57,6 +59,7 @@ func (s *Suite) AblationPolicyGap() (*report.Table, error) {
 // §5.1.3 normal approximation across a grid of (y, θ0, amplification)
 // settings, reporting the log10 p-value discrepancy.
 func (s *Suite) AblationBinomApprox() *report.Table {
+	defer obs.Timed("experiment.ablation.binom_approx")()
 	t := report.NewTable("Ablation: exact vs normal-approximation p-values",
 		"y", "theta0", "x", "p_exact", "p_normal", "abs_log10_gap")
 	for _, y := range []int64{20, 53, 200, 1000, 10_000} {
@@ -93,6 +96,7 @@ func logGap(a, b float64) float64 {
 // 30 snapshots; the sweep shows the estimate has converged well before
 // that.
 func (s *Suite) AblationSnapshotSampling() *report.Table {
+	defer obs.Timed("experiment.ablation.snapshot_sampling")()
 	obs := s.A.Result.Observer("A")
 	c := s.A.Result.Chain
 	t := report.NewTable("Ablation: violation-fraction estimate vs snapshot sample size",

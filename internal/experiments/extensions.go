@@ -10,6 +10,7 @@ import (
 	"chainaudit/internal/gbt"
 	"chainaudit/internal/miner"
 	"chainaudit/internal/norms"
+	"chainaudit/internal/obs"
 	"chainaudit/internal/poolid"
 	"chainaudit/internal/report"
 	"chainaudit/internal/sim"
@@ -34,6 +35,7 @@ import (
 // from all included transactions versus the norm-clean view excluding
 // SPPE ≥ 90 inclusions, across percentiles.
 func (s *Suite) ExtFeeEstimatorBias() (*report.Table, error) {
+	defer obs.Timed("experiment.ext.feeest_bias")()
 	t := report.NewTable("Extension: fee-estimator bias from norm-violating inclusions (C)",
 		"percentile", "naive_rec_sat_vb", "clean_rec_sat_vb", "underestimation_pct", "excluded_txs")
 	for _, p := range []float64{10, 25, 50, 75} {
@@ -55,6 +57,7 @@ func (s *Suite) ExtFeeEstimatorBias() (*report.Table, error) {
 // deceleration test against it and against an honest control pool. The
 // censoring pool must be caught; the control must not.
 func (s *Suite) ExtCensorshipPower() (*report.Table, error) {
+	defer obs.Timed("experiment.ext.censorship")()
 	blacklisted := wallet.DeriveAddress("sanctioned-entity")
 	censor := miner.NewPool("CensorCo", "/CensorCo/", 0.20, 3).CensorAddresses(blacklisted)
 	honest := miner.NewPool("HonestCo", "/HonestCo/", 0.20, 3)
@@ -108,6 +111,7 @@ func (s *Suite) ExtCensorshipPower() (*report.Table, error) {
 // chain is characterized by delay tails, low-fee starvation, and fee
 // revenue — the axes the chain-neutrality debate trades off.
 func (s *Suite) ExtNormComparison() (*report.Table, error) {
+	defer obs.Timed("experiment.ext.norm_comparison")()
 	t := report.NewTable("Extension: ordering norms compared on one workload",
 		"norm", "delay_p50", "delay_p99", "lowfee_delay_p50", "starved", "fee_per_block_sat", "confirmed", "observed")
 	capacity := int64(60_000)
@@ -164,6 +168,7 @@ type gbtPolicy struct {
 // one side confirmed (the chain's double-spend guard enforces it), and the
 // fee-bumped replacement wins the overwhelming majority.
 func (s *Suite) ExtConflictOutcomes() (*report.Table, error) {
+	defer obs.Timed("experiment.ext.conflicts")()
 	t := report.NewTable("Extension: conflicting-transaction (RBF) outcomes (C)",
 		"outcome", "count")
 	oldWins, newWins, pending := 0, 0, 0
@@ -192,6 +197,7 @@ func (s *Suite) ExtConflictOutcomes() (*report.Table, error) {
 // U tests: for consecutive fee bands in A and B, the lower band's delays
 // must be stochastically greater at overwhelming significance.
 func (s *Suite) ExtDelaySignificance() (*report.Table, error) {
+	defer obs.Timed("experiment.ext.delay_significance")()
 	t := report.NewTable("Extension: Mann-Whitney significance of Figure 5/12 orderings",
 		"dataset", "comparison", "p_greater", "common_language", "n_low", "n_high")
 	for _, ds := range []struct {

@@ -10,6 +10,7 @@ import (
 	"chainaudit/internal/gbt"
 	"chainaudit/internal/mempool"
 	"chainaudit/internal/miner"
+	"chainaudit/internal/obs"
 	"chainaudit/internal/poolid"
 	"chainaudit/internal/report"
 	"chainaudit/internal/sim"
@@ -26,6 +27,7 @@ const cdfPoints = 64
 // simulated with the Priority template policy, the post era with the
 // fee-rate policy; both eras are audited against the fee-rate norm.
 func (s *Suite) Fig01NormShift() (*report.Figure, error) {
+	defer obs.Timed("experiment.fig1")()
 	mkEra := func(label string, policy gbt.Policy, startHeight int64, seed uint64) ([]float64, error) {
 		pools := []*miner.Pool{
 			miner.NewPool("EraPool1", "/E1/", 0.5, 2),
@@ -67,6 +69,7 @@ func (s *Suite) Fig01NormShift() (*report.Figure, error) {
 // Fig02PoolShares reproduces Figure 2: blocks mined and transactions
 // confirmed by the top-20 MPOs in each data set.
 func (s *Suite) Fig02PoolShares() *report.Table {
+	defer obs.Timed("experiment.fig2")()
 	t := report.NewTable("Figure 2: blocks and transactions by top-20 MPOs",
 		"dataset", "pool", "blocks", "txs", "hashrate")
 	for _, ds := range []*dataset.Dataset{s.A, s.B, s.C} {
@@ -82,6 +85,7 @@ func (s *Suite) Fig02PoolShares() *report.Table {
 // blocks over time, (b) mempool-size distributions for A and B, (c) the
 // mempool-size time series of A.
 func (s *Suite) Fig03Congestion() (*report.Figure, *report.Figure, *report.Table) {
+	defer obs.Timed("experiment.fig3")()
 	// (a) cumulative counts over time from data set C.
 	cum := report.NewTable("Figure 3a: cumulative blocks and transactions (C)",
 		"time", "blocks", "txs")
@@ -131,6 +135,7 @@ func (s *Suite) Fig03Congestion() (*report.Figure, *report.Figure, *report.Table
 // Fig04DelaysFees reproduces Figure 4: (a) commit-delay CDFs, (b) fee-rate
 // CDFs, (c) fee-rates per congestion level in A.
 func (s *Suite) Fig04DelaysFees() (*report.Figure, *report.Figure, *report.Figure) {
+	defer obs.Timed("experiment.fig4")()
 	fa := report.NewFigure("Figure 4a: commit delay distributions", "delay (blocks)")
 	fb := report.NewFigure("Figure 4b: fee-rate distributions", "fee-rate (BTC/KB)")
 	for _, ds := range []*dataset.Dataset{s.A, s.B} {
@@ -151,11 +156,13 @@ func (s *Suite) Fig04DelaysFees() (*report.Figure, *report.Figure, *report.Figur
 
 // Fig05FeeDelay reproduces Figure 5: commit-delay CDFs per fee band in A.
 func (s *Suite) Fig05FeeDelay() *report.Figure {
+	defer obs.Timed("experiment.fig5")()
 	return feeDelayFigure("Figure 5: commit delays by fee-rate band (A)", s.A)
 }
 
 // Fig12FeeDelayB is Figure 12: the data set B counterpart of Figure 5.
 func (s *Suite) Fig12FeeDelayB() *report.Figure {
+	defer obs.Timed("experiment.fig12")()
 	return feeDelayFigure("Figure 12: commit delays by fee-rate band (B)", s.B)
 }
 
@@ -174,6 +181,7 @@ func feeDelayFigure(title string, ds *dataset.Dataset) *report.Figure {
 // of the fraction of transaction pairs violating the fee-rate selection
 // norm, for ε ∈ {0, 10 s, 10 min}, with and without dependent (CPFP) pairs.
 func (s *Suite) Fig06ViolationPairs(sampleN int) (*report.Figure, *report.Figure) {
+	defer obs.Timed("experiment.fig6")()
 	obs := s.A.Result.Observer("A")
 	c := s.A.Result.Chain
 	epsilons := []struct {
@@ -201,6 +209,7 @@ func (s *Suite) Fig06ViolationPairs(sampleN int) (*report.Figure, *report.Figure
 // and per top-6 pool. Per-block PPE and attribution come precomputed from
 // the shared C index; this just aggregates.
 func (s *Suite) Fig07PPE() (*report.Figure, stats.Summary) {
+	defer obs.Timed("experiment.fig7")()
 	ix := s.CIndex()
 	aud := core.NewIndexedAuditor(ix)
 	rep := aud.PPEReport(1)
@@ -221,6 +230,7 @@ func (s *Suite) Fig07PPE() (*report.Figure, stats.Summary) {
 // Fig08PoolWallets reproduces Figure 8: (a) distinct reward addresses per
 // pool and (b) inferred self-interest transaction counts.
 func (s *Suite) Fig08PoolWallets() *report.Table {
+	defer obs.Timed("experiment.fig8")()
 	t := report.NewTable("Figure 8: pool wallets and self-interest transactions (C)",
 		"pool", "reward_addresses", "self_interest_txs")
 	addrs := s.CIndex().RewardAddresses()
@@ -236,6 +246,7 @@ func (s *Suite) Fig08PoolWallets() *report.Table {
 
 // Fig09MempoolB reproduces Figure 9: data set B's mempool size over time.
 func (s *Suite) Fig09MempoolB() *report.Figure {
+	defer obs.Timed("experiment.fig9")()
 	f := report.NewFigure("Figure 9: mempool size over time (B)", "hours since start")
 	obs := s.B.Result.Observer("B")
 	stride := len(obs.Summaries) / 200
@@ -255,6 +266,7 @@ func (s *Suite) Fig09MempoolB() *report.Figure {
 // Fig10FeeratesByPool reproduces Figure 10: fee-rate CDFs of transactions
 // committed by the top-5 pools in A.
 func (s *Suite) Fig10FeeratesByPool() *report.Figure {
+	defer obs.Timed("experiment.fig10")()
 	f := report.NewFigure("Figure 10: fee-rates by top-5 MPO (A)", "fee-rate (BTC/KB)")
 	byPool := core.ConfirmedFeeRatesByPool(s.A.Result.Chain, s.A.Registry)
 	for i, sh := range poolid.TopShares(s.AIndex().Shares(), 5) {
@@ -268,6 +280,7 @@ func (s *Suite) Fig10FeeratesByPool() *report.Figure {
 // Fig11CongestionFeesB reproduces Figure 11: fee-rates per congestion level
 // in data set B.
 func (s *Suite) Fig11CongestionFeesB() *report.Figure {
+	defer obs.Timed("experiment.fig11")()
 	f := report.NewFigure("Figure 11: fee-rates by congestion level (B)", "fee-rate (BTC/KB)")
 	byLevel := core.FeeRatesByCongestion(seenRecords(s.B.Result.Observer("B")))
 	for level := mempool.CongestionNone; level <= mempool.CongestionHigh; level++ {
@@ -281,6 +294,7 @@ func (s *Suite) Fig11CongestionFeesB() *report.Figure {
 // Fig13ScamWindowShares reproduces Figure 13: blocks and transactions per
 // MPO during the scam window.
 func (s *Suite) Fig13ScamWindowShares() *report.Table {
+	defer obs.Timed("experiment.fig13")()
 	t := report.NewTable("Figure 13: MPO shares during the scam window (C)",
 		"pool", "blocks", "txs", "hashrate")
 	win := s.C.ScamWindow()
@@ -294,6 +308,7 @@ func (s *Suite) Fig13ScamWindowShares() *report.Table {
 // Fig14AccelFees reproduces Figure 14 / Appendix G: the distribution of
 // quoted acceleration fees relative to public fees for a mempool snapshot.
 func (s *Suite) Fig14AccelFees() (*report.Figure, stats.Summary) {
+	defer obs.Timed("experiment.fig14")()
 	svc := s.C.Services["BTC.com"]
 	obs := pickSnapshot(s.A)
 	f := report.NewFigure("Figure 14: public fee vs quoted acceleration fee", "fee (BTC)")

@@ -14,6 +14,7 @@ import (
 	"chainaudit/internal/core"
 	"chainaudit/internal/dataset"
 	"chainaudit/internal/index"
+	"chainaudit/internal/obs"
 	"chainaudit/internal/poolid"
 	"chainaudit/internal/sim"
 	"chainaudit/internal/stats"
@@ -43,6 +44,7 @@ func NewSuite(seed uint64, scale float64) (*Suite, error) {
 	if scale <= 0 {
 		scale = 1
 	}
+	defer obs.Timed("experiment.suite_build")()
 	s := &Suite{Seed: seed, rng: stats.NewRNG(seed ^ 0xE59)}
 	var err error
 	if s.A, err = dataset.Cached(dataset.BuilderA, dataset.Options{Seed: seed + 1, Duration: scaleDur(12*time.Hour, scale)}); err != nil {
@@ -59,14 +61,20 @@ func NewSuite(seed uint64, scale float64) (*Suite, error) {
 
 // AIndex returns the shared audit index over data set A's chain.
 func (s *Suite) AIndex() *index.BlockIndex {
-	s.aIdxOnce.Do(func() { s.aIdx = index.Build(s.A.Result.Chain, s.A.Registry) })
+	s.aIdxOnce.Do(func() {
+		defer obs.Timed("experiment.index_build.A")()
+		s.aIdx = index.Build(s.A.Result.Chain, s.A.Registry)
+	})
 	return s.aIdx
 }
 
 // CIndex returns the shared audit index over data set C's chain — the one
 // the PPE, self-interest, and dark-fee analyses all consume.
 func (s *Suite) CIndex() *index.BlockIndex {
-	s.cIdxOnce.Do(func() { s.cIdx = index.Build(s.C.Result.Chain, s.C.Registry) })
+	s.cIdxOnce.Do(func() {
+		defer obs.Timed("experiment.index_build.C")()
+		s.cIdx = index.Build(s.C.Result.Chain, s.C.Registry)
+	})
 	return s.cIdx
 }
 

@@ -6,11 +6,13 @@ import (
 	"chainaudit/internal/chain"
 	"chainaudit/internal/core"
 	"chainaudit/internal/dataset"
+	"chainaudit/internal/obs"
 	"chainaudit/internal/report"
 )
 
 // Table1 reproduces the paper's Table 1: a summary of the three data sets.
 func (s *Suite) Table1() *report.Table {
+	defer obs.Timed("experiment.table1")()
 	t := report.NewTable("Table 1: data sets",
 		"dataset", "from", "to", "heights", "blocks", "tx_issued", "tx_confirmed", "cpfp_pct", "empty_blocks")
 	for _, ds := range []*dataset.Dataset{s.A, s.B, s.C} {
@@ -30,6 +32,7 @@ func (s *Suite) Table1() *report.Table {
 // either tail are returned, which in a correctly planted data set are
 // exactly the selfish and collusive pairs.
 func (s *Suite) Table2SelfInterest() (*report.Table, []core.SelfInterestFinding, error) {
+	defer obs.Timed("experiment.table2")()
 	t := report.NewTable("Table 2: differential prioritization of self-interest transactions",
 		"owner", "pool", "theta0", "x", "y", "p_accel", "q_accel", "p_decel", "sppe", "sppe_n")
 	// Every (owner, tester) combination forms the multiple-testing family;
@@ -60,6 +63,7 @@ func (s *Suite) Table2SelfInterest() (*report.Table, []core.SelfInterestFinding,
 // transactions in the scam window, per top pool. The paper (and a sound
 // reproduction) finds no significant rows.
 func (s *Suite) Table3Scam() (*report.Table, []core.DifferentialResult, error) {
+	defer obs.Timed("experiment.table3")()
 	win := s.C.ScamWindow()
 	set := payoutSet(s.C.Result.Truth.ScamTxs)
 	aud := core.Auditor{Chain: win, Registry: s.C.Registry}
@@ -79,6 +83,7 @@ func (s *Suite) Table3Scam() (*report.Table, []core.DifferentialResult, error) {
 // validated against BTC.com's acceleration oracle, plus the random-sample
 // baseline.
 func (s *Suite) Table4DarkFee() (*report.Table, []core.DetectorRow) {
+	defer obs.Timed("experiment.table4")()
 	svc := s.C.Services["BTC.com"]
 	rows := core.ValidateDetectorOnIndex(s.CIndex(), "BTC.com",
 		[]float64{100, 99, 90, 50, 1}, svc.IsAccelerated)
@@ -95,6 +100,7 @@ func (s *Suite) Table4DarkFee() (*report.Table, []core.DetectorRow) {
 // Table5FeeRevenue reproduces Table 5: miners' relative revenue from fees
 // per halving era.
 func (s *Suite) Table5FeeRevenue() (*report.Table, []dataset.Table5Row, error) {
+	defer obs.Timed("experiment.table5")()
 	rows, err := dataset.BuildTable5(s.Seed+500, 3*time.Hour, 60_000)
 	if err != nil {
 		return nil, nil, err
@@ -109,6 +115,7 @@ func (s *Suite) Table5FeeRevenue() (*report.Table, []dataset.Table5Row, error) {
 // NormIIICensus reports the §4.2.3 low-fee confirmation census over B and C
 // (which pools ever confirmed sub-minimum transactions).
 func (s *Suite) NormIIICensus() *report.Table {
+	defer obs.Timed("experiment.norm3")()
 	t := report.NewTable("Norm III: confirmed below-minimum fee-rate transactions",
 		"dataset", "pool", "count", "zero_fee")
 	for _, ds := range []*dataset.Dataset{s.B, s.C} {

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ManifestSchema identifies the manifest layout. Bump the version suffix on
+// breaking changes; ValidateManifest pins it.
+const ManifestSchema = "chainaudit.metrics/v1"
+
+// ExperimentTiming is one experiment's wall time within a run.
+type ExperimentTiming struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+// Manifest is the structured record of one reproduction run: provenance
+// (seed, config hash, git describe, Go version), the run shape (parallel,
+// worker count), per-experiment wall times, data-set cache effectiveness,
+// pipeline worker occupancy, and the full metrics snapshot. EXPERIMENTS.md's
+// timing tables are regenerated from manifests rather than hand-copied.
+type Manifest struct {
+	Schema        string  `json:"schema"`
+	CreatedUnixMS int64   `json:"created_unix_ms"`
+	GoVersion     string  `json:"go_version"`
+	Git           string  `json:"git"`
+	Seed          uint64  `json:"seed"`
+	Scale         float64 `json:"scale"`
+	ConfigHash    string  `json:"config_hash"`
+	Parallel      bool    `json:"parallel"`
+	Workers       int     `json:"workers"`
+	WallMS        float64 `json:"wall_ms"`
+
+	Experiments []ExperimentTiming `json:"experiments"`
+
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	WorkerOccupancy float64 `json:"worker_occupancy"`
+
+	Metrics Snapshot `json:"metrics"`
+}
+
+// NewManifest stamps a manifest with the run's provenance. dir is the
+// working tree GitDescribe should inspect ("" = current directory).
+func NewManifest(dir string, seed uint64, scale float64, configHash string) *Manifest {
+	return &Manifest{
+		Schema:        ManifestSchema,
+		CreatedUnixMS: time.Now().UnixMilli(),
+		GoVersion:     runtime.Version(),
+		Git:           GitDescribe(dir),
+		Seed:          seed,
+		Scale:         scale,
+		ConfigHash:    configHash,
+	}
+}
+
+// FillFromSnapshot attaches the metrics snapshot and derives the headline
+// aggregates the manifest promotes to top level: data-set cache hits/misses
+// and overall pipeline worker occupancy (busy worker-time over offered
+// worker-time, across every Each call).
+func (m *Manifest) FillFromSnapshot(s Snapshot) {
+	m.Metrics = s
+	m.CacheHits = s.Counters["dataset.cache.hit"]
+	m.CacheMisses = s.Counters["dataset.cache.miss"]
+	busy := s.Counters["pipeline.busy_ns"]
+	offered := s.Counters["pipeline.offered_ns"]
+	if offered > 0 {
+		m.WorkerOccupancy = float64(busy) / float64(offered)
+	}
+}
+
+// ConfigHash hashes the run-defining parts into a short stable hex string
+// (FNV-1a 64). Parts are joined with a separator, so callers pass one
+// "key=value" string per knob.
+func ConfigHash(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		io.WriteString(h, p)
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// GitDescribe identifies the source revision. It prefers the build info
+// embedded by the toolchain (works for installed binaries), falls back to
+// `git describe` in dir, and reports "unknown" when neither is available —
+// never an error, as provenance must not fail a run.
+func GitDescribe(dir string) string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + dirty
+		}
+	}
+	cmd := exec.Command("git", "describe", "--always", "--dirty", "--tags")
+	if dir != "" {
+		cmd.Dir = dir
+	}
+	out, err := cmd.Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// WriteFile serializes the manifest as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	return nil
+}
+
+// ValidateManifest checks that data is a well-formed manifest of the current
+// schema: provenance present, at least one experiment timing, non-negative
+// wall times, occupancy in [0, 1], and a metrics snapshot with every map
+// present. It is the schema gate the Makefile smoke test runs.
+func ValidateManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("obs: manifest does not parse: %w", err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("obs: manifest schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	if m.CreatedUnixMS <= 0 {
+		return nil, fmt.Errorf("obs: manifest missing created_unix_ms")
+	}
+	if m.GoVersion == "" || m.Git == "" || m.ConfigHash == "" {
+		return nil, fmt.Errorf("obs: manifest missing provenance (go_version/git/config_hash)")
+	}
+	if m.WallMS < 0 {
+		return nil, fmt.Errorf("obs: negative wall_ms %v", m.WallMS)
+	}
+	if len(m.Experiments) == 0 {
+		return nil, fmt.Errorf("obs: manifest has no experiment timings")
+	}
+	for i, e := range m.Experiments {
+		if e.ID == "" {
+			return nil, fmt.Errorf("obs: experiment %d has no id", i)
+		}
+		if e.WallMS < 0 {
+			return nil, fmt.Errorf("obs: experiment %q has negative wall_ms", e.ID)
+		}
+	}
+	if m.CacheHits < 0 || m.CacheMisses < 0 {
+		return nil, fmt.Errorf("obs: negative cache counts")
+	}
+	if m.WorkerOccupancy < 0 || m.WorkerOccupancy > 1 {
+		return nil, fmt.Errorf("obs: worker_occupancy %v outside [0,1]", m.WorkerOccupancy)
+	}
+	if m.Metrics.Counters == nil || m.Metrics.Gauges == nil || m.Metrics.Timers == nil {
+		return nil, fmt.Errorf("obs: metrics snapshot incomplete")
+	}
+	return &m, nil
+}
+
+// ValidateManifestFile reads and validates a manifest on disk.
+func ValidateManifestFile(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: read manifest: %w", err)
+	}
+	return ValidateManifest(data)
+}
+
+// Summary renders the human-readable digest cmd/reproduce prints on stderr:
+// run provenance, the slowest experiments, cache effectiveness, and worker
+// occupancy.
+func (m *Manifest) Summary(w io.Writer) {
+	fmt.Fprintf(w, "run %s (%s, seed %d, scale %g, config %s)\n",
+		m.Git, m.GoVersion, m.Seed, m.Scale, m.ConfigHash)
+	mode := "serial"
+	if m.Parallel {
+		mode = fmt.Sprintf("parallel ×%d", m.Workers)
+	}
+	fmt.Fprintf(w, "  %d experiments in %.0f ms (%s", len(m.Experiments), m.WallMS, mode)
+	if m.WorkerOccupancy > 0 {
+		fmt.Fprintf(w, ", worker occupancy %.0f%%", 100*m.WorkerOccupancy)
+	}
+	fmt.Fprintln(w, ")")
+	if hits, misses := m.CacheHits, m.CacheMisses; hits+misses > 0 {
+		fmt.Fprintf(w, "  dataset cache: %d hits / %d misses (%.0f%% hit rate)\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses))
+	}
+	top := append([]ExperimentTiming(nil), m.Experiments...)
+	sort.Slice(top, func(i, j int) bool { return top[i].WallMS > top[j].WallMS })
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	for _, e := range top {
+		fmt.Fprintf(w, "  %-12s %8.1f ms\n", e.ID, e.WallMS)
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testManifest() *Manifest {
+	m := NewManifest("", 42, 1, ConfigHash("seed=42", "scale=1"))
+	m.Parallel = true
+	m.Workers = 4
+	m.WallMS = 120.5
+	m.Experiments = []ExperimentTiming{{ID: "fig7", WallMS: 80.2}, {ID: "table2", WallMS: 40.3}}
+	r := NewRegistry()
+	r.Counter("dataset.cache.hit").Add(5)
+	r.Counter("dataset.cache.miss").Add(3)
+	r.Counter("pipeline.busy_ns").Add(int64(3 * time.Second))
+	r.Counter("pipeline.offered_ns").Add(int64(4 * time.Second))
+	m.FillFromSnapshot(r.Snapshot())
+	return m
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := testManifest()
+	if m.CacheHits != 5 || m.CacheMisses != 3 {
+		t.Errorf("cache counts = %d/%d", m.CacheHits, m.CacheMisses)
+	}
+	if m.WorkerOccupancy != 0.75 {
+		t.Errorf("occupancy = %v, want 0.75", m.WorkerOccupancy)
+	}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ValidateManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != 42 || back.ConfigHash != m.ConfigHash || len(back.Experiments) != 2 {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestValidateManifestRejects(t *testing.T) {
+	corrupt := func(f func(*Manifest)) []byte {
+		m := testManifest()
+		f(m)
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := map[string][]byte{
+		"not json":         []byte("{nope"),
+		"wrong schema":     corrupt(func(m *Manifest) { m.Schema = "other/v9" }),
+		"no timestamp":     corrupt(func(m *Manifest) { m.CreatedUnixMS = 0 }),
+		"no provenance":    corrupt(func(m *Manifest) { m.GoVersion = "" }),
+		"no experiments":   corrupt(func(m *Manifest) { m.Experiments = nil }),
+		"unnamed exp":      corrupt(func(m *Manifest) { m.Experiments[0].ID = "" }),
+		"negative wall":    corrupt(func(m *Manifest) { m.Experiments[0].WallMS = -1 }),
+		"bad occupancy":    corrupt(func(m *Manifest) { m.WorkerOccupancy = 1.5 }),
+		"missing counters": corrupt(func(m *Manifest) { m.Metrics.Counters = nil }),
+		"unknown field":    []byte(`{"schema":"` + ManifestSchema + `","bogus":1}`),
+	}
+	for name, data := range cases {
+		if _, err := ValidateManifest(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestConfigHashStable(t *testing.T) {
+	a := ConfigHash("seed=1", "scale=2")
+	if a != ConfigHash("seed=1", "scale=2") {
+		t.Error("hash not deterministic")
+	}
+	if a == ConfigHash("seed=1", "scale=3") {
+		t.Error("hash ignores parts")
+	}
+	// The separator keeps part boundaries significant.
+	if ConfigHash("ab", "c") == ConfigHash("a", "bc") {
+		t.Error("hash merges adjacent parts")
+	}
+	if len(a) != 16 {
+		t.Errorf("hash %q not 16 hex chars", a)
+	}
+}
+
+func TestGitDescribeNeverEmpty(t *testing.T) {
+	if GitDescribe("") == "" {
+		t.Error("GitDescribe returned empty string")
+	}
+	if GitDescribe(t.TempDir()) == "" {
+		t.Error("GitDescribe outside a repo returned empty string")
+	}
+}
+
+func TestSummaryMentionsKeyFacts(t *testing.T) {
+	var sb strings.Builder
+	testManifest().Summary(&sb)
+	out := sb.String()
+	if strings.Contains(out, "go go") {
+		t.Errorf("summary duplicates the go prefix:\n%s", out)
+	}
+	for _, want := range []string{"seed 42", "2 experiments", "fig7", "hit rate", "occupancy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -17,6 +17,7 @@ type Node struct {
 	name string
 
 	mu      sync.Mutex
+	clock   func() time.Time // timestamp source for relayed txs; nil = time.Now
 	pool    *mempool.Pool
 	txs     map[chain.TxID]*chain.Tx // known transactions (incl. confirmed)
 	blocks  map[int64]*chain.Block
@@ -47,6 +48,28 @@ func NewNode(name string, minFeeRate chain.SatPerVByte) *Node {
 
 // Name returns the node's handshake name.
 func (n *Node) Name() string { return n.name }
+
+// SetClock installs the timestamp source used for transactions learned from
+// peers. Simulations drive nodes on a simulated timeline; without this, the
+// message handler stamped relayed transactions with the wall clock, so
+// first-seen times drifted with host load and differed across same-seed
+// runs. Set it before Connect; nil restores time.Now.
+func (n *Node) SetClock(clock func() time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.clock = clock
+}
+
+// now reads the node's timestamp source.
+func (n *Node) now() time.Time {
+	n.mu.Lock()
+	clock := n.clock
+	n.mu.Unlock()
+	if clock == nil {
+		return time.Now()
+	}
+	return clock()
+}
 
 // Mempool returns a point-in-time full snapshot of the node's mempool.
 func (n *Node) Mempool(now time.Time) mempool.Snapshot {
@@ -310,7 +333,7 @@ func (p *peer) handle(t MsgType, payload []byte) error {
 		if err != nil {
 			return err
 		}
-		if err := n.acceptTx(tx, time.Now()); err == nil {
+		if err := n.acceptTx(tx, n.now()); err == nil {
 			n.announce([]chain.TxID{tx.ID}, p)
 		}
 	case MsgBlock:

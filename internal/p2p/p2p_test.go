@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"net"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -326,6 +327,71 @@ func TestGossipOverTCP(t *testing.T) {
 	waitFor(t, "tx at server over TCP", func() bool {
 		return server.Mempool(baseTime).Count == 1
 	})
+}
+
+// simClock is a deterministic timestamp source: it starts at the simulated
+// epoch and advances a fixed step per reading, like an event-driven
+// simulation clock.
+type simClock struct {
+	mu   sync.Mutex
+	at   time.Time
+	step time.Duration
+}
+
+func (c *simClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.at = c.at.Add(c.step)
+	return c.at
+}
+
+// TestRelayedTxStampedWithNodeClock is the regression test for the
+// simulated-clock bug: the message handler used to stamp transactions
+// learned from peers with time.Now(), so first-seen times lived on the wall
+// clock and drifted across same-seed runs. With a simulated clock installed,
+// every seen time must come from that clock.
+func TestRelayedTxStampedWithNodeClock(t *testing.T) {
+	run := func() []SeenEvent {
+		a := NewNode("A", 1)
+		b := NewNode("B", 1)
+		defer a.Close()
+		defer b.Close()
+		clk := &simClock{at: baseTime, step: time.Second}
+		b.SetClock(clk.now)
+		ConnectPair(a, b)
+
+		for i := 0; i < 5; i++ {
+			if err := a.SubmitTx(mkTx(chain.Amount(5000+i), 250, uint16(200+i)), baseTime); err != nil {
+				t.Fatal(err)
+			}
+		}
+		waitFor(t, "txs relayed to B", func() bool { return b.Mempool(baseTime).Count == 5 })
+		return b.SeenLog()
+	}
+
+	first := run()
+	wallFloor := time.Now().Add(-time.Hour)
+	for _, ev := range first {
+		if ev.At.After(wallFloor) {
+			t.Fatalf("relayed tx %x stamped with the wall clock (%v), not the node clock", ev.TxID[:4], ev.At)
+		}
+		if ev.At.Before(baseTime) || ev.At.After(baseTime.Add(time.Minute)) {
+			t.Errorf("seen time %v outside the simulated timeline", ev.At)
+		}
+	}
+
+	// Same-seed determinism: a second identical run must log identical
+	// first-seen times (relay order over one pipe is deterministic).
+	second := run()
+	if len(first) != len(second) {
+		t.Fatalf("seen log lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].TxID != second[i].TxID || !first[i].At.Equal(second[i].At) {
+			t.Errorf("run divergence at %d: %x@%v vs %x@%v",
+				i, first[i].TxID[:4], first[i].At, second[i].TxID[:4], second[i].At)
+		}
+	}
 }
 
 func TestNodeCloseIsIdempotentAndRefusesNewConns(t *testing.T) {

@@ -5,6 +5,9 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"chainaudit/internal/obs"
 )
 
 func TestEachRunsEveryIndex(t *testing.T) {
@@ -82,6 +85,107 @@ func TestEachPropagatesPanic(t *testing.T) {
 			panic("marker")
 		}
 	})
+}
+
+// TestEachPanicNamesTaskIndex locks in the diagnostic contract: the surfaced
+// panic must identify which task failed.
+func TestEachPanicNamesTaskIndex(t *testing.T) {
+	defer func() {
+		r := recover()
+		s, ok := r.(string)
+		if !ok || !strings.Contains(s, "task 42") || !strings.Contains(s, "boom") {
+			t.Fatalf("panic %v does not name task 42", r)
+		}
+	}()
+	New(4).Each(100, func(i int) {
+		if i == 42 {
+			panic("boom")
+		}
+	})
+}
+
+// TestEachSerialPanicNamesTaskIndex: the single-worker reference path makes
+// the same promise.
+func TestEachSerialPanicNamesTaskIndex(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "task 7") {
+			t.Fatalf("panic %v does not name task 7", r)
+		}
+	}()
+	Serial().Each(10, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}
+
+// TestEachAllTasksPanicNoDeadlock fails every task on every worker: Each
+// must drain the pool and re-raise (not deadlock waiting on dead workers),
+// and the surfaced index must be the lowest panicking task each worker saw —
+// a valid task index in range.
+func TestEachAllTasksPanicNoDeadlock(t *testing.T) {
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		New(8).Each(64, func(i int) { panic(fmt.Sprintf("all-%d", i)) })
+	}()
+	select {
+	case r := <-done:
+		if r == nil {
+			t.Fatal("no panic surfaced")
+		}
+		s := fmt.Sprint(r)
+		if !strings.Contains(s, "pipeline: task ") || !strings.Contains(s, "all-") {
+			t.Fatalf("unexpected panic payload %q", s)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Each deadlocked with all workers panicking")
+	}
+}
+
+// TestEachPanicMidStreamStillDrains: one early panic must not stop other
+// workers' claimed tasks from finishing before the re-raise.
+func TestEachPanicMidStreamStillDrains(t *testing.T) {
+	var ran atomic.Int64
+	func() {
+		defer func() { recover() }()
+		New(4).Each(200, func(i int) {
+			if i == 0 {
+				panic("early")
+			}
+			ran.Add(1)
+		})
+	}()
+	// The panicking worker dies, the other three keep claiming; at minimum
+	// they drain everything already in flight. We only require forward
+	// progress and no deadlock, not an exact count.
+	if ran.Load() == 0 {
+		t.Fatal("no other task ran")
+	}
+}
+
+func TestEachRecordsMetrics(t *testing.T) {
+	tasks0 := obs.Default.Counter("pipeline.tasks").Value()
+	busy0 := obs.Default.Counter("pipeline.busy_ns").Value()
+	offered0 := obs.Default.Counter("pipeline.offered_ns").Value()
+	count0 := obs.Default.Timer("pipeline.task").Stats().Count
+
+	New(4).Each(32, func(i int) { time.Sleep(time.Millisecond) })
+
+	if got := obs.Default.Counter("pipeline.tasks").Value() - tasks0; got != 32 {
+		t.Errorf("tasks delta = %d, want 32", got)
+	}
+	if got := obs.Default.Timer("pipeline.task").Stats().Count - count0; got != 32 {
+		t.Errorf("task timer delta = %d, want 32", got)
+	}
+	busy := obs.Default.Counter("pipeline.busy_ns").Value() - busy0
+	offered := obs.Default.Counter("pipeline.offered_ns").Value() - offered0
+	if busy <= 0 || offered <= 0 || busy > offered {
+		t.Errorf("busy/offered = %d/%d", busy, offered)
+	}
+	if occ := obs.Default.Gauge("pipeline.occupancy").Value(); occ <= 0 || occ > 1 {
+		t.Errorf("occupancy gauge = %v", occ)
+	}
 }
 
 // TestEachConcurrentStress exercises the atomic cursor under -race.

@@ -11,8 +11,19 @@ import (
 	"chainaudit/internal/chain"
 	"chainaudit/internal/mempool"
 	"chainaudit/internal/miner"
+	"chainaudit/internal/obs"
 	"chainaudit/internal/stats"
 	"chainaudit/internal/workload"
+)
+
+// Hoisted obs handles: the event loop is the simulator's innermost loop, so
+// metric names resolve once per process. Counters are cumulative across
+// every run in the process (the manifest reports totals).
+var (
+	mEvents    = obs.Default.Counter("sim.events")
+	mBlocks    = obs.Default.Counter("sim.blocks_mined")
+	mSnapshots = obs.Default.Counter("sim.snapshots")
+	mRunTime   = obs.Default.Timer("sim.run")
 )
 
 // eventKind enumerates the simulator's event types.
@@ -178,6 +189,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Main loop.
+	defer mRunTime.Time()()
 	for e.queue.Len() > 0 {
 		ev := heap.Pop(&e.queue).(*event)
 		if ev.at.After(e.end) {
@@ -191,7 +203,10 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		e.now = ev.at
-		e.handle(ev)
+		mEvents.Inc()
+		if err := e.handle(ev); err != nil {
+			return nil, err
+		}
 	}
 
 	// Collect acceleration ground truth.
@@ -256,7 +271,10 @@ func (e *engine) minerCongestion() mempool.CongestionLevel {
 	return mempool.CongestionAt(e.minerPool.TotalVSize(), e.cfg.BlockCapacity)
 }
 
-func (e *engine) handle(ev *event) {
+// handle processes one event. It returns an error only for conditions that
+// invalidate the whole run (a pool mining an unappendable block); everything
+// else is a normal simulation outcome.
+func (e *engine) handle(ev *event) error {
 	switch ev.kind {
 	case evUserTx:
 		if !e.now.After(e.end) {
@@ -283,7 +301,9 @@ func (e *engine) handle(ev *event) {
 	case evReceive:
 		e.receive(ev)
 	case evBlock:
-		e.mineBlock(ev.pool)
+		if err := e.mineBlock(ev.pool); err != nil {
+			return err
+		}
 		if !e.now.After(e.end) {
 			at, winner := e.sched.NextBlockAfter(e.now)
 			e.schedule(at, &event{kind: evBlock, pool: winner})
@@ -291,6 +311,7 @@ func (e *engine) handle(ev *event) {
 	case evSnapshot:
 		os := e.observers[ev.obsIdx]
 		os.snapshots++
+		mSnapshots.Inc()
 		if os.cfg.FullSnapshotEvery > 0 && os.snapshots%os.cfg.FullSnapshotEvery == 0 {
 			snap := os.pool.Capture(e.now, e.tipHeight())
 			os.data.Fulls = append(os.data.Fulls, snap)
@@ -323,6 +344,7 @@ func (e *engine) handle(ev *event) {
 			e.schedule(e.expAfter(e.now, e.cfg.LowFeeMeanInterval), &event{kind: evLowFee})
 		}
 	}
+	return nil
 }
 
 func (e *engine) tipHeight() int64 {
@@ -394,7 +416,12 @@ func (e *engine) topFeeRate() chain.SatPerVByte {
 	return top
 }
 
-func (e *engine) mineBlock(winner *miner.Pool) {
+// mineBlock lets the winning pool build and append a block. A block the
+// chain rejects — a broken template policy or behaviour emitting duplicate
+// or double-spending transactions — fails the run with enough context to
+// identify the offending pool, instead of panicking the whole experiment
+// suite off the process.
+func (e *engine) mineBlock(winner *miner.Pool) error {
 	var blk *chain.Block
 	if e.rng.Float64() < e.cfg.EmptyBlockProb {
 		blk = winner.BuildBlock(e.height, e.now, nil, e.prevHash, e.cfg.BlockCapacity)
@@ -412,9 +439,10 @@ func (e *engine) mineBlock(winner *miner.Pool) {
 		blk = winner.BuildBlock(e.height, e.now, entries, e.prevHash, e.cfg.BlockCapacity)
 	}
 	if err := e.chain.Append(blk); err != nil {
-		// A simulation bug, not a runtime condition: fail loudly.
-		panic(fmt.Sprintf("sim: mined invalid block: %v", err))
+		return fmt.Errorf("sim: pool %q mined invalid block at height %d (%s): %w",
+			winner.Name, e.height, e.now.UTC().Format(time.RFC3339), err)
 	}
+	mBlocks.Inc()
 	e.prevHash = blk.Hash
 	e.height++
 
@@ -431,4 +459,5 @@ func (e *engine) mineBlock(winner *miner.Pool) {
 		os.pool.EvictToSize(e.cfg.MempoolCapacity)
 	}
 	e.gen.Forget(confirmed)
+	return nil
 }

@@ -1,13 +1,16 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"chainaudit/internal/accel"
 	"chainaudit/internal/chain"
+	"chainaudit/internal/gbt"
 	"chainaudit/internal/mempool"
 	"chainaudit/internal/miner"
+	"chainaudit/internal/obs"
 	"chainaudit/internal/stats"
 	"chainaudit/internal/wallet"
 	"chainaudit/internal/workload"
@@ -417,4 +420,76 @@ func TestRBFReplacementsWin(t *testing.T) {
 		t.Errorf("replacements won %d vs originals %d", newWins, oldWins)
 	}
 	t.Logf("RBF outcomes: new=%d old=%d pending=%d", newWins, oldWins, bothPending)
+}
+
+// dupPolicy is a deliberately broken template policy: it duplicates the
+// first selected transaction, producing a block the chain must reject.
+type dupPolicy struct{}
+
+func (dupPolicy) Name() string { return "dup" }
+
+func (dupPolicy) Build(entries []*mempool.Entry, maxVSize int64) gbt.Template {
+	tpl := gbt.FeeRate{}.Build(entries, maxVSize)
+	if len(tpl.Txs) > 0 {
+		tpl.Txs = append(tpl.Txs, tpl.Txs[0])
+		tpl.VSize += tpl.Txs[0].VSize
+		tpl.TotalFee += tpl.Txs[0].Fee
+	}
+	return tpl
+}
+
+// TestInvalidMinedBlockFailsRunWithError locks in the ISSUE 2 bugfix: a
+// template policy that emits an invalid block must fail the run with a
+// contextual error, not panic the process.
+func TestInvalidMinedBlockFailsRunWithError(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Run panicked instead of returning an error: %v", r)
+		}
+	}()
+	cfg := smallConfig(3)
+	cfg.Duration = 4 * time.Hour
+	for _, p := range cfg.Pools {
+		p.Policy = dupPolicy{}
+	}
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("Run accepted an invalid mined block")
+	}
+	msg := err.Error()
+	for _, want := range []string{"mined invalid block", "pool", "height"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestRunRecordsObsCounters checks the simulator's observability hooks: a
+// run must account its events, mined blocks, and snapshots.
+func TestRunRecordsObsCounters(t *testing.T) {
+	events0 := obs.Default.Counter("sim.events").Value()
+	blocks0 := obs.Default.Counter("sim.blocks_mined").Value()
+	snaps0 := obs.Default.Counter("sim.snapshots").Value()
+	runs0 := obs.Default.Timer("sim.run").Stats().Count
+
+	res, err := Run(smallConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := obs.Default.Counter("sim.blocks_mined").Value() - blocks0; d != int64(res.Chain.Len()) {
+		t.Errorf("blocks_mined delta = %d, chain has %d blocks", d, res.Chain.Len())
+	}
+	if d := obs.Default.Counter("sim.events").Value() - events0; d < int64(res.TxIssued) {
+		t.Errorf("events delta = %d, below issued tx count %d", d, res.TxIssued)
+	}
+	wantSnaps := int64(0)
+	for _, od := range res.Observers {
+		wantSnaps += int64(len(od.Summaries))
+	}
+	if d := obs.Default.Counter("sim.snapshots").Value() - snaps0; d != wantSnaps {
+		t.Errorf("snapshots delta = %d, observers recorded %d", d, wantSnaps)
+	}
+	if d := obs.Default.Timer("sim.run").Stats().Count - runs0; d != 1 {
+		t.Errorf("sim.run timer delta = %d, want 1", d)
+	}
 }

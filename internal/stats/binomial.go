@@ -187,8 +187,10 @@ func NormalApproxP(x, y int64, theta0 float64, alt Alternative) float64 {
 // FisherCombined combines independent p-values with Fisher's method
 // (§5.1.3): X = -2 Σ ln p_i follows a chi-squared distribution with 2k
 // degrees of freedom under the global null. Zero p-values are clamped to
-// the smallest positive double so a single degenerate window cannot produce
-// NaN.
+// the smallest positive double (2^-1074 ≈ 4.9e-324) so a single degenerate
+// window contributes a large finite 2148·ln2 ≈ 1488.9 to the statistic
+// instead of +Inf/NaN; the resulting combined p-value still reports
+// overwhelming evidence, which is the right reading of an exact zero.
 func FisherCombined(pvalues []float64) (statistic float64, p float64, err error) {
 	if len(pvalues) == 0 {
 		return 0, 0, errors.New("stats: FisherCombined needs at least one p-value")
@@ -200,7 +202,20 @@ func FisherCombined(pvalues []float64) (statistic float64, p float64, err error)
 		if pv < math.SmallestNonzeroFloat64 {
 			pv = math.SmallestNonzeroFloat64
 		}
-		statistic += -2 * math.Log(pv)
+		statistic += -2 * logPValue(pv)
 	}
 	return statistic, ChiSquaredSF(statistic, 2*len(pvalues)), nil
+}
+
+// logPValue is ln(pv) for pv in (0, 1]. math.Log loses the subnormal
+// exponent range on some platforms (ln(2^-1074) comes back as ln(2^-1023)),
+// which would make the Fisher statistic platform-dependent for extreme
+// p-values; decomposing via Frexp keeps the full exponent: ln(f·2^e) =
+// ln(f) + e·ln 2 with f in [0.5, 1), where math.Log is exact.
+func logPValue(pv float64) float64 {
+	if pv >= 2.2250738585072014e-308 { // smallest normal float64
+		return math.Log(pv)
+	}
+	frac, exp := math.Frexp(pv)
+	return math.Log(frac) + float64(exp)*math.Ln2
 }

@@ -240,6 +240,63 @@ func TestFisherCombined(t *testing.T) {
 	}
 }
 
+func TestFisherCombinedBoundaries(t *testing.T) {
+	// p = 0 clamps to the smallest positive double, 2^-1074, so its
+	// contribution is -2·ln(2^-1074) = 2148·ln 2 exactly — large, finite,
+	// and platform-independent.
+	wantZero := 2148 * math.Ln2
+	stat, p, err := FisherCombined([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(stat, 0) || math.IsNaN(stat) {
+		t.Fatalf("p=0 statistic = %v, want finite", stat)
+	}
+	if !approxEq(stat, wantZero, 1e-9) {
+		t.Errorf("p=0 statistic = %v, want %v (2148·ln 2)", stat, wantZero)
+	}
+	if math.IsNaN(p) || p < 0 || p > 1e-300 {
+		t.Errorf("p=0 combined p = %v, want tiny and well-formed", p)
+	}
+
+	// A subnormal p-value keeps its full exponent: 5e-324 is the clamp
+	// value itself, so it must contribute exactly the clamped amount, not
+	// the truncated ln(2^-1023) that math.Log yields for subnormals on
+	// some platforms.
+	stat, _, err = FisherCombined([]float64{5e-324})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(stat, wantZero, 1e-9) {
+		t.Errorf("subnormal statistic = %v, want %v", stat, wantZero)
+	}
+
+	// p = 1 contributes nothing: ln 1 = 0, and chi2 SF(0, 4 dof) = 1.
+	stat, p, err = FisherCombined([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 {
+		t.Errorf("p=1 statistic = %v, want 0", stat)
+	}
+	if !approxEq(p, 1, 1e-12) {
+		t.Errorf("all-ones combined p = %v, want 1", p)
+	}
+
+	// Mixing a zero with moderate evidence stays finite and ordered: the
+	// zero must dominate, not poison.
+	statZ, pZ, err := FisherCombined([]float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(statZ, 0) || math.IsNaN(pZ) {
+		t.Fatalf("mixed zero: stat=%v p=%v", statZ, pZ)
+	}
+	if statZ <= wantZero {
+		t.Errorf("mixed statistic %v should exceed the lone-zero statistic %v", statZ, wantZero)
+	}
+}
+
 func TestFisherCombinedErrors(t *testing.T) {
 	if _, _, err := FisherCombined(nil); err == nil {
 		t.Error("empty input accepted")
