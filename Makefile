@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-key reproduce smoke-metrics clean
+.PHONY: check build vet test race bench bench-key reproduce smoke-metrics smoke-chaos clean
 
 # check is the tier-1 gate: vet, build, the full test suite under the
-# race detector, and the metrics manifest smoke test.
-check: vet build race smoke-metrics
+# race detector, and the metrics and chaos smoke tests.
+check: vet build race smoke-metrics smoke-chaos
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,22 @@ reproduce:
 smoke-metrics:
 	$(GO) run ./cmd/reproduce -exp fig7 -scale 0.1 -metrics /tmp/chainaudit-metrics.json > /dev/null
 	$(GO) run ./cmd/reproduce -validate-metrics /tmp/chainaudit-metrics.json
+
+# smoke-chaos exercises the fault-injection layer end to end. The zero-rate
+# leg pins the tentpole invariant — a seeded plan with all rates at zero must
+# leave stdout byte-identical to a plain run (wall-clock lines stripped).
+# The fault leg must complete despite injected faults, actually fire at least
+# one (-require-faults), and emit a manifest that validates and records them.
+smoke-chaos:
+	$(GO) run ./cmd/reproduce -exp table1,fig9 -scale 0.1 > /tmp/chainaudit-chaos-base.txt
+	$(GO) run ./cmd/reproduce -exp table1,fig9 -scale 0.1 -chaos seed=77 > /tmp/chainaudit-chaos-zero.txt
+	grep -v -e '^data sets ready' -e '^done:' /tmp/chainaudit-chaos-base.txt > /tmp/chainaudit-chaos-base.strip.txt
+	grep -v -e '^data sets ready' -e '^done:' /tmp/chainaudit-chaos-zero.txt > /tmp/chainaudit-chaos-zero.strip.txt
+	cmp /tmp/chainaudit-chaos-base.strip.txt /tmp/chainaudit-chaos-zero.strip.txt
+	$(GO) run ./cmd/reproduce -exp table1,fig4,fig9 -scale 0.1 \
+		-chaos 'seed=3,pool.outage=0.2,obs.miss=0.25,snap.blackout=0.3,snap.window=15m' \
+		-require-faults -metrics /tmp/chainaudit-chaos-metrics.json > /dev/null
+	$(GO) run ./cmd/reproduce -validate-metrics /tmp/chainaudit-chaos-metrics.json
 
 clean:
 	$(GO) clean ./...

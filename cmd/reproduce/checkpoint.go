@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// CheckpointSchema identifies the checkpoint layout; mismatched files are
+// started over, never misread.
+const CheckpointSchema = "chainaudit.checkpoint/v1"
+
+// checkpoint persists the rendered output of every completed experiment so a
+// killed run can resume without recomputing (or re-randomizing) anything.
+// Completed bodies are re-emitted verbatim, which is what makes a resumed
+// run's final report byte-identical to an uninterrupted one. The config hash
+// covers exactly the flags that determine output bytes (seed, scale,
+// selection, csv, chaos fingerprint — not parallelism), so a checkpoint
+// taken serially resumes under -parallel and vice versa, while any
+// output-affecting change invalidates it.
+type checkpoint struct {
+	Schema     string            `json:"schema"`
+	ConfigHash string            `json:"config_hash"`
+	Completed  map[string]string `json:"completed"`
+
+	mu sync.Mutex
+}
+
+// loadCheckpoint reads the checkpoint at path, returning a fresh one when
+// the file is missing, unreadable, or was written under a different config.
+// Corruption is never fatal: the worst case is recomputing.
+func loadCheckpoint(path, configHash string) *checkpoint {
+	fresh := &checkpoint{Schema: CheckpointSchema, ConfigHash: configHash, Completed: map[string]string{}}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fresh
+	}
+	var cp checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil ||
+		cp.Schema != CheckpointSchema || cp.ConfigHash != configHash || cp.Completed == nil {
+		fmt.Fprintf(os.Stderr, "reproduce: ignoring stale checkpoint %s\n", path)
+		return fresh
+	}
+	return &cp
+}
+
+// record saves an experiment's rendered body and rewrites the file. Safe for
+// concurrent completions; each write lands the full state, so a kill between
+// writes loses at most the experiments not yet recorded.
+func (cp *checkpoint) record(path, id, body string) error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.Completed[id] = body
+	data, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("checkpoint: write: %w", err)
+	}
+	return nil
+}

@@ -15,6 +15,18 @@
 // the serial reference path. -cpuprofile/-memprofile write pprof profiles
 // covering the whole run, for measuring pipeline speedups.
 //
+// -chaos runs the whole reproduction under a deterministic fault-injection
+// plan (internal/faults spec, e.g. "seed=7,pool.outage=0.1,obs.miss=0.2"):
+// the simulations degrade, the audits exclude what they can no longer trust
+// and annotate their coverage, and the manifest tallies every fault and
+// degradation. A zero-rate plan is byte-identical to no plan. -watchdog and
+// -retries bound each experiment (watchdog defaults to 10m when chaos is
+// active); -require-faults fails the run unless at least one fault actually
+// fired (the smoke gate for chaos runs). -checkpoint saves each completed
+// experiment's rendered output so a killed run resumes verbatim — the final
+// report of a killed-and-resumed run is byte-identical to an uninterrupted
+// one.
+//
 // -metrics writes a run manifest (internal/obs schema chainaudit.metrics/v1)
 // carrying provenance (seed, config hash, git revision), per-experiment wall
 // times, data-set cache hits, and pipeline worker occupancy, and prints a
@@ -27,6 +39,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -34,9 +47,11 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"chainaudit/internal/experiments"
+	"chainaudit/internal/faults"
 	"chainaudit/internal/obs"
 	"chainaudit/internal/pipeline"
 )
@@ -64,6 +79,11 @@ func run(args []string, out io.Writer) error {
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	metricsPath := fs.String("metrics", "", "write a run manifest (JSON) to this file and a summary to stderr")
 	validatePath := fs.String("validate-metrics", "", "validate an existing run manifest and exit")
+	chaosSpec := fs.String("chaos", "", "deterministic fault-injection spec: seed=N,knob=rate,... (see internal/faults)")
+	checkpointPath := fs.String("checkpoint", "", "save each completed experiment here and resume verbatim on restart")
+	watchdog := fs.Duration("watchdog", 0, "per-experiment watchdog timeout (0 = none; defaults to 10m under -chaos)")
+	retries := fs.Int("retries", 0, "per-experiment retries on failure (exponential backoff)")
+	requireFaults := fs.Bool("require-faults", false, "fail unless the run injected at least one fault")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,9 +141,21 @@ func run(args []string, out io.Writer) error {
 		}()
 	}
 
+	var plan *faults.Plan
+	if *chaosSpec != "" {
+		var err error
+		if plan, err = faults.ParseSpec(*chaosSpec); err != nil {
+			return err
+		}
+	}
+	if *watchdog == 0 && plan.Active() {
+		*watchdog = 10 * time.Minute
+	}
+
+	faultsBefore := sumFaultCounters()
 	start := time.Now()
 	fmt.Fprintf(out, "building data sets (seed=%d scale=%g)...\n", *seed, *scale)
-	suite, err := experiments.NewSuite(*seed, *scale)
+	suite, err := experiments.NewSuiteChaos(*seed, *scale, plan)
 	if err != nil {
 		return err
 	}
@@ -283,61 +315,98 @@ func run(args []string, out io.Writer) error {
 	if len(picked) == 0 {
 		return fmt.Errorf("no experiment matched %q", *expFlag)
 	}
-	// Per-experiment wall times for the manifest. Timing observes the runs
-	// without altering them, so stdout stays byte-identical across modes.
-	expWall := make([]time.Duration, len(picked))
+	// Per-experiment wall times for the manifest, stored atomically: an
+	// attempt abandoned by the watchdog may report late, concurrently with
+	// its retry. Timing observes the runs without altering them, so stdout
+	// stays byte-identical across modes.
+	expWall := make([]atomic.Int64, len(picked))
 	timed := func(i int, w io.Writer) error {
 		t0 := time.Now()
 		err := picked[i].run(w)
-		expWall[i] = time.Since(t0)
+		expWall[i].Store(int64(time.Since(t0)))
 		return err
 	}
-	if *par {
-		// Fan the selected experiments out over the executor; each renders
-		// into its own buffer and the buffers are emitted in selection
-		// order, so the output is byte-identical to the serial path.
-		bufs := make([]bytes.Buffer, len(picked))
-		results := pipeline.MapErr(pipeline.Default(), len(picked), func(i int) (struct{}, error) {
-			return struct{}{}, timed(i, &bufs[i])
-		})
-		for i, r := range results {
-			if r.Err != nil {
-				return fmt.Errorf("%s: %w", picked[i].id, r.Err)
-			}
-			fmt.Fprintf(out, "### %s\n", picked[i].id)
-			if _, err := bufs[i].WriteTo(out); err != nil {
-				return err
+
+	// Serial and parallel share one path: every experiment renders into its
+	// own buffer under the cancellation/watchdog/retry layer, and buffers are
+	// emitted in selection order — byte-identical either way. -parallel only
+	// picks the worker count.
+	exec := pipeline.Default()
+	if !*par {
+		exec = pipeline.New(1)
+	}
+	var cp *checkpoint
+	if *checkpointPath != "" {
+		// The checkpoint hash covers exactly the flags that determine output
+		// bytes — parallelism deliberately excluded.
+		cp = loadCheckpoint(*checkpointPath, obs.ConfigHash(
+			fmt.Sprintf("seed=%d", *seed),
+			fmt.Sprintf("scale=%g", *scale),
+			fmt.Sprintf("exp=%s", *expFlag),
+			fmt.Sprintf("csv=%t", *asCSV),
+			fmt.Sprintf("chaos=%s", plan.Fingerprint()),
+		))
+	}
+	bufs := make([]bytes.Buffer, len(picked))
+	resumed := make([]bool, len(picked))
+	if cp != nil {
+		for i, s := range picked {
+			if body, ok := cp.Completed[s.id]; ok {
+				bufs[i].WriteString(body)
+				resumed[i] = true
 			}
 		}
-	} else {
-		for i, s := range picked {
-			fmt.Fprintf(out, "### %s\n", s.id)
-			if err := timed(i, out); err != nil {
-				return fmt.Errorf("%s: %w", s.id, err)
+	}
+	rc := pipeline.RunConfig{Timeout: *watchdog, Retries: *retries, Backoff: time.Second}
+	results, batchErr := pipeline.MapCtx(exec, context.Background(), len(picked), rc,
+		func(ctx context.Context, i int) (struct{}, error) {
+			if resumed[i] {
+				return struct{}{}, nil
 			}
+			// Render into an attempt-local buffer: bytes from a failed or
+			// watchdog-abandoned attempt must never interleave with a retry's.
+			var local bytes.Buffer
+			if err := timed(i, &local); err != nil {
+				return struct{}{}, err
+			}
+			bufs[i] = local
+			if cp != nil {
+				return struct{}{}, cp.record(*checkpointPath, picked[i].id, bufs[i].String())
+			}
+			return struct{}{}, nil
+		})
+	if batchErr != nil {
+		return batchErr
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", picked[i].id, r.Err)
+		}
+		fmt.Fprintf(out, "### %s\n", picked[i].id)
+		if _, err := bufs[i].WriteTo(out); err != nil {
+			return err
 		}
 	}
 	fmt.Fprintf(out, "done: %d experiments in %v\n", len(picked), time.Since(start).Round(time.Second))
 
 	if *metricsPath != "" {
-		workers := 1
-		if *par {
-			workers = pipeline.Default().Workers()
-		}
+		workers := exec.Workers()
 		m := obs.NewManifest("", *seed, *scale, obs.ConfigHash(
 			fmt.Sprintf("seed=%d", *seed),
 			fmt.Sprintf("scale=%g", *scale),
 			fmt.Sprintf("exp=%s", *expFlag),
 			fmt.Sprintf("parallel=%t", *par),
 			fmt.Sprintf("workers=%d", workers),
+			fmt.Sprintf("chaos=%s", plan.Fingerprint()),
 		))
 		m.Parallel = *par
 		m.Workers = workers
+		m.Chaos = plan.Fingerprint()
 		m.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 		for i, s := range picked {
 			m.Experiments = append(m.Experiments, obs.ExperimentTiming{
 				ID:     s.id,
-				WallMS: float64(expWall[i]) / float64(time.Millisecond),
+				WallMS: float64(expWall[i].Load()) / float64(time.Millisecond),
 			})
 		}
 		m.FillFromSnapshot(obs.Default.Snapshot())
@@ -346,5 +415,22 @@ func run(args []string, out io.Writer) error {
 		}
 		m.Summary(os.Stderr)
 	}
+	if *requireFaults {
+		if injected := sumFaultCounters() - faultsBefore; injected == 0 {
+			return fmt.Errorf("require-faults: no fault fired (chaos plan %q)", *chaosSpec)
+		}
+	}
 	return nil
+}
+
+// sumFaultCounters totals every injected-fault counter; run() takes a delta
+// so -require-faults judges this run, not the process history.
+func sumFaultCounters() int64 {
+	var total int64
+	for name, v := range obs.Default.Snapshot().Counters {
+		if strings.HasPrefix(name, "faults.") {
+			total += v
+		}
+	}
+	return total
 }

@@ -40,6 +40,23 @@ func (c *Chain) Append(b *Block) error {
 	if err := b.Validate(); err != nil {
 		return err
 	}
+	return c.appendChecked(b)
+}
+
+// AppendDegraded appends a block reconstructed from damaged records without
+// value validation: a block that lost fee-paying rows can no longer balance
+// its coinbase against the surviving fees, and that imbalance is a property
+// of the damage, not the data. The structural checks the audits rely on —
+// a coinbase at position 0, height contiguity, no duplicate confirmations,
+// no double spends — still hold.
+func (c *Chain) AppendDegraded(b *Block) error {
+	if len(b.Txs) == 0 || !b.Txs[0].IsCoinbase() {
+		return fmt.Errorf("chain: degraded block %d missing coinbase", b.Height)
+	}
+	return c.appendChecked(b)
+}
+
+func (c *Chain) appendChecked(b *Block) error {
 	if c.index == nil {
 		c.index = make(map[TxID]TxLocation)
 	}

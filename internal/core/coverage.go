@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/obs"
+)
+
+// Degradation counters: every time an audit excludes data because its inputs
+// are incomplete, the exclusion is counted here so a degraded run is
+// auditable from its manifest (the "degraded." prefix is summed into the
+// manifest's Degradations field).
+var (
+	cUnseenExcluded = obs.Default.Counter("degraded.core.unseen_excluded")
+	cSeenMissing    = obs.Default.Counter("degraded.core.seen_missing")
+)
+
+// Coverage quantifies how much of an audit's input population actually
+// entered a statistic: Used observations made it in, Excluded were dropped
+// because the degraded data could not support them (unknown first-seen
+// times, snapshot blackouts, quarantined records). A statistic reported
+// without its coverage is indistinguishable from one computed on complete
+// data — that is exactly the silent-wrong-number failure mode the fault
+// layer exists to surface.
+type Coverage struct {
+	Used     int
+	Excluded int
+}
+
+// Fraction returns Used / (Used + Excluded), and 1 for an empty population:
+// no data was excluded, so nothing undermines the (vacuous) statistic.
+func (c Coverage) Fraction() float64 {
+	total := c.Used + c.Excluded
+	if total == 0 {
+		return 1
+	}
+	return float64(c.Used) / float64(total)
+}
+
+// String renders the coverage the way degraded-mode figures annotate it.
+func (c Coverage) String() string {
+	return fmt.Sprintf("coverage %.1f%% (%d/%d)", 100*c.Fraction(), c.Used, c.Used+c.Excluded)
+}
+
+// Add accumulates another coverage tally into c.
+func (c *Coverage) Add(other Coverage) {
+	c.Used += other.Used
+	c.Excluded += other.Excluded
+}
+
+// SeenCoverage measures an observer's first-seen coverage of the chain: of
+// all confirmed non-coinbase transactions, how many did the observer ever
+// hear about? Transactions missing from seen are counted as excluded and
+// recorded on the degraded.core.seen_missing counter — under observer-miss
+// faults this is the coverage fraction every seen-based statistic (Figures
+// 4, 5, 12; the delay and fee tables) inherits.
+func SeenCoverage(c *chain.Chain, seen map[chain.TxID]SeenRecord) Coverage {
+	var cov Coverage
+	for _, b := range c.Blocks() {
+		for _, tx := range b.Body() {
+			if _, ok := seen[tx.ID]; ok {
+				cov.Used++
+			} else {
+				cov.Excluded++
+				cSeenMissing.Inc()
+			}
+		}
+	}
+	return cov
+}

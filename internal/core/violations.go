@@ -26,12 +26,28 @@ type ViolationStats struct {
 	SnapshotTime time.Time
 	// Confirmed counts snapshot transactions eventually confirmed.
 	Confirmed int
+	// UnseenExcluded counts confirmed snapshot transactions excluded because
+	// their first-seen time is unknown (zero): a zero time means "never seen
+	// in the mempool", not the Unix epoch, and the paper's rule excludes such
+	// transactions from pair comparison rather than treating them as
+	// infinitely early.
+	UnseenExcluded int
 	// ComparablePairs counts pairs (i, j) with t_i + ε < t_j and
 	// f_i > f_j, both confirmed — the pairs the fee-rate norm orders.
 	ComparablePairs int64
 	// ViolatingPairs counts comparable pairs committed out of order
 	// (b_i > b_j).
 	ViolatingPairs int64
+}
+
+// Coverage reports the share of confirmed snapshot transactions that
+// actually entered the pair analysis (1 when nothing was excluded).
+func (v ViolationStats) Coverage() float64 {
+	total := v.Confirmed + v.UnseenExcluded
+	if total == 0 {
+		return 1
+	}
+	return float64(v.Confirmed) / float64(total)
 }
 
 // Fraction returns the violating share of comparable pairs (0 when no pair
@@ -58,6 +74,14 @@ func ViolationPairs(snap mempool.Snapshot, c *chain.Chain, opts ViolationOptions
 		loc, ok := c.Locate(st.Tx.ID)
 		if !ok {
 			continue // never confirmed: the norm says nothing about it yet
+		}
+		if st.FirstSeen.IsZero() {
+			// Unknown first-seen: excluding the transaction (rather than
+			// ranking it at the epoch, i.e. before everything) keeps the
+			// comparable-pair set honest under degraded mempool coverage.
+			out.UnseenExcluded++
+			cUnseenExcluded.Inc()
+			continue
 		}
 		if opts.ExcludeDependent {
 			if b := c.BlockAt(loc.Height); b != nil && b.DependencySet()[st.Tx.ID] {

@@ -20,12 +20,15 @@ const (
 
 // cacheKey identifies one deterministic build. Options are normalized with
 // the builder's defaults first, so Options{} and an explicit default span
-// share an entry.
+// share an entry. chaos is the fault plan's fingerprint: "" for no plan and
+// for inactive (zero-rate) plans — those builds are byte-identical, so they
+// must share an entry — and the canonical spec string otherwise.
 type cacheKey struct {
 	builder  Builder
 	seed     uint64
 	duration time.Duration
 	capacity int64
+	chaos    string
 }
 
 // cacheEntry dedupes concurrent builds of the same key: the first caller
@@ -68,7 +71,13 @@ func Cached(b Builder, opts Options) (*Dataset, error) {
 		return nil, fmt.Errorf("dataset: unknown builder %q", b)
 	}
 	norm := opts.withDefaults(def)
-	key := cacheKey{builder: b, seed: norm.Seed, duration: norm.Duration, capacity: norm.BlockCapacity}
+	key := cacheKey{
+		builder:  b,
+		seed:     norm.Seed,
+		duration: norm.Duration,
+		capacity: norm.BlockCapacity,
+		chaos:    norm.Faults.Fingerprint(),
+	}
 	cacheMu.Lock()
 	e := cache[key]
 	if e == nil {

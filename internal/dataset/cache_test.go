@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"chainaudit/internal/faults"
 	"chainaudit/internal/obs"
 )
 
@@ -155,5 +156,92 @@ func TestCachedRecordsHitMissAndBuildTime(t *testing.T) {
 	}
 	if d := obs.Default.Timer("dataset.build.A").Stats().Count - builds0; d != 1 {
 		t.Errorf("build timer delta = %d, want 1 (cache hits must not rebuild)", d)
+	}
+}
+
+// TestCachedConcurrentAccounting pins the singleflight contract under -race:
+// N concurrent callers of one key produce exactly one miss, one build, and
+// N-1 hits — no double-build, no double-count — regardless of interleaving.
+func TestCachedConcurrentAccounting(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	hits0 := obs.Default.Counter("dataset.cache.hit").Value()
+	miss0 := obs.Default.Counter("dataset.cache.miss").Value()
+	builds0 := obs.Default.Timer("dataset.build.A").Stats().Count
+
+	opts := Options{Seed: 84, Duration: 2 * time.Hour}
+	const callers = 16
+	results := make([]*Dataset, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			ds, err := Cached(BuilderA, opts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = ds
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent callers received different datasets")
+		}
+	}
+	if d := obs.Default.Counter("dataset.cache.miss").Value() - miss0; d != 1 {
+		t.Errorf("miss delta = %d, want 1", d)
+	}
+	if d := obs.Default.Counter("dataset.cache.hit").Value() - hits0; d != callers-1 {
+		t.Errorf("hit delta = %d, want %d", d, callers-1)
+	}
+	if d := obs.Default.Timer("dataset.build.A").Stats().Count - builds0; d != 1 {
+		t.Errorf("build timer delta = %d, want 1 (the dataset must be built exactly once)", d)
+	}
+}
+
+// TestCachedChaosFingerprintKeysEntries pins the cache-key rule for fault
+// plans: an inactive plan shares the unfaulted entry (the builds are
+// byte-identical), an active plan gets its own.
+func TestCachedChaosFingerprintKeysEntries(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	base := Options{Seed: 85, Duration: 2 * time.Hour}
+	plain, err := Cached(BuilderA, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroRate := base
+	zeroRate.Faults, err = faults.ParseSpec("seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := Cached(BuilderA, zeroRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared != plain {
+		t.Fatal("zero-rate plan built a separate dataset despite byte-identical output")
+	}
+	chaotic := base
+	chaotic.Faults, err = faults.ParseSpec("seed=7,pool.outage=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := Cached(BuilderA, chaotic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted == plain {
+		t.Fatal("active fault plan shared the unfaulted cache entry")
+	}
+	if CacheLen() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", CacheLen())
+	}
+	if faulted.Result.Chain.Len() >= plain.Result.Chain.Len() {
+		t.Fatalf("30%% pool outages did not reduce blocks: %d vs %d",
+			faulted.Result.Chain.Len(), plain.Result.Chain.Len())
 	}
 }

@@ -24,6 +24,7 @@ import (
 
 	"chainaudit/internal/accel"
 	"chainaudit/internal/chain"
+	"chainaudit/internal/faults"
 	"chainaudit/internal/miner"
 	"chainaudit/internal/poolid"
 	"chainaudit/internal/sim"
@@ -52,6 +53,10 @@ type Options struct {
 	// BlockCapacity is the block body budget in vbytes (default 100 kvB, a
 	// 10x scale-down of mainnet; queueing behaviour is capacity-relative).
 	BlockCapacity int64
+	// Faults optionally injects infrastructure failures into the build's
+	// simulation (see faults.Plan). A nil or zero-rate plan builds data
+	// byte-identical to an unfaulted run and shares its cache entry.
+	Faults *faults.Plan
 }
 
 func (o Options) withDefaults(def time.Duration) Options {
@@ -119,6 +124,7 @@ func BuildA(opts Options) (*Dataset, error) {
 	sched, maxRate := congestionSchedule(opts.Seed, datasetStart, opts.Duration, opts.BlockCapacity, 2*time.Hour, 5*time.Hour)
 	cfg := sim.Config{
 		Seed:               opts.Seed,
+		Faults:             opts.Faults,
 		Start:              datasetStart,
 		Duration:           opts.Duration,
 		Pools:              pools,
@@ -155,6 +161,7 @@ func BuildB(opts Options) (*Dataset, error) {
 	sched, maxRate := congestionSchedule(opts.Seed, datasetStart, opts.Duration, opts.BlockCapacity, time.Hour, 7*time.Hour)
 	cfg := sim.Config{
 		Seed:               opts.Seed,
+		Faults:             opts.Faults,
 		Start:              datasetStart,
 		Duration:           opts.Duration,
 		Pools:              pools,
@@ -198,6 +205,7 @@ func BuildC(opts Options) (*Dataset, error) {
 	}
 	cfg := sim.Config{
 		Seed:               opts.Seed,
+		Faults:             opts.Faults,
 		Start:              datasetStart,
 		Duration:           opts.Duration,
 		Pools:              pools,

@@ -3,12 +3,15 @@ package dataset
 import (
 	"encoding/csv"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"time"
 
 	"chainaudit/internal/chain"
+	"chainaudit/internal/faults"
+	"chainaudit/internal/obs"
 )
 
 // The paper releases its data as flat files; this file provides the
@@ -29,10 +32,20 @@ var csvHeader = []string{
 // WriteChainCSV serializes the chain's blocks to CSV. Coinbase rows carry
 // position 0 and empty input columns.
 func WriteChainCSV(w io.Writer, c *chain.Chain) error {
+	return WriteChainCSVFaults(w, c, nil)
+}
+
+// WriteChainCSVFaults serializes like WriteChainCSV, letting the injector
+// mangle rows on the way out: corrupted rows get an unparseable txid,
+// truncated rows lose every column past the block context. A nil injector
+// writes clean output. The per-row decisions hash (seed, row index), so the
+// same plan always damages the same records.
+func WriteChainCSVFaults(w io.Writer, c *chain.Chain, rf *faults.RecordFaults) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
 		return err
 	}
+	rowIdx := 0
 	for _, b := range c.Blocks() {
 		for i, tx := range b.Txs {
 			row := make([]string, 0, len(csvHeader))
@@ -63,6 +76,13 @@ func WriteChainCSV(w io.Writer, c *chain.Chain) error {
 			} else {
 				row = append(row, "", "")
 			}
+			switch rf.RowFault(rowIdx) {
+			case faults.FaultCorrupt:
+				row[4] = "deadbeef" // txid mangled: wrong length, unparseable
+			case faults.FaultTruncate:
+				row = row[:4] // record cut short mid-write
+			}
+			rowIdx++
 			if err := cw.Write(row); err != nil {
 				return err
 			}
@@ -70,6 +90,146 @@ func WriteChainCSV(w io.Writer, c *chain.Chain) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// QuarantinedRecord is one CSV record excluded from a reconstructed chain,
+// with the line it came from and why it was set aside.
+type QuarantinedRecord struct {
+	Line   int
+	Reason string
+}
+
+var cQuarantined = obs.Default.Counter("degraded.dataset.quarantined")
+
+// ReadChainCSVQuarantine reconstructs a chain from possibly-damaged CSV.
+// Where ReadChainCSV fails fast on the first bad record, this reader sets
+// damaged records aside with a reason and keeps going:
+//
+//   - malformed rows (wrong column count, unparseable fields) are
+//     quarantined individually;
+//   - a block whose coinbase row was damaged gets a synthetic coinbase
+//     rebuilt from the block context every surviving row carries (height,
+//     time, miner tag, fees) — recorded as a quarantine entry, since the
+//     reconstructed transaction is not data;
+//   - a block that lost fee-paying rows no longer balances its coinbase
+//     against the surviving fees; it is admitted via chain.AppendDegraded
+//     (structural checks only) and the waiver recorded;
+//   - a block that still cannot be appended (e.g. every row lost) ends
+//     reconstruction: the chain so far is returned and the remaining records
+//     are quarantined, because appending past a hole would renumber history.
+//
+// Every quarantined record increments degraded.dataset.quarantined, so
+// damaged-input runs are visible in the manifest.
+func ReadChainCSVQuarantine(r io.Reader) (*chain.Chain, []QuarantinedRecord, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // column-count checks are ours to make, per row
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, nil, fmt.Errorf("dataset: header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	var (
+		c          = chain.New()
+		quarantine []QuarantinedRecord
+		cur        *chain.Block
+		curTag     string
+		curLine    int
+		dead       bool // set when the chain cannot be extended any further
+	)
+	setAside := func(line int, reason string) {
+		quarantine = append(quarantine, QuarantinedRecord{Line: line, Reason: reason})
+		cQuarantined.Inc()
+	}
+	flush := func() {
+		if cur == nil || dead {
+			return
+		}
+		if len(cur.Txs) == 0 || !cur.Txs[0].IsCoinbase() {
+			// The coinbase row was damaged, but its content is recoverable:
+			// every row of the block replicates the block context, and the
+			// coinbase's pay is determined by height and fees.
+			var fees chain.Amount
+			for _, tx := range cur.Txs {
+				fees += tx.Fee
+			}
+			cb := &chain.Tx{
+				VSize:       120,
+				Time:        cur.Time,
+				CoinbaseTag: curTag,
+				Outputs: []chain.TxOut{{
+					Address: chain.Address("reconstructed-" + curTag),
+					Value:   chain.Subsidy(cur.Height) + fees,
+				}},
+			}
+			cb.ComputeID()
+			cur.Txs = append([]*chain.Tx{cb}, cur.Txs...)
+			setAside(curLine, fmt.Sprintf("block %d coinbase reconstructed from row metadata", cur.Height))
+		}
+		cur.ComputeHash([32]byte{})
+		if err := appendLoose(c, cur); err != nil {
+			// A block that lost rows can fail value validation (its recorded
+			// coinbase pay exceeds the surviving fees). Admit it with the
+			// structural checks only, on the record.
+			if derr := c.AppendDegraded(cur); derr == nil {
+				setAside(curLine, fmt.Sprintf("block %d admitted without value validation: %v", cur.Height, err))
+			} else {
+				setAside(curLine, fmt.Sprintf("block %d unappendable: %v", cur.Height, derr))
+				dead = true
+			}
+		}
+		cur = nil
+	}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		var perr *csv.ParseError
+		if errors.As(err, &perr) {
+			setAside(line, fmt.Sprintf("unparseable CSV: %v", err))
+			continue
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		if dead {
+			setAside(line, "after unappendable block")
+			continue
+		}
+		if len(row) != len(csvHeader) {
+			setAside(line, fmt.Sprintf("%d columns, want %d", len(row), len(csvHeader)))
+			continue
+		}
+		height, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			setAside(line, fmt.Sprintf("bad height %q", row[0]))
+			continue
+		}
+		if cur == nil || cur.Height != height {
+			flush()
+			if dead {
+				setAside(line, "after unappendable block")
+				continue
+			}
+			bt, err := strconv.ParseInt(row[1], 10, 64)
+			if err != nil {
+				setAside(line, fmt.Sprintf("bad block_time %q", row[1]))
+				continue
+			}
+			cur = &chain.Block{Height: height, Time: time.Unix(0, bt)}
+			curTag, curLine = row[2], line
+		}
+		tx, err := parseTxRow(row)
+		if err != nil {
+			setAside(line, fmt.Sprintf("bad record: %v", err))
+			continue
+		}
+		cur.Txs = append(cur.Txs, tx)
+	}
+	flush()
+	return c, quarantine, nil
 }
 
 // ReadChainCSV reconstructs a chain from WriteChainCSV output. Transaction

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chainaudit/internal/faults"
+)
+
+func mustPlan(t *testing.T, spec string) *faults.Plan {
+	t.Helper()
+	p, err := faults.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec, err)
+	}
+	return p
+}
+
+// TestSuiteChaosZeroRateByteIdentical pins the tentpole invariant at the
+// experiments layer: a seeded plan with every rate at zero must share the
+// clean suite's data sets and render byte-identical figures, notes and all.
+func TestSuiteChaosZeroRateByteIdentical(t *testing.T) {
+	clean, err := NewSuiteChaos(777, 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wired, err := NewSuiteChaos(777, 0.1, mustPlan(t, "seed=5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wired.degraded() {
+		t.Fatal("zero-rate suite reports degraded")
+	}
+	if wired.A != clean.A || wired.B != clean.B || wired.C != clean.C {
+		t.Fatal("zero-rate plan did not share the clean suite's cache entries")
+	}
+	render := func(s *Suite) string {
+		var buf bytes.Buffer
+		if err := s.Fig09MempoolB().Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		fa, _, fc := s.Fig04DelaysFees()
+		if err := fa.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := fc.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(clean), render(wired)
+	if a != b {
+		t.Fatalf("zero-rate figures diverge from clean render:\n%s\nvs\n%s", a, b)
+	}
+	if strings.Contains(a, ".. ") {
+		t.Fatal("clean render carries degraded-mode notes")
+	}
+}
+
+// TestSuiteChaosDegradedAnnotations runs the suite under observer misses and
+// snapshot blackouts: seen-based figures must carry coverage notes, and the
+// mempool time series must split at the blackout holes instead of bridging
+// them.
+func TestSuiteChaosDegradedAnnotations(t *testing.T) {
+	plan := mustPlan(t, "seed=9,obs.miss=0.3,snap.blackout=0.4,snap.window=15m")
+	s, err := NewSuiteChaos(778, 0.1, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.degraded() {
+		t.Fatal("active plan but suite not degraded")
+	}
+	fa, fb, fc := s.Fig04DelaysFees()
+	if len(fa.Notes) != 2 {
+		t.Fatalf("Fig 4a notes = %v, want per-dataset coverage for A and B", fa.Notes)
+	}
+	for _, n := range fa.Notes {
+		if !strings.Contains(n, "coverage") {
+			t.Fatalf("Fig 4a note lacks a coverage fraction: %q", n)
+		}
+		// 30% observer miss: coverage must be reported below 100%.
+		if strings.Contains(n, "coverage 100.0%") {
+			t.Fatalf("Fig 4a reports full coverage under 30%% observer miss: %q", n)
+		}
+	}
+	if len(fb.Notes) != 0 {
+		t.Fatalf("Fig 4b is chain-only yet carries notes: %v", fb.Notes)
+	}
+	if len(fc.Notes) != 1 {
+		t.Fatalf("Fig 4c notes = %v", fc.Notes)
+	}
+	if f5 := s.Fig05FeeDelay(); len(f5.Notes) != 1 || !strings.Contains(f5.Notes[0], "coverage") {
+		t.Fatalf("Fig 5 notes = %v", f5.Notes)
+	}
+	if f12 := s.Fig12FeeDelayB(); len(f12.Notes) != 1 {
+		t.Fatalf("Fig 12 notes = %v", f12.Notes)
+	}
+
+	f9 := s.Fig09MempoolB()
+	if len(f9.Series) < 2 {
+		t.Fatalf("40%% blackout duty cycle left the Fig 9 series unsplit (%d segment)", len(f9.Series))
+	}
+	for _, series := range f9.Series {
+		if !strings.Contains(series.Name, "[segment ") {
+			t.Fatalf("split series lacks a segment label: %q", series.Name)
+		}
+	}
+	found := false
+	for _, n := range f9.Notes {
+		if strings.Contains(n, "snapshot gap") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Fig 9 gap note missing: %v", f9.Notes)
+	}
+	var buf bytes.Buffer
+	if err := f9.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ".. ") {
+		t.Fatal("rendered figure omits its notes")
+	}
+}

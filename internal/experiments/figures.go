@@ -112,23 +112,11 @@ func (s *Suite) Fig03Congestion() (*report.Figure, *report.Figure, *report.Table
 	fb := report.NewFigure("Figure 3b: mempool size distributions", "mempool size (MB-equivalent)")
 	fb.Add("A", sizes(s.A.Result.Observer("A")), cdfPoints)
 	fb.Add("B", sizes(s.B.Result.Observer("B")), cdfPoints)
-	// (c) mempool size vs time for A (downsampled).
+	// (c) mempool size vs time for A (downsampled, split at snapshot gaps).
 	fc := report.NewFigure("Figure 3c: mempool size over time (A)", "hours since start")
-	var pts []stats.CDFPoint
 	obsA := s.A.Result.Observer("A")
-	stride := len(obsA.Summaries) / 200
-	if stride == 0 {
-		stride = 1
-	}
-	start := obsA.Summaries[0].Time
-	for i := 0; i < len(obsA.Summaries); i += stride {
-		snap := obsA.Summaries[i]
-		pts = append(pts, stats.CDFPoint{
-			X: snap.Time.Sub(start).Hours(),
-			F: float64(snap.TotalVSize) / 1e6,
-		})
-	}
-	fc.Series = append(fc.Series, report.Series{Name: "mempool MB (time series; F column = MB)", Points: pts})
+	fc.Series = append(fc.Series, snapshotSeries("mempool MB (time series; F column = MB)", obsA.Summaries)...)
+	annotateGaps(fc, obsA)
 	return fb, fc, cum
 }
 
@@ -144,6 +132,8 @@ func (s *Suite) Fig04DelaysFees() (*report.Figure, *report.Figure, *report.Figur
 		fa.Add(ds.Name, core.CommitDelays(ds.Result.Chain, seen), cdfPoints)
 		fb.Add(ds.Name, core.ConfirmedFeeRates(ds.Result.Chain), cdfPoints)
 	}
+	s.annotateSeenCoverage(fa, s.A)
+	s.annotateSeenCoverage(fa, s.B)
 	fc := report.NewFigure("Figure 4c: fee-rates by congestion level (A)", "fee-rate (BTC/KB)")
 	byLevel := core.FeeRatesByCongestion(seenRecords(s.A.Result.Observer("A")))
 	for level := mempool.CongestionNone; level <= mempool.CongestionHigh; level++ {
@@ -151,22 +141,23 @@ func (s *Suite) Fig04DelaysFees() (*report.Figure, *report.Figure, *report.Figur
 			fc.Add(level.String(), vals, cdfPoints)
 		}
 	}
+	s.annotateSeenCoverage(fc, s.A)
 	return fa, fb, fc
 }
 
 // Fig05FeeDelay reproduces Figure 5: commit-delay CDFs per fee band in A.
 func (s *Suite) Fig05FeeDelay() *report.Figure {
 	defer obs.Timed("experiment.fig5")()
-	return feeDelayFigure("Figure 5: commit delays by fee-rate band (A)", s.A)
+	return s.feeDelayFigure("Figure 5: commit delays by fee-rate band (A)", s.A)
 }
 
 // Fig12FeeDelayB is Figure 12: the data set B counterpart of Figure 5.
 func (s *Suite) Fig12FeeDelayB() *report.Figure {
 	defer obs.Timed("experiment.fig12")()
-	return feeDelayFigure("Figure 12: commit delays by fee-rate band (B)", s.B)
+	return s.feeDelayFigure("Figure 12: commit delays by fee-rate band (B)", s.B)
 }
 
-func feeDelayFigure(title string, ds *dataset.Dataset) *report.Figure {
+func (s *Suite) feeDelayFigure(title string, ds *dataset.Dataset) *report.Figure {
 	f := report.NewFigure(title, "delay (blocks)")
 	byBand := core.DelaysByFeeBand(ds.Result.Chain, seenRecords(ds.Result.Observer(ds.Name)))
 	for band := core.FeeLow; band <= core.FeeExorbitant; band++ {
@@ -174,6 +165,7 @@ func feeDelayFigure(title string, ds *dataset.Dataset) *report.Figure {
 			f.Add(band.String(), vals, cdfPoints)
 		}
 	}
+	s.annotateSeenCoverage(f, ds)
 	return f
 }
 
@@ -194,13 +186,25 @@ func (s *Suite) Fig06ViolationPairs(sampleN int) (*report.Figure, *report.Figure
 	}
 	all := report.NewFigure("Figure 6a: violating pair fraction, all transactions (A)", "fraction of pairs")
 	non := report.NewFigure("Figure 6b: violating pair fraction, non-CPFP transactions (A)", "fraction of pairs")
+	var covAll, covNon core.Coverage
+	tally := func(cov *core.Coverage, survey []core.ViolationStats) {
+		for _, v := range survey {
+			cov.Add(core.Coverage{Used: v.Confirmed, Excluded: v.UnseenExcluded})
+		}
+	}
 	for _, e := range epsilons {
 		surveyAll := core.ViolationSurvey(obs.Fulls, c,
 			core.ViolationOptions{Epsilon: e.eps}, sampleN, s.rng.Fork(uint64(e.eps)))
+		tally(&covAll, surveyAll)
 		all.Add(e.label, core.ViolationFractions(surveyAll), cdfPoints)
 		surveyNon := core.ViolationSurvey(obs.Fulls, c,
 			core.ViolationOptions{Epsilon: e.eps, ExcludeDependent: true}, sampleN, s.rng.Fork(uint64(e.eps)+1))
+		tally(&covNon, surveyNon)
 		non.Add(e.label, core.ViolationFractions(surveyNon), cdfPoints)
+	}
+	if s.degraded() {
+		all.AddNote("pair analysis %s of confirmed snapshot txs; unknown first-seen excluded", covAll)
+		non.AddNote("pair analysis %s of confirmed snapshot txs; unknown first-seen excluded", covNon)
 	}
 	return all, non
 }
@@ -249,17 +253,8 @@ func (s *Suite) Fig09MempoolB() *report.Figure {
 	defer obs.Timed("experiment.fig9")()
 	f := report.NewFigure("Figure 9: mempool size over time (B)", "hours since start")
 	obs := s.B.Result.Observer("B")
-	stride := len(obs.Summaries) / 200
-	if stride == 0 {
-		stride = 1
-	}
-	var pts []stats.CDFPoint
-	start := obs.Summaries[0].Time
-	for i := 0; i < len(obs.Summaries); i += stride {
-		snap := obs.Summaries[i]
-		pts = append(pts, stats.CDFPoint{X: snap.Time.Sub(start).Hours(), F: float64(snap.TotalVSize) / 1e6})
-	}
-	f.Series = append(f.Series, report.Series{Name: "mempool MB (time series; F column = MB)", Points: pts})
+	f.Series = append(f.Series, snapshotSeries("mempool MB (time series; F column = MB)", obs.Summaries)...)
+	annotateGaps(f, obs)
 	return f
 }
 
@@ -343,4 +338,54 @@ func pickSnapshot(ds *dataset.Dataset) mempool.Snapshot {
 		}
 	}
 	return best
+}
+
+// snapshotSeries renders a snapshot stream as a downsampled time series,
+// split at every snapshot gap: each contiguous segment becomes its own
+// series so blackout holes stay holes instead of being bridged by a line.
+// A gap-free stream yields the single series the pre-gap-aware code emitted
+// (same stride, same points); an empty stream yields none, instead of
+// panicking on a first snapshot that does not exist.
+func snapshotSeries(name string, snaps []mempool.Snapshot) []report.Series {
+	segs := mempool.SplitAtGaps(snaps, mempool.SnapshotInterval)
+	if len(segs) == 0 {
+		return nil
+	}
+	stride := len(snaps) / 200
+	if stride == 0 {
+		stride = 1
+	}
+	start := segs[0][0].Time
+	out := make([]report.Series, 0, len(segs))
+	for si, seg := range segs {
+		sname := name
+		if len(segs) > 1 {
+			sname = fmt.Sprintf("%s [segment %d]", name, si+1)
+		}
+		var pts []stats.CDFPoint
+		for i := 0; i < len(seg); i += stride {
+			snap := seg[i]
+			pts = append(pts, stats.CDFPoint{
+				X: snap.Time.Sub(start).Hours(),
+				F: float64(snap.TotalVSize) / 1e6,
+			})
+		}
+		out = append(out, report.Series{Name: sname, Points: pts})
+	}
+	return out
+}
+
+// annotateGaps notes an observer's snapshot holes on a time-series figure.
+// Clean streams add nothing, keeping complete-data output byte-stable.
+func annotateGaps(f *report.Figure, data *sim.ObserverData) {
+	gaps := mempool.FindGaps(data.Summaries, mempool.SnapshotInterval)
+	if len(gaps) == 0 && data.MissedSnapshots == 0 {
+		return
+	}
+	missed := 0
+	for _, g := range gaps {
+		missed += g.Missed
+	}
+	f.AddNote("%d snapshot gap(s), %d cadence slots missed (%d blackout-suppressed); series split per contiguous segment",
+		len(gaps), missed, data.MissedSnapshots)
 }

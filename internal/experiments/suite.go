@@ -13,9 +13,11 @@ import (
 	"chainaudit/internal/chain"
 	"chainaudit/internal/core"
 	"chainaudit/internal/dataset"
+	"chainaudit/internal/faults"
 	"chainaudit/internal/index"
 	"chainaudit/internal/obs"
 	"chainaudit/internal/poolid"
+	"chainaudit/internal/report"
 	"chainaudit/internal/sim"
 	"chainaudit/internal/stats"
 )
@@ -28,6 +30,9 @@ type Suite struct {
 	Seed    uint64
 	A, B, C *dataset.Dataset
 	rng     *stats.RNG
+	// chaos is the fault plan the data sets were built under (nil for clean
+	// runs). Degraded-mode figures annotate their coverage when it is active.
+	chaos *faults.Plan
 
 	aIdxOnce sync.Once
 	aIdx     *index.BlockIndex
@@ -41,22 +46,47 @@ type Suite struct {
 // through dataset.Cached, so repeated suites in one process (benchmarks,
 // tests) stop re-simulating.
 func NewSuite(seed uint64, scale float64) (*Suite, error) {
+	return NewSuiteChaos(seed, scale, nil)
+}
+
+// NewSuiteChaos builds the suite's data sets under a fault plan: every
+// simulation runs with the plan's injectors wired in, and the degraded-mode
+// figures annotate the coverage their statistics were computed at. A nil or
+// zero-rate plan reproduces NewSuite exactly (and shares its cache entries).
+func NewSuiteChaos(seed uint64, scale float64, plan *faults.Plan) (*Suite, error) {
 	if scale <= 0 {
 		scale = 1
 	}
 	defer obs.Timed("experiment.suite_build")()
-	s := &Suite{Seed: seed, rng: stats.NewRNG(seed ^ 0xE59)}
+	s := &Suite{Seed: seed, rng: stats.NewRNG(seed ^ 0xE59), chaos: plan}
 	var err error
-	if s.A, err = dataset.Cached(dataset.BuilderA, dataset.Options{Seed: seed + 1, Duration: scaleDur(12*time.Hour, scale)}); err != nil {
+	if s.A, err = dataset.Cached(dataset.BuilderA, dataset.Options{Seed: seed + 1, Duration: scaleDur(12*time.Hour, scale), Faults: plan}); err != nil {
 		return nil, fmt.Errorf("experiments: building A: %w", err)
 	}
-	if s.B, err = dataset.Cached(dataset.BuilderB, dataset.Options{Seed: seed + 2, Duration: scaleDur(16*time.Hour, scale)}); err != nil {
+	if s.B, err = dataset.Cached(dataset.BuilderB, dataset.Options{Seed: seed + 2, Duration: scaleDur(16*time.Hour, scale), Faults: plan}); err != nil {
 		return nil, fmt.Errorf("experiments: building B: %w", err)
 	}
-	if s.C, err = dataset.Cached(dataset.BuilderC, dataset.Options{Seed: seed + 3, Duration: scaleDur(48*time.Hour, scale)}); err != nil {
+	if s.C, err = dataset.Cached(dataset.BuilderC, dataset.Options{Seed: seed + 3, Duration: scaleDur(48*time.Hour, scale), Faults: plan}); err != nil {
 		return nil, fmt.Errorf("experiments: building C: %w", err)
 	}
 	return s, nil
+}
+
+// degraded reports whether the suite's data sets were built under an active
+// fault plan — the gate for coverage annotations, so clean runs render
+// byte-identically to pre-fault-layer output.
+func (s *Suite) degraded() bool {
+	return s.chaos.Active()
+}
+
+// annotateSeenCoverage adds the observer's first-seen coverage note to a
+// figure whose statistics skip transactions the observer never heard about.
+func (s *Suite) annotateSeenCoverage(f *report.Figure, ds *dataset.Dataset) {
+	if !s.degraded() {
+		return
+	}
+	cov := core.SeenCoverage(ds.Result.Chain, seenRecords(ds.Result.Observer(ds.Name)))
+	f.AddNote("%s: first-seen %s of confirmed txs; unseen txs excluded", ds.Name, cov)
 }
 
 // AIndex returns the shared audit index over data set A's chain.

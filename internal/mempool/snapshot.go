@@ -115,3 +115,61 @@ func (p *Pool) Capture(now time.Time, tipHeight int64) Snapshot {
 	}
 	return s
 }
+
+// Gap is a hole in a snapshot series: a span where the capture cadence says
+// snapshots should exist but none do — the signature of a monitoring-node
+// outage. Snapshots inside a gap are explicitly absent, never zero-filled;
+// downstream statistics must skip the span and report reduced coverage.
+type Gap struct {
+	// Start is the last snapshot before the hole; End is the first after.
+	Start, End time.Time
+	// Missed is the number of cadence slots with no snapshot in (Start, End).
+	Missed int
+}
+
+// Duration is the length of the hole.
+func (g Gap) Duration() time.Duration { return g.End.Sub(g.Start) }
+
+// FindGaps scans a time-ordered snapshot series for holes of at least one
+// interval. A spacing is a gap when it exceeds 1.5x the cadence, tolerating
+// normal jitter while catching every true missed slot.
+func FindGaps(snaps []Snapshot, interval time.Duration) []Gap {
+	if interval <= 0 {
+		interval = SnapshotInterval
+	}
+	var gaps []Gap
+	for i := 1; i < len(snaps); i++ {
+		d := snaps[i].Time.Sub(snaps[i-1].Time)
+		if d > interval+interval/2 {
+			gaps = append(gaps, Gap{
+				Start:  snaps[i-1].Time,
+				End:    snaps[i].Time,
+				Missed: int(d/interval) - 1,
+			})
+		}
+	}
+	return gaps
+}
+
+// SplitAtGaps cuts a time-ordered snapshot series into contiguous segments
+// at every gap FindGaps reports. A series with no gaps comes back as one
+// segment sharing the input's backing array, so gap-unaware consumers pay
+// nothing. Plotting code draws each segment as its own series so holes stay
+// holes instead of being bridged or zero-filled.
+func SplitAtGaps(snaps []Snapshot, interval time.Duration) [][]Snapshot {
+	if len(snaps) == 0 {
+		return nil
+	}
+	if interval <= 0 {
+		interval = SnapshotInterval
+	}
+	segs := [][]Snapshot{}
+	start := 0
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Time.Sub(snaps[i-1].Time) > interval+interval/2 {
+			segs = append(segs, snaps[start:i])
+			start = i
+		}
+	}
+	return append(segs, snaps[start:])
+}

@@ -48,6 +48,16 @@ type Manifest struct {
 	CacheMisses     int64   `json:"cache_misses"`
 	WorkerOccupancy float64 `json:"worker_occupancy"`
 
+	// Chaos is the canonical fault-plan spec the run executed under ("" for
+	// clean runs). FaultsInjected sums every "faults." counter (faults the
+	// injectors actually fired); Degradations sums every "degraded." counter
+	// (data the consumers excluded, quarantined, or reconstructed because of
+	// them). A chaos run whose FaultsInjected is zero did not exercise its
+	// plan — the smoke test treats that as a failure.
+	Chaos          string `json:"chaos,omitempty"`
+	FaultsInjected int64  `json:"faults_injected"`
+	Degradations   int64  `json:"degradations"`
+
 	Metrics Snapshot `json:"metrics"`
 }
 
@@ -77,6 +87,15 @@ func (m *Manifest) FillFromSnapshot(s Snapshot) {
 	offered := s.Counters["pipeline.offered_ns"]
 	if offered > 0 {
 		m.WorkerOccupancy = float64(busy) / float64(offered)
+	}
+	m.FaultsInjected, m.Degradations = 0, 0
+	for name, v := range s.Counters {
+		switch {
+		case strings.HasPrefix(name, "faults."):
+			m.FaultsInjected += v
+		case strings.HasPrefix(name, "degraded."):
+			m.Degradations += v
+		}
 	}
 }
 
@@ -176,6 +195,10 @@ func ValidateManifest(data []byte) (*Manifest, error) {
 	if m.CacheHits < 0 || m.CacheMisses < 0 {
 		return nil, fmt.Errorf("obs: negative cache counts")
 	}
+	if m.FaultsInjected < 0 || m.Degradations < 0 {
+		return nil, fmt.Errorf("obs: negative fault tallies (%d injected, %d degradations)",
+			m.FaultsInjected, m.Degradations)
+	}
 	if m.WorkerOccupancy < 0 || m.WorkerOccupancy > 1 {
 		return nil, fmt.Errorf("obs: worker_occupancy %v outside [0,1]", m.WorkerOccupancy)
 	}
@@ -212,6 +235,10 @@ func (m *Manifest) Summary(w io.Writer) {
 	if hits, misses := m.CacheHits, m.CacheMisses; hits+misses > 0 {
 		fmt.Fprintf(w, "  dataset cache: %d hits / %d misses (%.0f%% hit rate)\n",
 			hits, misses, 100*float64(hits)/float64(hits+misses))
+	}
+	if m.Chaos != "" {
+		fmt.Fprintf(w, "  chaos: %s — %d faults injected, %d degradations recorded\n",
+			m.Chaos, m.FaultsInjected, m.Degradations)
 	}
 	top := append([]ExperimentTiming(nil), m.Experiments...)
 	sort.Slice(top, func(i, j int) bool { return top[i].WallMS > top[j].WallMS })

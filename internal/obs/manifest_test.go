@@ -19,6 +19,11 @@ func testManifest() *Manifest {
 	r.Counter("dataset.cache.miss").Add(3)
 	r.Counter("pipeline.busy_ns").Add(int64(3 * time.Second))
 	r.Counter("pipeline.offered_ns").Add(int64(4 * time.Second))
+	m.Chaos = "seed=7,pool.outage=0.1"
+	r.Counter("faults.sim.pool_outage").Add(9)
+	r.Counter("faults.p2p.drop").Add(4)
+	r.Counter("degraded.core.unseen_excluded").Add(6)
+	r.Counter("degraded.dataset.quarantined").Add(1)
 	m.FillFromSnapshot(r.Snapshot())
 	return m
 }
@@ -30,6 +35,12 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 	if m.WorkerOccupancy != 0.75 {
 		t.Errorf("occupancy = %v, want 0.75", m.WorkerOccupancy)
+	}
+	if m.FaultsInjected != 13 {
+		t.Errorf("faults_injected = %d, want the faults.* sum 13", m.FaultsInjected)
+	}
+	if m.Degradations != 7 {
+		t.Errorf("degradations = %d, want the degraded.* sum 7", m.Degradations)
 	}
 	path := filepath.Join(t.TempDir(), "m.json")
 	if err := m.WriteFile(path); err != nil {
@@ -63,6 +74,8 @@ func TestValidateManifestRejects(t *testing.T) {
 		"unnamed exp":      corrupt(func(m *Manifest) { m.Experiments[0].ID = "" }),
 		"negative wall":    corrupt(func(m *Manifest) { m.Experiments[0].WallMS = -1 }),
 		"bad occupancy":    corrupt(func(m *Manifest) { m.WorkerOccupancy = 1.5 }),
+		"negative faults":  corrupt(func(m *Manifest) { m.FaultsInjected = -2 }),
+		"negative degr":    corrupt(func(m *Manifest) { m.Degradations = -1 }),
 		"missing counters": corrupt(func(m *Manifest) { m.Metrics.Counters = nil }),
 		"unknown field":    []byte(`{"schema":"` + ManifestSchema + `","bogus":1}`),
 	}
@@ -106,7 +119,8 @@ func TestSummaryMentionsKeyFacts(t *testing.T) {
 	if strings.Contains(out, "go go") {
 		t.Errorf("summary duplicates the go prefix:\n%s", out)
 	}
-	for _, want := range []string{"seed 42", "2 experiments", "fig7", "hit rate", "occupancy"} {
+	for _, want := range []string{"seed 42", "2 experiments", "fig7", "hit rate", "occupancy",
+		"chaos: seed=7,pool.outage=0.1", "13 faults injected", "7 degradations"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("summary missing %q:\n%s", want, out)
 		}

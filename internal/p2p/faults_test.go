@@ -1,0 +1,147 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/faults"
+)
+
+func plan(t *testing.T, spec string) *faults.Plan {
+	t.Helper()
+	p, err := faults.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec, err)
+	}
+	return p
+}
+
+func TestFaultsDropSeversRelay(t *testing.T) {
+	a := NewNode("A", 1)
+	b := NewNode("B", 1)
+	defer a.Close()
+	defer b.Close()
+	// Every outbound message from A vanishes: B must never learn the tx.
+	a.SetFaults(plan(t, "seed=1,p2p.drop=1").P2P(0))
+	ConnectPair(a, b)
+
+	if err := a.SubmitTx(mkTx(5_000, 250, 50), baseTime); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if got := b.Mempool(baseTime).Count; got != 0 {
+		t.Fatalf("tx crossed a 100%%-drop link: B pool %d", got)
+	}
+	if a.Mempool(baseTime).Count != 1 {
+		t.Fatal("A lost its own tx")
+	}
+}
+
+func TestFaultsDuplicateTolerated(t *testing.T) {
+	a := NewNode("A", 1)
+	b := NewNode("B", 1)
+	defer a.Close()
+	defer b.Close()
+	// Every message delivered twice: the relay's dedup must hold and B must
+	// end with exactly one copy of each tx.
+	a.SetFaults(plan(t, "seed=2,p2p.dup=1").P2P(0))
+	b.SetFaults(plan(t, "seed=2,p2p.dup=1").P2P(1))
+	ConnectPair(a, b)
+
+	for i := 0; i < 5; i++ {
+		if err := a.SubmitTx(mkTx(chain.Amount(5_000+i), 250, uint16(60+i)), baseTime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "txs at B despite duplication", func() bool {
+		return b.Mempool(baseTime).Count == 5
+	})
+	if got := len(b.SeenLog()); got != 5 {
+		t.Fatalf("B logged %d first-contacts, want 5 (duplicates must not re-log)", got)
+	}
+}
+
+func TestFaultsDelayHoldsThenDelivers(t *testing.T) {
+	a := NewNode("A", 1)
+	b := NewNode("B", 1)
+	defer a.Close()
+	defer b.Close()
+	a.SetFaults(plan(t, "seed=3,p2p.delay=1,p2p.delaymax=50ms").P2P(0))
+	ConnectPair(a, b)
+
+	if err := a.SubmitTx(mkTx(5_000, 250, 70), baseTime); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "delayed tx eventually at B", func() bool {
+		return b.Mempool(baseTime).Count == 1
+	})
+}
+
+func TestRestartLosesMempoolKeepsSeenLog(t *testing.T) {
+	a := NewNode("A", 1)
+	b := NewNode("B", 1)
+	defer a.Close()
+	defer b.Close()
+	ConnectPair(a, b)
+
+	tx := mkTx(5_000, 250, 80)
+	if err := a.SubmitTx(tx, baseTime); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "tx at B", func() bool { return b.Mempool(baseTime).Count == 1 })
+
+	b.Restart()
+	if got := b.Mempool(baseTime).Count; got != 0 {
+		t.Fatalf("restart kept %d mempool entries", got)
+	}
+	waitFor(t, "peers dropped on restart", func() bool { return b.PeerCount() == 0 })
+	if len(b.SeenLog()) != 1 {
+		t.Fatal("restart lost the first-seen log (a durable artefact)")
+	}
+
+	// The restarted node reconnects and re-learns the pending set via the
+	// mempool-sync handshake — churn degrades, it does not corrupt.
+	ConnectPair(a, b)
+	waitFor(t, "mempool re-synced after restart", func() bool {
+		return b.Mempool(baseTime).Count == 1
+	})
+	// Re-learning logs a second first-contact; downstream consumers use the
+	// earliest, so the log may only grow.
+	if len(b.SeenLog()) < 1 {
+		t.Fatal("seen log shrank")
+	}
+}
+
+func TestMaybeChurn(t *testing.T) {
+	n := NewNode("N", 1)
+	defer n.Close()
+	if n.MaybeChurn() {
+		t.Fatal("node with no injector churned")
+	}
+	n.SetFaults(plan(t, "seed=4,churn=1").P2P(0))
+	if !n.MaybeChurn() {
+		t.Fatal("churn=1 did not restart the node")
+	}
+}
+
+// TestZeroRatePlanLeavesGossipIntact pins the invariant that an inactive
+// plan (zero rates) derives nil injectors, so wiring SetFaults
+// unconditionally cannot change behaviour.
+func TestZeroRatePlanLeavesGossipIntact(t *testing.T) {
+	a := NewNode("A", 1)
+	b := NewNode("B", 1)
+	defer a.Close()
+	defer b.Close()
+	p := plan(t, "seed=9")
+	a.SetFaults(p.P2P(0))
+	b.SetFaults(p.P2P(1))
+	ConnectPair(a, b)
+
+	if err := a.SubmitTx(mkTx(5_000, 250, 90), baseTime); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "tx relayed under zero-rate plan", func() bool {
+		return b.Mempool(baseTime).Count == 1
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"chainaudit/internal/chain"
+	"chainaudit/internal/faults"
 	"chainaudit/internal/mempool"
 )
 
@@ -14,10 +15,12 @@ import (
 // learns to its peers, and fetches what it is missing — the same
 // inv/getdata gossip loop the paper's observation nodes ran.
 type Node struct {
-	name string
+	name       string
+	minFeeRate chain.SatPerVByte
 
 	mu      sync.Mutex
 	clock   func() time.Time // timestamp source for relayed txs; nil = time.Now
+	inj     *faults.P2PInjector
 	pool    *mempool.Pool
 	txs     map[chain.TxID]*chain.Tx // known transactions (incl. confirmed)
 	blocks  map[int64]*chain.Block
@@ -38,11 +41,12 @@ type SeenEvent struct {
 // NewNode creates a node with the given mempool admission policy.
 func NewNode(name string, minFeeRate chain.SatPerVByte) *Node {
 	return &Node{
-		name:   name,
-		pool:   mempool.New(mempool.WithMinFeeRate(minFeeRate)),
-		txs:    make(map[chain.TxID]*chain.Tx),
-		blocks: make(map[int64]*chain.Block),
-		peers:  make(map[*peer]struct{}),
+		name:       name,
+		minFeeRate: minFeeRate,
+		pool:       mempool.New(mempool.WithMinFeeRate(minFeeRate)),
+		txs:        make(map[chain.TxID]*chain.Tx),
+		blocks:     make(map[int64]*chain.Block),
+		peers:      make(map[*peer]struct{}),
 	}
 }
 
@@ -58,6 +62,58 @@ func (n *Node) SetClock(clock func() time.Time) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.clock = clock
+}
+
+// SetFaults installs a fault injector consulted for every outbound message
+// (drop/delay/duplication). Nil (the default, and what an inactive
+// faults.Plan derives) injects nothing. Set it before Connect.
+func (n *Node) SetFaults(inj *faults.P2PInjector) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.inj = inj
+}
+
+// injector reads the node's fault injector.
+func (n *Node) injector() *faults.P2PInjector {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inj
+}
+
+// Restart simulates node churn: every peer connection is dropped and the
+// mempool is rebuilt empty (unconfirmed transactions lived only in memory),
+// while the block store and the on-disk artefacts a real deployment would
+// keep — the first-seen log — survive. Callers reconnect afterwards, the
+// same way a supervised bitcoind comes back and re-dials.
+func (n *Node) Restart() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	peers := make([]*peer, 0, len(n.peers))
+	for p := range n.peers {
+		peers = append(peers, p)
+	}
+	for _, e := range n.pool.Entries() {
+		delete(n.txs, e.Tx.ID) // forget unconfirmed txs so they can be re-learned
+	}
+	n.pool = mempool.New(mempool.WithMinFeeRate(n.minFeeRate))
+	n.mu.Unlock()
+	for _, p := range peers {
+		p.close()
+	}
+}
+
+// MaybeChurn polls the fault injector's churn knob and restarts the node
+// when it fires, reporting whether it did. Harnesses call this on whatever
+// cadence models their supervision interval.
+func (n *Node) MaybeChurn() bool {
+	if !n.injector().Churn() {
+		return false
+	}
+	n.Restart()
+	return true
 }
 
 // now reads the node's timestamp source.
@@ -231,7 +287,31 @@ func (n *Node) eachPeer(except *peer, f func(*peer)) {
 	}
 }
 
+// send relays one message to the peer, first letting the node's fault
+// injector decide its fate: dropped messages vanish, duplicated ones are
+// enqueued twice (relays must tolerate redundant gossip), delayed ones are
+// enqueued from a timer. With no injector (the default) this is a straight
+// call to enqueue.
 func (p *peer) send(t MsgType, payload []byte) {
+	act := p.node.injector().Message()
+	if act.Drop {
+		return
+	}
+	deliver := func() {
+		p.enqueue(t, payload)
+		if act.Duplicate {
+			p.enqueue(t, payload)
+		}
+	}
+	if act.Delay > 0 {
+		time.AfterFunc(act.Delay, deliver)
+		return
+	}
+	deliver()
+}
+
+// enqueue places a frame on the peer's bounded outbound queue.
+func (p *peer) enqueue(t MsgType, payload []byte) {
 	p.sendMu.Lock()
 	if p.closed {
 		p.sendMu.Unlock()

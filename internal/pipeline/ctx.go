@@ -1,0 +1,210 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chainaudit/internal/obs"
+)
+
+// Context-layer metrics: retries actually attempted, tasks killed by the
+// watchdog, and batches abandoned to cancellation.
+var (
+	mRetries   = obs.Default.Counter("pipeline.retries")
+	mWatchdog  = obs.Default.Counter("pipeline.watchdog_timeouts")
+	mCancelled = obs.Default.Counter("pipeline.cancelled")
+)
+
+// ErrWatchdog marks a task abandoned because it exceeded RunConfig.Timeout.
+// Errors returned from EachCtx/MapCtx for such tasks wrap it.
+var ErrWatchdog = errors.New("pipeline: watchdog timeout")
+
+// RunConfig bounds the tasks of one EachCtx/MapCtx call. The zero value
+// imposes nothing: no timeout, no retries — plain cancellable execution.
+type RunConfig struct {
+	// Timeout is the per-attempt watchdog. A task attempt still running when
+	// it expires is abandoned (its goroutine is left to finish in the
+	// background — Go cannot kill it — but the executor moves on) and
+	// reported as an ErrWatchdog-wrapped error.
+	Timeout time.Duration
+	// Retries is how many times a failed attempt is retried (so a task runs
+	// at most Retries+1 times). Results are still placed by index, so a
+	// retried run produces the same output bytes as a first-try run.
+	Retries int
+	// Backoff is the base of the exponential retry delay: attempt k sleeps
+	// Backoff<<(k-1) before retrying, capped at 32x the base. Zero means
+	// retry immediately. The sleep aborts promptly on context cancellation.
+	Backoff time.Duration
+}
+
+// attempt runs one try of f(i) with the watchdog applied, converting panics
+// into errors that name the task. With no timeout the attempt runs inline;
+// with one, it runs in a child goroutine so the executor can abandon it.
+func (rc RunConfig) attempt(ctx context.Context, i int, f func(ctx context.Context, i int) error) error {
+	run := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("pipeline: task %d panicked: %v", i, r)
+			}
+		}()
+		return f(ctx, i)
+	}
+	if rc.Timeout <= 0 {
+		return run()
+	}
+	actx, cancel := context.WithTimeout(ctx, rc.Timeout)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- run() }()
+	select {
+	case err := <-done:
+		return err
+	case <-actx.Done():
+		if ctx.Err() != nil {
+			// The batch was cancelled, not the watchdog firing.
+			return ctx.Err()
+		}
+		mWatchdog.Inc()
+		return fmt.Errorf("%w: task %d exceeded %v", ErrWatchdog, i, rc.Timeout)
+	}
+}
+
+// sleep waits d or until ctx is cancelled, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// runCtx runs task i to completion under rc: watchdog per attempt, bounded
+// retry with exponential backoff between attempts. Watchdog timeouts are
+// retried like any other failure; context cancellation is terminal.
+func (rc RunConfig) runCtx(ctx context.Context, i int, f func(ctx context.Context, i int) error) error {
+	var err error
+	for try := 0; ; try++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		err = rc.attempt(ctx, i, f)
+		if err == nil || errors.Is(err, context.Canceled) || try >= rc.Retries {
+			return err
+		}
+		mRetries.Inc()
+		back := rc.Backoff
+		if back > 0 {
+			shift := try
+			if shift > 5 {
+				shift = 5 // cap at 32x base; beyond that the watchdog dominates anyway
+			}
+			back <<= shift
+		}
+		if serr := sleep(ctx, back); serr != nil {
+			return err // cancelled mid-backoff: surface the task's own error
+		}
+	}
+}
+
+// EachCtx is Each with a context and per-task fault bounds: it invokes f for
+// every i in [0, n) over the worker pool, stopping early when ctx is
+// cancelled. Tasks already started run to completion (or watchdog); tasks
+// not yet claimed are skipped. The per-index error slice is returned
+// alongside a batch error: nil when everything ran, or a context error
+// naming the first unfinished task index when cancellation left work undone.
+// Panics inside f are converted to errors naming the task, never re-raised.
+func (e *Executor) EachCtx(ctx context.Context, n int, rc RunConfig, f func(ctx context.Context, i int) error) ([]error, error) {
+	errs := make([]error, n)
+	if n <= 0 {
+		return errs, ctx.Err()
+	}
+	mTasks.Add(int64(n))
+	start := time.Now()
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		cursor atomic.Int64
+		busy   atomic.Int64
+		done   = make([]atomic.Bool, n)
+		wg     sync.WaitGroup
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if ctx.Err() != nil {
+				// Leave done[i] false: cancellation skipped this task.
+				errs[i] = ctx.Err()
+				continue
+			}
+			mQueueWait.Observe(time.Since(start))
+			t0 := time.Now()
+			errs[i] = rc.runCtx(ctx, i, f)
+			d := time.Since(t0)
+			mTaskTime.Observe(d)
+			mBusyNS.Add(int64(d))
+			busy.Add(int64(d))
+			if cause := ctx.Err(); cause == nil || errs[i] == nil || !errors.Is(errs[i], cause) {
+				// Finished: ran to a definitive result (success, task error,
+				// or watchdog) rather than being cut short by cancellation.
+				done[i].Store(true)
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	offered := int64(time.Since(start)) * int64(workers)
+	mOfferedNS.Add(offered)
+	if occ := float64(busy.Load()) / float64(offered); occ <= 1 {
+		mOccupancy.Set(occ)
+	} else {
+		mOccupancy.Set(1)
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		for i := range done {
+			if !done[i].Load() {
+				mCancelled.Inc()
+				return errs, fmt.Errorf("pipeline: cancelled with task %d unfinished: %w", i, cerr)
+			}
+		}
+	}
+	return errs, nil
+}
+
+// MapCtx computes f over [0, n) under ctx and rc, placing each value and
+// error at its index. The batch error mirrors EachCtx: non-nil only when
+// cancellation left tasks unfinished. Task-level failures (including
+// watchdog timeouts after retries) live in the per-index results, keeping
+// error selection deterministic for the caller.
+func MapCtx[T any](e *Executor, ctx context.Context, n int, rc RunConfig, f func(ctx context.Context, i int) (T, error)) ([]Result[T], error) {
+	out := make([]Result[T], n)
+	errs, batchErr := e.EachCtx(ctx, n, rc, func(ctx context.Context, i int) error {
+		v, err := f(ctx, i)
+		if err == nil {
+			out[i].Value = v
+		}
+		return err
+	})
+	for i, err := range errs {
+		out[i].Err = err
+	}
+	return out, batchErr
+}

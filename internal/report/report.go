@@ -128,6 +128,10 @@ func CDFSeries(name string, sample []float64, n int) Series {
 type Figure struct {
 	Title  string
 	XLabel string
+	// Notes are caveat lines rendered under the title — degraded-mode
+	// coverage annotations. A figure with no notes renders exactly as it
+	// did before notes existed, so complete-data runs stay byte-stable.
+	Notes  []string
 	Series []Series
 }
 
@@ -141,10 +145,18 @@ func (f *Figure) Add(name string, sample []float64, points int) {
 	f.Series = append(f.Series, CDFSeries(name, sample, points))
 }
 
+// AddNote appends a formatted caveat line to the figure.
+func (f *Figure) AddNote(format string, args ...any) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
 // Render writes the figure as aligned columns: x, F(x) per series.
 func (f *Figure) Render(w io.Writer) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s ==\n", f.Title)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, ".. %s\n", n)
+	}
 	for _, s := range f.Series {
 		fmt.Fprintf(&b, "-- series %q (%s vs CDF) --\n", s.Name, f.XLabel)
 		for _, p := range s.Points {
@@ -158,6 +170,9 @@ func (f *Figure) Render(w io.Writer) error {
 // RenderCSV writes the figure as long-form CSV: series,x,F.
 func (f *Figure) RenderCSV(w io.Writer) error {
 	var b strings.Builder
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
 	b.WriteString("series,x,cdf\n")
 	for _, s := range f.Series {
 		for _, p := range s.Points {

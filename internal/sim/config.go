@@ -13,6 +13,7 @@ import (
 
 	"chainaudit/internal/accel"
 	"chainaudit/internal/chain"
+	"chainaudit/internal/faults"
 	"chainaudit/internal/miner"
 	"chainaudit/internal/workload"
 )
@@ -109,6 +110,11 @@ type Config struct {
 	RBFProb float64
 	// RBFDelay is the mean delay before the bump is broadcast.
 	RBFDelay time.Duration
+	// Faults optionally injects infrastructure failures (pool outages,
+	// observer misses, snapshot blackouts). Fault decisions draw from their
+	// own seeded streams, never from the run's RNG, so a nil or zero-rate
+	// plan leaves the run byte-identical to an unfaulted one.
+	Faults *faults.Plan
 }
 
 // withDefaults fills zero fields with production defaults.

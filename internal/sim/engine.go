@@ -9,6 +9,7 @@ import (
 
 	"chainaudit/internal/accel"
 	"chainaudit/internal/chain"
+	"chainaudit/internal/faults"
 	"chainaudit/internal/mempool"
 	"chainaudit/internal/miner"
 	"chainaudit/internal/obs"
@@ -20,10 +21,11 @@ import (
 // metric names resolve once per process. Counters are cumulative across
 // every run in the process (the manifest reports totals).
 var (
-	mEvents    = obs.Default.Counter("sim.events")
-	mBlocks    = obs.Default.Counter("sim.blocks_mined")
-	mSnapshots = obs.Default.Counter("sim.snapshots")
-	mRunTime   = obs.Default.Timer("sim.run")
+	mEvents      = obs.Default.Counter("sim.events")
+	mBlocks      = obs.Default.Counter("sim.blocks_mined")
+	mSnapshots   = obs.Default.Counter("sim.snapshots")
+	mRunTime     = obs.Default.Timer("sim.run")
+	mMissedSnaps = obs.Default.Counter("degraded.sim.snapshot_missed")
 )
 
 // eventKind enumerates the simulator's event types.
@@ -76,6 +78,7 @@ func (q *eventQueue) Pop() any {
 type engine struct {
 	cfg   Config
 	rng   *stats.RNG
+	inj   *faults.SimInjector // nil outside chaos runs: every hook no-ops
 	queue eventQueue
 	seq   uint64
 	now   time.Time
@@ -101,6 +104,19 @@ type observerState struct {
 	// pending holds transactions scheduled for arrival so duplicates and
 	// late deliveries after confirmation can be discarded cheaply.
 	snapshots int
+	// blackoutIdx cursors data.Blackouts: snapshot events arrive in time
+	// order per observer, so window membership is an O(1) amortized check.
+	blackoutIdx int
+}
+
+// inBlackout reports whether t falls inside one of the observer's injected
+// blackout windows. Calls must be monotone in t (they are: the snapshot
+// stream is).
+func (os *observerState) inBlackout(t time.Time) bool {
+	for os.blackoutIdx < len(os.data.Blackouts) && !t.Before(os.data.Blackouts[os.blackoutIdx].End) {
+		os.blackoutIdx++
+	}
+	return os.blackoutIdx < len(os.data.Blackouts) && os.data.Blackouts[os.blackoutIdx].Contains(t)
 }
 
 // Run executes a simulation to completion and returns its result.
@@ -125,6 +141,7 @@ func Run(cfg Config) (*Result, error) {
 	e := &engine{
 		cfg:       cfg,
 		rng:       rng,
+		inj:       cfg.Faults.Sim(cfg.Seed),
 		now:       cfg.Start,
 		end:       cfg.Start.Add(cfg.Duration),
 		gen:       workload.NewGenerator(rng.Fork(200), cfg.Users),
@@ -147,6 +164,7 @@ func Run(cfg Config) (*Result, error) {
 			pool: mempool.New(mempool.WithMinFeeRate(oc.MinFeeRate), mempool.WithCapacity(cfg.BlockCapacity)),
 			data: &ObserverData{Name: oc.Name, Seen: make(map[chain.TxID]SeenInfo)},
 		}
+		os.data.Blackouts = e.inj.Blackouts(i, cfg.Start, cfg.Start.Add(cfg.Duration))
 		e.observers = append(e.observers, os)
 		e.schedule(cfg.Start.Add(mempool.SnapshotInterval), &event{kind: evSnapshot, obsIdx: i})
 	}
@@ -301,7 +319,10 @@ func (e *engine) handle(ev *event) error {
 	case evReceive:
 		e.receive(ev)
 	case evBlock:
-		if err := e.mineBlock(ev.pool); err != nil {
+		if e.inj.PoolOutage() {
+			// The winning pool found a block but its infrastructure failed to
+			// act on the slot; the network just waits for the next discovery.
+		} else if err := e.mineBlock(ev.pool); err != nil {
 			return err
 		}
 		if !e.now.After(e.end) {
@@ -310,17 +331,25 @@ func (e *engine) handle(ev *event) error {
 		}
 	case evSnapshot:
 		os := e.observers[ev.obsIdx]
-		os.snapshots++
-		mSnapshots.Inc()
-		if os.cfg.FullSnapshotEvery > 0 && os.snapshots%os.cfg.FullSnapshotEvery == 0 {
-			snap := os.pool.Capture(e.now, e.tipHeight())
-			os.data.Fulls = append(os.data.Fulls, snap)
-			os.data.Summaries = append(os.data.Summaries, mempool.Snapshot{
-				Time: snap.Time, Count: snap.Count, TotalVSize: snap.TotalVSize,
-				TipHeight: snap.TipHeight, Capacity: snap.Capacity,
-			})
+		if os.inBlackout(e.now) {
+			// The monitoring node is down: the cadence slot produces no
+			// snapshot at all (explicit absence, detectable as a series gap),
+			// and the full-capture counter does not advance.
+			os.data.MissedSnapshots++
+			mMissedSnaps.Inc()
 		} else {
-			os.data.Summaries = append(os.data.Summaries, os.pool.Summary(e.now, e.tipHeight()))
+			os.snapshots++
+			mSnapshots.Inc()
+			if os.cfg.FullSnapshotEvery > 0 && os.snapshots%os.cfg.FullSnapshotEvery == 0 {
+				snap := os.pool.Capture(e.now, e.tipHeight())
+				os.data.Fulls = append(os.data.Fulls, snap)
+				os.data.Summaries = append(os.data.Summaries, mempool.Snapshot{
+					Time: snap.Time, Count: snap.Count, TotalVSize: snap.TotalVSize,
+					TipHeight: snap.TipHeight, Capacity: snap.Capacity,
+				})
+			} else {
+				os.data.Summaries = append(os.data.Summaries, os.pool.Summary(e.now, e.tipHeight()))
+			}
 		}
 		if next := e.now.Add(mempool.SnapshotInterval); !next.After(e.end) {
 			e.schedule(next, &event{kind: evSnapshot, obsIdx: ev.obsIdx})
@@ -369,6 +398,13 @@ func (e *engine) receive(ev *event) {
 		return
 	}
 	os := e.observers[ev.nodeIdx]
+	if e.inj.ObserverMiss() {
+		// The observer never hears about this transaction: no pool entry, no
+		// first-seen record. Downstream statistics see it only on-chain and
+		// report the reduced coverage.
+		os.data.MissedTxs++
+		return
+	}
 	_, err := os.pool.AddOrReplace(ev.tx, e.now)
 	switch {
 	case err == nil:

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"chainaudit/internal/faults"
+	"chainaudit/internal/mempool"
+)
+
+func chaosPlan(t *testing.T, spec string) *faults.Plan {
+	t.Helper()
+	p, err := faults.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec, err)
+	}
+	return p
+}
+
+// resultSignature condenses the run facets any injected fault would perturb.
+type resultSignature struct {
+	blocks    int
+	txIssued  int64
+	tipHash   [32]byte
+	seenA     int
+	summaries int
+}
+
+func signatureOf(res *Result) resultSignature {
+	sig := resultSignature{
+		blocks:   res.Chain.Len(),
+		txIssued: res.TxIssued,
+	}
+	if tip := res.Chain.Tip(); tip != nil {
+		sig.tipHash = tip.Hash
+	}
+	if obs := res.Observer("default"); obs != nil {
+		sig.seenA = len(obs.Seen)
+		sig.summaries = len(obs.Summaries)
+	}
+	return sig
+}
+
+// TestZeroRatePlanIsByteIdentical pins the tentpole invariant at the sim
+// layer: wiring a zero-rate plan must leave the run indistinguishable from
+// an unfaulted one, because fault decisions draw from their own streams and
+// a zero-rate plan derives a nil injector.
+func TestZeroRatePlanIsByteIdentical(t *testing.T) {
+	base, err := Run(smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(5)
+	cfg.Faults = chaosPlan(t, "seed=123") // seeded but all rates zero
+	wired, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if signatureOf(base) != signatureOf(wired) {
+		t.Fatalf("zero-rate plan changed the run:\n base %+v\nwired %+v",
+			signatureOf(base), signatureOf(wired))
+	}
+	obs := wired.Observer("default")
+	if len(obs.Blackouts) != 0 || obs.MissedSnapshots != 0 || obs.MissedTxs != 0 {
+		t.Fatalf("zero-rate plan recorded faults: %+v", obs)
+	}
+}
+
+func TestPoolOutagesReduceBlocks(t *testing.T) {
+	base, err := Run(smallConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(6)
+	cfg.Faults = chaosPlan(t, "seed=1,pool.outage=0.5")
+	faulted, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Chain.Len() >= base.Chain.Len() {
+		t.Fatalf("50%% pool outages did not reduce block count: %d vs %d",
+			faulted.Chain.Len(), base.Chain.Len())
+	}
+	if faulted.Chain.Len() == 0 {
+		t.Fatal("outages killed every block")
+	}
+	// The chain must stay structurally sound: contiguous heights.
+	blocks := faulted.Chain.Blocks()
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i].Height != blocks[i-1].Height+1 {
+			t.Fatal("outage produced a height gap")
+		}
+	}
+}
+
+func TestObserverMissShrinksSeenCoverage(t *testing.T) {
+	base, err := Run(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(7)
+	cfg.Faults = chaosPlan(t, "seed=2,obs.miss=0.4")
+	faulted, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bObs, fObs := base.Observer("permissive"), faulted.Observer("permissive")
+	if fObs.MissedTxs == 0 {
+		t.Fatal("40% observer miss recorded no missed txs")
+	}
+	if len(fObs.Seen) >= len(bObs.Seen) {
+		t.Fatalf("seen coverage did not shrink: %d vs %d", len(fObs.Seen), len(bObs.Seen))
+	}
+	// Missed transactions are absent, not present with zero times.
+	for id, info := range fObs.Seen {
+		if info.Time.IsZero() {
+			t.Fatalf("tx %x recorded with zero first-seen time", id[:4])
+		}
+	}
+}
+
+// TestBlackoutCreatesExplicitSnapshotGaps pins the satellite requirement
+// end-to-end: blackout windows yield explicitly absent snapshots whose
+// spacing FindGaps detects, and the missing slots are counted.
+func TestBlackoutCreatesExplicitSnapshotGaps(t *testing.T) {
+	cfg := smallConfig(8)
+	cfg.Faults = chaosPlan(t, "seed=3,snap.blackout=0.3,snap.window=20m")
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := res.Observer("default")
+	if len(obs.Blackouts) == 0 {
+		t.Fatal("no blackout windows at 30% duty cycle over 8h")
+	}
+	if obs.MissedSnapshots == 0 {
+		t.Fatal("blackout windows but no missed snapshots")
+	}
+	// Summaries skip the windows: no snapshot timestamp falls inside one.
+	for _, s := range obs.Summaries {
+		for _, w := range obs.Blackouts {
+			if w.Contains(s.Time) {
+				t.Fatalf("snapshot at %v inside blackout %+v", s.Time, w)
+			}
+		}
+		if s.Time.IsZero() {
+			t.Fatal("zero-filled snapshot in the stream")
+		}
+	}
+	gaps := mempool.FindGaps(obs.Summaries, mempool.SnapshotInterval)
+	if len(gaps) == 0 {
+		t.Fatal("blackouts produced no detectable series gaps")
+	}
+	var missedInGaps int
+	for _, g := range gaps {
+		missedInGaps += g.Missed
+	}
+	if int64(missedInGaps) < obs.MissedSnapshots/2 {
+		t.Fatalf("gap accounting inconsistent: %d missed slots vs %d counted", missedInGaps, obs.MissedSnapshots)
+	}
+	// Cadence + blackout accounting: captured + missed covers the run.
+	if got := int64(len(obs.Summaries)) + obs.MissedSnapshots; got < int64(8*time.Hour/mempool.SnapshotInterval)-1 {
+		t.Fatalf("snapshot slots unaccounted for: %d", got)
+	}
+}
+
+func TestChaosRunsAreReproducible(t *testing.T) {
+	run := func() *Result {
+		cfg := smallConfig(9)
+		cfg.Faults = chaosPlan(t, "seed=4,pool.outage=0.2,obs.miss=0.2,snap.blackout=0.2")
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if signatureOf(a) != signatureOf(b) {
+		t.Fatalf("same chaos seed diverged:\n%+v\n%+v", signatureOf(a), signatureOf(b))
+	}
+	ao, bo := a.Observer("default"), b.Observer("default")
+	if ao.MissedTxs != bo.MissedTxs || ao.MissedSnapshots != bo.MissedSnapshots {
+		t.Fatalf("fault counts diverged: %d/%d vs %d/%d",
+			ao.MissedTxs, ao.MissedSnapshots, bo.MissedTxs, bo.MissedSnapshots)
+	}
+	for id, info := range ao.Seen {
+		if other, ok := bo.Seen[id]; !ok || !other.Time.Equal(info.Time) {
+			t.Fatalf("seen record for %x diverged", id[:4])
+		}
+	}
+}

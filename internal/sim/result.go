@@ -5,6 +5,7 @@ import (
 
 	"chainaudit/internal/accel"
 	"chainaudit/internal/chain"
+	"chainaudit/internal/faults"
 	"chainaudit/internal/mempool"
 )
 
@@ -34,6 +35,15 @@ type ObserverData struct {
 	// DroppedBelowMin counts transactions the node refused for violating
 	// its fee-rate policy.
 	DroppedBelowMin int64
+	// Blackouts are the snapshot blackout windows injected into this node's
+	// capture stream (nil outside chaos runs). Snapshots inside a window are
+	// explicitly absent from Summaries/Fulls, never present-but-empty.
+	Blackouts []faults.Window
+	// MissedSnapshots counts cadence slots skipped inside blackout windows.
+	MissedSnapshots int64
+	// MissedTxs counts transactions the fault layer hid from this node
+	// entirely (the observer-miss knob), shrinking Seen coverage.
+	MissedTxs int64
 }
 
 // GroundTruth records every planted deviation so audits can be validated
