@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-key reproduce smoke-metrics smoke-chaos clean
+.PHONY: check build vet test race bench bench-key reproduce smoke-metrics smoke-chaos smoke-serve clean
 
 # check is the tier-1 gate: vet, build, the full test suite under the
-# race detector, and the metrics and chaos smoke tests.
-check: vet build race smoke-metrics smoke-chaos
+# race detector, and the metrics, chaos, and service smoke tests.
+check: vet build race smoke-metrics smoke-chaos smoke-serve
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,35 @@ smoke-chaos:
 		-chaos 'seed=3,pool.outage=0.2,obs.miss=0.25,snap.blackout=0.3,snap.window=15m' \
 		-require-faults -metrics /tmp/chainaudit-chaos-metrics.json > /dev/null
 	$(GO) run ./cmd/reproduce -validate-metrics /tmp/chainaudit-chaos-metrics.json
+
+# smoke-serve boots chainauditd on an ephemeral port and proves the service
+# serves the same bytes the batch CLIs print: one experiment section diffed
+# against cmd/reproduce (same seed/scale), one audit section diffed against
+# cmd/chainaudit over a shared gendata CSV.
+smoke-serve:
+	$(GO) build -o /tmp/chainauditd ./cmd/chainauditd
+	$(GO) run ./cmd/gendata -set C -seed 9 -hours 5 -out /tmp/chainaudit-serve-chain.csv > /dev/null
+	$(GO) run ./cmd/reproduce -exp fig2 -seed 5 -scale 0.1 \
+		| sed -n '/^\#\#\# fig2$$/,/^done:/p' | sed '1d;$$d' > /tmp/chainaudit-serve-fig2-cli.txt
+	$(GO) run ./cmd/chainaudit -chain /tmp/chainaudit-serve-chain.csv -ppe \
+		| tail -n +3 > /tmp/chainaudit-serve-ppe-cli.txt
+	rm -f /tmp/chainaudit-serve-addr
+	/tmp/chainauditd -addr 127.0.0.1:0 -ready-file /tmp/chainaudit-serve-addr \
+		-sim -seed 5 -scale 0.1 -chain main=/tmp/chainaudit-serve-chain.csv 2> /tmp/chainaudit-serve-log.txt & \
+	DPID=$$!; trap 'kill $$DPID 2>/dev/null' EXIT; \
+	tries=0; until [ -s /tmp/chainaudit-serve-addr ]; do \
+		tries=$$((tries+1)); \
+		if [ $$tries -gt 1200 ]; then echo "chainauditd never became ready"; cat /tmp/chainaudit-serve-log.txt; exit 1; fi; \
+		if ! kill -0 $$DPID 2>/dev/null; then echo "chainauditd died"; cat /tmp/chainaudit-serve-log.txt; exit 1; fi; \
+		sleep 0.1; \
+	done; \
+	ADDR=$$(cat /tmp/chainaudit-serve-addr) && \
+	curl -sf "http://$$ADDR/v1/healthz" | grep -q '"status":"ok"' && \
+	curl -sf "http://$$ADDR/v1/experiments" | grep -q '"id":"fig7"' && \
+	curl -sf -X POST "http://$$ADDR/v1/experiments/fig2?format=text" > /tmp/chainaudit-serve-fig2-srv.txt && \
+	curl -sf -X POST "http://$$ADDR/v1/audits/ppe?dataset=main&format=text" > /tmp/chainaudit-serve-ppe-srv.txt && \
+	cmp /tmp/chainaudit-serve-fig2-cli.txt /tmp/chainaudit-serve-fig2-srv.txt && \
+	cmp /tmp/chainaudit-serve-ppe-cli.txt /tmp/chainaudit-serve-ppe-srv.txt
 
 clean:
 	$(GO) clean ./...

@@ -9,6 +9,10 @@
 // norm III census all run. -scam tests differential treatment of all
 // transactions touching an address; -window adds the Fisher-combined
 // windowed variant to the self-interest findings.
+//
+// Every audit goes through core.Auditor's AuditOptions API and the shared
+// section renderers in internal/core; chainauditd serves the same audits
+// over HTTP with byte-identical text output (see internal/serve).
 package main
 
 import (
@@ -20,8 +24,6 @@ import (
 	"chainaudit/internal/chain"
 	"chainaudit/internal/core"
 	"chainaudit/internal/dataset"
-	"chainaudit/internal/poolid"
-	"chainaudit/internal/report"
 )
 
 func main() {
@@ -34,12 +36,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("chainaudit", flag.ContinueOnError)
 	chainPath := fs.String("chain", "", "chain CSV to audit (required)")
-	minShare := fs.Float64("minshare", 0.04, "minimum pool share for differential tests")
+	minShare := fs.Float64("minshare", core.DefaultMinShare, "minimum pool share for differential tests")
 	doPPE := fs.Bool("ppe", false, "run the PPE (norm II) report")
 	doSelf := fs.Bool("selfinterest", false, "run the self-interest differential audit")
 	doLowFee := fs.Bool("lowfee", false, "run the norm III low-fee census")
 	darkPool := fs.String("darkfee", "", "scan this pool's blocks for SPPE-flagged (dark-fee) transactions")
-	sppeThr := fs.Float64("sppe", 99, "SPPE threshold for -darkfee")
+	sppeThr := fs.Float64("sppe", core.DefaultSPPE, "SPPE threshold for -darkfee")
 	scamAddr := fs.String("scam", "", "run the differential test over all transactions touching this address")
 	windows := fs.Int("window", 0, "additionally run the Fisher-combined windowed self-interest test with N windows")
 	if err := fs.Parse(args); err != nil {
@@ -61,100 +63,51 @@ func run(args []string, out io.Writer) error {
 
 	all := !*doPPE && !*doSelf && !*doLowFee && *darkPool == "" && *scamAddr == ""
 	aud := core.NewAuditor(c)
+	opts := core.AuditOptions{MinShare: *minShare, Windows: *windows, SPPE: *sppeThr}
+	// The flags' historical semantics: an explicit 0 means "no threshold",
+	// which AuditOptions spells as a negative value.
+	if *minShare <= 0 {
+		opts.MinShare = -1
+	}
+	if *sppeThr <= 0 {
+		opts.SPPE = -1
+	}
 
 	if all || *doPPE {
-		rep := aud.PPEReport(5)
-		fmt.Fprintf(out, "PPE overall: %s\n", rep.Overall)
-		t := report.NewTable("PPE by pool", report.SummaryColumns("pool")...)
-		for _, pool := range rep.SortedPools() {
-			report.SummaryRow(t, pool, rep.PerPool[pool])
-		}
-		if err := t.Render(out); err != nil {
+		if err := core.WritePPESection(out, aud.AuditPPE(opts)); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
 	}
 	if all || *doSelf {
-		findings, _, err := aud.SelfInterestAudit(*minShare)
+		rep, err := aud.AuditSelfInterest(opts)
 		if err != nil {
 			return err
 		}
-		t := report.NewTable("Self-interest differential prioritization (p < 0.001)",
-			"owner", "pool", "theta0", "x", "y", "p_accel", "q_accel", "p_decel", "sppe")
-		for _, fdg := range findings {
-			r := fdg.Result
-			t.AddRow(fdg.Owner, r.Pool, r.Theta0, int(r.X), int(r.Y), r.AccelP, fdg.QAccel, r.DecelP, r.SPPE)
-		}
-		if len(findings) == 0 {
-			fmt.Fprintln(out, "self-interest audit: no significant deviations")
-		} else if err := t.Render(out); err != nil {
+		if err := core.WriteSelfInterestSection(out, rep); err != nil {
 			return err
 		}
-		if *windows > 1 && len(findings) > 0 {
-			w := report.NewTable(fmt.Sprintf("Fisher-combined over %d windows", *windows),
-				"owner", "pool", "p_accel_combined", "p_decel_combined")
-			sets := aud.Index().SelfInterestSets()
-			for _, fdg := range findings {
-				res, err := core.WindowedDifferentialTest(c, aud.Registry, fdg.Result.Pool, sets[fdg.Owner], *windows)
-				if err != nil {
-					continue
-				}
-				w.AddRow(fdg.Owner, fdg.Result.Pool, res.AccelP, res.DecelP)
-			}
-			if err := w.Render(out); err != nil {
-				return err
-			}
-		}
-		fmt.Fprintln(out)
 	}
 	if *scamAddr != "" {
 		set := core.TouchingAddress(c, chain.Address(*scamAddr))
-		fmt.Fprintf(out, "transactions touching %s: %d\n", *scamAddr, len(set))
+		var rows []core.DifferentialResult
 		if len(set) > 0 {
-			rows, err := aud.ScamAudit(set, *minShare)
-			if err != nil {
-				return err
-			}
-			t := report.NewTable("Differential test over the address's transactions",
-				"pool", "theta0", "x", "y", "p_accel", "p_decel", "sppe")
-			for _, r := range rows {
-				t.AddRow(r.Pool, r.Theta0, int(r.X), int(r.Y), r.AccelP, r.DecelP, r.SPPE)
-			}
-			if err := t.Render(out); err != nil {
+			if rows, err = aud.AuditScam(set, opts); err != nil {
 				return err
 			}
 		}
-		fmt.Fprintln(out)
-	}
-	if all || *doLowFee {
-		lows := core.LowFeeConfirmations(c, poolid.DefaultRegistry())
-		byPool := map[string]int{}
-		for _, lf := range lows {
-			byPool[lf.Pool]++
-		}
-		t := report.NewTable("Norm III: confirmed sub-minimum fee-rate transactions", "pool", "count")
-		for _, pool := range report.SortedKeys(byPool) {
-			t.AddRow(pool, byPool[pool])
-		}
-		if len(lows) == 0 {
-			fmt.Fprintln(out, "norm III: no sub-minimum confirmations")
-		} else if err := t.Render(out); err != nil {
+		if err := core.WriteScamSection(out, *scamAddr, len(set), rows); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
+	}
+	if all || *doLowFee {
+		if err := core.WriteLowFeeSection(out, aud.AuditLowFee(opts)); err != nil {
+			return err
+		}
 	}
 	if *darkPool != "" {
-		cands := core.DetectAcceleratedOnIndex(aud.Index(), *darkPool, *sppeThr)
-		t := report.NewTable(fmt.Sprintf("SPPE >= %g%% candidates in %s blocks", *sppeThr, *darkPool),
-			"txid", "height", "sppe")
-		for _, cand := range cands {
-			t.AddRow(cand.TxID.String(), int(cand.Height), cand.SPPE)
-		}
-		fmt.Fprintf(out, "%d candidates\n", len(cands))
-		if len(cands) > 0 {
-			if err := t.Render(out); err != nil {
-				return err
-			}
+		cands := aud.AuditDarkFee(*darkPool, opts)
+		if err := core.WriteDarkFeeSection(out, *darkPool, *sppeThr, cands); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChainListFlag(t *testing.T) {
+	var c chainList
+	if err := c.Set("main=/tmp/a.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("extra=/tmp/b.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 2 || c[0].Name != "main" || c[1].Path != "/tmp/b.csv" {
+		t.Errorf("chains = %+v", c)
+	}
+	if c.String() != "main=/tmp/a.csv,extra=/tmp/b.csv" {
+		t.Errorf("String() = %q", c.String())
+	}
+	for _, bad := range []string{"", "nameonly", "=path", "name="} {
+		if err := c.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	ctx := context.Background()
+	var log bytes.Buffer
+	if err := run(ctx, []string{"-nonsense"}, &log); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run(ctx, []string{"-chain", "broken"}, &log); err == nil {
+		t.Error("bad chain spec accepted")
+	}
+	if err := run(ctx, []string{"-chain", "x=/no/such/file.csv"}, &log); err == nil {
+		t.Error("missing chain CSV accepted")
+	}
+}
+
+// TestServeAndShutdown boots the daemon on an ephemeral port, waits for the
+// ready file, drives one real HTTP round trip, and checks context
+// cancellation shuts it down cleanly.
+func TestServeAndShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds data sets")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := filepath.Join(t.TempDir(), "addr")
+	done := make(chan error, 1)
+	var log bytes.Buffer
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-ready-file", ready,
+			"-seed", "5", "-scale", "0.1",
+		}, &log)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(2 * time.Minute)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became ready; log:\n%s", log.String())
+		}
+		if raw, err := os.ReadFile(ready); err == nil && len(raw) > 0 {
+			addr = string(raw)
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v\nlog:\n%s", err, log.String())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/v1/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var health struct {
+		Status   string `json:"status"`
+		Datasets []struct {
+			Name string `json:"name"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || len(health.Datasets) != 3 {
+		t.Errorf("health = %+v", health)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("shutdown returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(log.String(), "shutting down") {
+		t.Errorf("log missing shutdown notice:\n%s", log.String())
+	}
+}

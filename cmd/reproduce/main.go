@@ -8,7 +8,9 @@
 //	reproduce -validate-metrics f
 //
 // -exp selects experiments by id (comma separated): fig1..fig14, table1..
-// table5, norm3, ablations, or "all" (default). -scale grows the simulated
+// table5, norm3, ablations, or "all" (default); -only NAME runs exactly one
+// experiment resolved through the experiments registry (the same registry
+// chainauditd serves). -scale grows the simulated
 // spans (1 = bench scale: A 12 h, B 16 h, C 48 h). With -parallel (the
 // default) the selected experiments fan out over the pipeline executor and
 // their outputs are emitted in deterministic order; -parallel=false forces
@@ -56,11 +58,6 @@ import (
 	"chainaudit/internal/pipeline"
 )
 
-type renderable interface {
-	Render(io.Writer) error
-	RenderCSV(io.Writer) error
-}
-
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
@@ -74,6 +71,7 @@ func run(args []string, out io.Writer) error {
 	scale := fs.Float64("scale", 1, "data set duration scale")
 	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	expFlag := fs.String("exp", "all", "comma-separated experiment ids (fig1..fig14, table1..table5, norm3, extensions, ablations, all)")
+	onlyFlag := fs.String("only", "", "run exactly one experiment by registry name (overrides -exp)")
 	par := fs.Bool("parallel", true, "run selected experiments on the parallel pipeline executor")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -98,18 +96,25 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	known := map[string]bool{"all": true, "norm3": true, "extensions": true, "ablations": true}
-	for i := 1; i <= 14; i++ {
-		known[fmt.Sprintf("fig%d", i)] = true
-	}
-	for i := 1; i <= 5; i++ {
-		known[fmt.Sprintf("table%d", i)] = true
+	// Selection resolves through the experiment registry — the same one
+	// chainauditd serves — so the CLI can never offer an experiment the
+	// service does not (or vice versa). Validation happens before any data
+	// set is built.
+	if *onlyFlag != "" {
+		id := strings.TrimSpace(strings.ToLower(*onlyFlag))
+		if _, ok := experiments.ByName(id); !ok {
+			return fmt.Errorf("unknown experiment id %q (known: %s)",
+				id, strings.Join(experiments.Names(), ", "))
+		}
+		*expFlag = id
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*expFlag, ",") {
 		id = strings.TrimSpace(strings.ToLower(id))
-		if !known[id] {
-			return fmt.Errorf("unknown experiment id %q", id)
+		if id != "all" {
+			if _, ok := experiments.ByName(id); !ok {
+				return fmt.Errorf("unknown experiment id %q", id)
+			}
 		}
 		want[id] = true
 	}
@@ -161,155 +166,13 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "data sets ready in %v\n\n", time.Since(start).Round(time.Second))
 
-	emit := func(w io.Writer, r renderable) error {
-		var err error
-		if *asCSV {
-			err = r.RenderCSV(w)
-		} else {
-			err = r.Render(w)
-		}
-		if err == nil {
-			_, err = fmt.Fprintln(w)
-		}
-		return err
-	}
-
-	type step struct {
-		id  string
-		run func(w io.Writer) error
-	}
-	steps := []step{
-		{"fig1", func(w io.Writer) error {
-			f, err := suite.Fig01NormShift()
-			if err != nil {
-				return err
-			}
-			return emit(w, f)
-		}},
-		{"table1", func(w io.Writer) error { return emit(w, suite.Table1()) }},
-		{"fig2", func(w io.Writer) error { return emit(w, suite.Fig02PoolShares()) }},
-		{"fig3", func(w io.Writer) error {
-			fb, fc, cum := suite.Fig03Congestion()
-			if err := emit(w, cum); err != nil {
-				return err
-			}
-			if err := emit(w, fb); err != nil {
-				return err
-			}
-			return emit(w, fc)
-		}},
-		{"fig4", func(w io.Writer) error {
-			fa, fb, fc := suite.Fig04DelaysFees()
-			for _, f := range []renderable{fa, fb, fc} {
-				if err := emit(w, f); err != nil {
-					return err
-				}
-			}
-			return nil
-		}},
-		{"fig5", func(w io.Writer) error { return emit(w, suite.Fig05FeeDelay()) }},
-		{"fig6", func(w io.Writer) error {
-			all, non := suite.Fig06ViolationPairs(30)
-			if err := emit(w, all); err != nil {
-				return err
-			}
-			return emit(w, non)
-		}},
-		{"fig7", func(w io.Writer) error {
-			f, overall := suite.Fig07PPE()
-			fmt.Fprintf(w, "PPE overall: %s\n", overall)
-			return emit(w, f)
-		}},
-		{"fig8", func(w io.Writer) error { return emit(w, suite.Fig08PoolWallets()) }},
-		{"table2", func(w io.Writer) error {
-			t, _, err := suite.Table2SelfInterest()
-			if err != nil {
-				return err
-			}
-			return emit(w, t)
-		}},
-		{"table3", func(w io.Writer) error {
-			t, _, err := suite.Table3Scam()
-			if err != nil {
-				return err
-			}
-			return emit(w, t)
-		}},
-		{"table4", func(w io.Writer) error {
-			t, _ := suite.Table4DarkFee()
-			return emit(w, t)
-		}},
-		{"table5", func(w io.Writer) error {
-			t, _, err := suite.Table5FeeRevenue()
-			if err != nil {
-				return err
-			}
-			return emit(w, t)
-		}},
-		{"norm3", func(w io.Writer) error { return emit(w, suite.NormIIICensus()) }},
-		{"fig9", func(w io.Writer) error { return emit(w, suite.Fig09MempoolB()) }},
-		{"fig10", func(w io.Writer) error { return emit(w, suite.Fig10FeeratesByPool()) }},
-		{"fig11", func(w io.Writer) error { return emit(w, suite.Fig11CongestionFeesB()) }},
-		{"fig12", func(w io.Writer) error { return emit(w, suite.Fig12FeeDelayB()) }},
-		{"fig13", func(w io.Writer) error { return emit(w, suite.Fig13ScamWindowShares()) }},
-		{"fig14", func(w io.Writer) error {
-			f, ratios := suite.Fig14AccelFees()
-			fmt.Fprintf(w, "acceleration-fee multiple of public fee: %s\n", ratios)
-			return emit(w, f)
-		}},
-		{"extensions", func(w io.Writer) error {
-			bias, err := suite.ExtFeeEstimatorBias()
-			if err != nil {
-				return err
-			}
-			if err := emit(w, bias); err != nil {
-				return err
-			}
-			cens, err := suite.ExtCensorshipPower()
-			if err != nil {
-				return err
-			}
-			if err := emit(w, cens); err != nil {
-				return err
-			}
-			sig, err := suite.ExtDelaySignificance()
-			if err != nil {
-				return err
-			}
-			if err := emit(w, sig); err != nil {
-				return err
-			}
-			cmp, err := suite.ExtNormComparison()
-			if err != nil {
-				return err
-			}
-			if err := emit(w, cmp); err != nil {
-				return err
-			}
-			rbf, err := suite.ExtConflictOutcomes()
-			if err != nil {
-				return err
-			}
-			return emit(w, rbf)
-		}},
-		{"ablations", func(w io.Writer) error {
-			gap, err := suite.AblationPolicyGap()
-			if err != nil {
-				return err
-			}
-			if err := emit(w, gap); err != nil {
-				return err
-			}
-			if err := emit(w, suite.AblationBinomApprox()); err != nil {
-				return err
-			}
-			return emit(w, suite.AblationSnapshotSampling())
-		}},
-	}
-	var picked []step
-	for _, s := range steps {
-		if selected(s.id) {
-			picked = append(picked, s)
+	// Every experiment comes from the registry, in canonical order; each runs
+	// against a text sink over its own buffer, reproducing the historical
+	// inline dispatch byte-for-byte.
+	var picked []*experiments.Descriptor
+	for _, d := range experiments.All() {
+		if selected(d.ID) {
+			picked = append(picked, d)
 		}
 	}
 	if len(picked) == 0 {
@@ -322,7 +185,7 @@ func run(args []string, out io.Writer) error {
 	expWall := make([]atomic.Int64, len(picked))
 	timed := func(i int, w io.Writer) error {
 		t0 := time.Now()
-		err := picked[i].run(w)
+		err := picked[i].Run(suite, experiments.NewTextSink(w, *asCSV))
 		expWall[i].Store(int64(time.Since(t0)))
 		return err
 	}
@@ -351,7 +214,7 @@ func run(args []string, out io.Writer) error {
 	resumed := make([]bool, len(picked))
 	if cp != nil {
 		for i, s := range picked {
-			if body, ok := cp.Completed[s.id]; ok {
+			if body, ok := cp.Completed[s.ID]; ok {
 				bufs[i].WriteString(body)
 				resumed[i] = true
 			}
@@ -371,7 +234,7 @@ func run(args []string, out io.Writer) error {
 			}
 			bufs[i] = local
 			if cp != nil {
-				return struct{}{}, cp.record(*checkpointPath, picked[i].id, bufs[i].String())
+				return struct{}{}, cp.record(*checkpointPath, picked[i].ID, bufs[i].String())
 			}
 			return struct{}{}, nil
 		})
@@ -380,9 +243,9 @@ func run(args []string, out io.Writer) error {
 	}
 	for i, r := range results {
 		if r.Err != nil {
-			return fmt.Errorf("%s: %w", picked[i].id, r.Err)
+			return fmt.Errorf("%s: %w", picked[i].ID, r.Err)
 		}
-		fmt.Fprintf(out, "### %s\n", picked[i].id)
+		fmt.Fprintf(out, "### %s\n", picked[i].ID)
 		if _, err := bufs[i].WriteTo(out); err != nil {
 			return err
 		}
@@ -405,7 +268,7 @@ func run(args []string, out io.Writer) error {
 		m.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 		for i, s := range picked {
 			m.Experiments = append(m.Experiments, obs.ExperimentTiming{
-				ID:     s.id,
+				ID:     s.ID,
 				WallMS: float64(expWall[i].Load()) / float64(time.Millisecond),
 			})
 		}

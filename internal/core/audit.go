@@ -1,12 +1,12 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 
 	"chainaudit/internal/chain"
 	"chainaudit/internal/index"
-	"chainaudit/internal/pipeline"
 	"chainaudit/internal/poolid"
 	"chainaudit/internal/stats"
 )
@@ -15,7 +15,10 @@ import (
 // full audit pipeline with one call site. All audits consume one shared
 // index.BlockIndex, built lazily on first use (or supplied prebuilt via
 // NewIndexedAuditor), so the chain is attributed and position-analyzed
-// exactly once no matter how many audits run.
+// exactly once no matter how many audits run. The Audit* methods taking an
+// AuditOptions struct (options.go) are the canonical API; the positional
+// variants below them are deprecated wrappers kept for source
+// compatibility.
 type Auditor struct {
 	Chain    *chain.Chain
 	Registry *poolid.Registry
@@ -67,26 +70,15 @@ func (r PPEReport) SortedPools() []string {
 }
 
 // PPEReport computes Figure 7's statistics: the distribution of per-block
-// position prediction error, overall and per pool (pools with fewer than
-// minBlocks auditable blocks are omitted from the per-pool map). The
-// per-block values come precomputed from the shared index.
+// position prediction error, overall and per pool.
+//
+// Deprecated: use AuditPPE with AuditOptions{MinBlocks: minBlocks}.
 func (a *Auditor) PPEReport(minBlocks int) PPEReport {
-	var all []float64
-	perPool := make(map[string][]float64)
-	for _, rec := range a.Index().Records() {
-		if !rec.PPEValid {
-			continue
-		}
-		all = append(all, rec.PPE)
-		perPool[rec.Pool] = append(perPool[rec.Pool], rec.PPE)
+	opts := AuditOptions{MinBlocks: minBlocks}
+	if minBlocks <= 0 {
+		opts.MinBlocks = -1 // historical semantics: 0 meant "no minimum"
 	}
-	rep := PPEReport{Overall: stats.Summarize(all), PerPool: make(map[string]stats.Summary)}
-	for pool, vals := range perPool {
-		if len(vals) >= minBlocks && pool != poolid.Unknown {
-			rep.PerPool[pool] = stats.Summarize(vals)
-		}
-	}
-	return rep
+	return a.AuditPPE(opts)
 }
 
 // SelfInterestFinding is one row of the Table 2 pipeline: derive each
@@ -107,106 +99,38 @@ type SelfInterestFinding struct {
 
 // SelfInterestGrid tests every (owner, testing pool) combination of the
 // given transaction sets against the index's pools with at least minShare
-// of blocks, fanning the differential tests out over the worker pool.
-// Owners are iterated in sorted order and results merged back in grid
-// order, so the output is bit-identical to the serial loop. Rows come back
-// with the Benjamini–Hochberg adjusted acceleration p-value filled in.
+// of blocks.
 //
-// Benign no-signal rows (no c-blocks, pool absent, degenerate θ0) are
-// skipped; any other test error aborts the grid and is returned — the first
-// such error in grid order.
+// Deprecated: use SelfInterestGridCtx, which adds cancellation.
 func SelfInterestGrid(ix *index.BlockIndex, sets map[string]map[chain.TxID]bool, minShare float64) ([]SelfInterestFinding, error) {
-	testPools := ix.TopPoolsByShare(minShare)
-	owners := make([]string, 0, len(sets))
-	for owner := range sets {
-		owners = append(owners, owner)
-	}
-	sort.Strings(owners)
-	type combo struct{ owner, tester string }
-	var combos []combo
-	for _, owner := range owners {
-		if len(sets[owner]) == 0 {
-			continue
-		}
-		for _, tester := range testPools {
-			combos = append(combos, combo{owner: owner, tester: tester})
-		}
-	}
-	results := pipeline.MapErr(pipeline.Default(), len(combos), func(i int) (DifferentialResult, error) {
-		return DifferentialTestEstimatedOnIndex(ix, combos[i].tester, sets[combos[i].owner])
-	})
-	var all []SelfInterestFinding
-	for i, r := range results {
-		if r.Err != nil {
-			if BenignTestError(r.Err) {
-				continue
-			}
-			return nil, r.Err
-		}
-		all = append(all, SelfInterestFinding{Owner: combos[i].owner, Result: r.Value})
-	}
-	// Multiple-testing correction across the whole family before any
-	// significance selection.
-	if len(all) > 0 {
-		ps := make([]float64, len(all))
-		for i, f := range all {
-			ps[i] = f.Result.AccelP
-		}
-		if qs, err := stats.BenjaminiHochberg(ps); err == nil {
-			for i := range all {
-				all[i].QAccel = qs[i]
-			}
-		}
-	}
-	return all, nil
+	return SelfInterestGridCtx(context.Background(), ix, sets, minShare)
 }
 
 // SelfInterestAudit audits differential prioritization of pools' own
-// transactions (§5.2): each pool's self-interest set is derived from its
-// reward wallets, and the full grid is tested. All tested combinations are
-// returned in `all`; the rows rejecting the null at p < 0.001 (either
-// tail), ordered by acceleration p-value, in `findings`. The returned error
-// is the first unexpected test failure (benign no-signal combinations are
-// skipped, as the paper's grid does).
+// transactions (§5.2).
+//
+// Deprecated: use AuditSelfInterest with AuditOptions{MinShare: minShare},
+// which returns the same findings and grid in one report value.
 func (a *Auditor) SelfInterestAudit(minShare float64) (findings []SelfInterestFinding, all []SelfInterestFinding, err error) {
-	ix := a.Index()
-	all, err = SelfInterestGrid(ix, ix.SelfInterestSets(), minShare)
+	opts := AuditOptions{MinShare: minShare}
+	if minShare <= 0 {
+		opts.MinShare = -1 // historical semantics: 0 meant "no minimum"
+	}
+	rep, err := a.AuditSelfInterest(opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, f := range all {
-		if f.Result.SignificantAccel() || f.Result.SignificantDecel() {
-			findings = append(findings, f)
-		}
-	}
-	sort.SliceStable(findings, func(i, j int) bool {
-		return findings[i].Result.AccelP < findings[j].Result.AccelP
-	})
-	return findings, all, nil
+	return rep.Findings, rep.All, nil
 }
 
 // ScamAudit runs the Table 3 pipeline over a transaction set (e.g. all
-// payments to a scam wallet): one differential test per top pool, fanned
-// out in parallel with deterministic row order. Benign no-signal pools are
-// skipped; other errors are returned.
+// payments to a scam wallet).
+//
+// Deprecated: use AuditScam with AuditOptions{MinShare: minShare}.
 func (a *Auditor) ScamAudit(set map[chain.TxID]bool, minShare float64) ([]DifferentialResult, error) {
-	ix := a.Index()
-	pools := ix.TopPoolsByShare(minShare)
-	results := pipeline.MapErr(pipeline.Default(), len(pools), func(i int) (DifferentialResult, error) {
-		return DifferentialTestEstimatedOnIndex(ix, pools[i], set)
-	})
-	var out []DifferentialResult
-	for _, r := range results {
-		if r.Err != nil {
-			if BenignTestError(r.Err) {
-				continue
-			}
-			return nil, r.Err
-		}
-		out = append(out, r.Value)
+	opts := AuditOptions{MinShare: minShare}
+	if minShare <= 0 {
+		opts.MinShare = -1
 	}
-	if len(out) == 0 {
-		return nil, ErrNoCBlocks
-	}
-	return out, nil
+	return a.AuditScam(set, opts)
 }

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/index"
+	"chainaudit/internal/pipeline"
+	"chainaudit/internal/poolid"
+	"chainaudit/internal/stats"
+)
+
+// Default audit parameters. Zero-valued AuditOptions fields resolve to
+// these, so AuditOptions{} reproduces the batch CLIs' defaults exactly.
+const (
+	// DefaultMinShare is the minimum estimated hash-rate share a pool needs
+	// for the differential tests (the paper tests pools ≥ 4%).
+	DefaultMinShare = 0.04
+	// DefaultMinBlocks is the minimum auditable block count for a pool to
+	// get its own PPE row (Figure 7 per-pool series).
+	DefaultMinBlocks = 5
+	// DefaultSPPE is the dark-fee detector threshold in percent (§5.4.2's
+	// high-precision operating point).
+	DefaultSPPE = 99
+)
+
+// AuditOptions carries every tunable of the audit API in one struct, so
+// callers — the CLIs, the experiments suite, and chainauditd request
+// handlers — share a single signature instead of the historical ad-hoc
+// positional parameters (PPEReport(minBlocks), SelfInterestAudit(minShare),
+// ...).
+//
+// Zero values select the paper's defaults. Thresholds that legitimately
+// take the value zero (MinShare, MinBlocks, SPPE) use a negative value to
+// mean "no threshold": 0 → package default, < 0 → 0.
+type AuditOptions struct {
+	// Ctx cancels long audits (the self-interest grid, the scam fan-out).
+	// nil means context.Background(). Cancellation surfaces as the context's
+	// error; partially computed results are discarded.
+	Ctx context.Context
+	// MinShare is the minimum pool share for differential tests
+	// (0 → DefaultMinShare, negative → no minimum).
+	MinShare float64
+	// MinBlocks is the minimum auditable block count for per-pool PPE rows
+	// (0 → DefaultMinBlocks, negative → no minimum).
+	MinBlocks int
+	// Windows > 1 additionally runs the Fisher-combined windowed
+	// differential test over each significant self-interest finding
+	// (§5.1.3).
+	Windows int
+	// SPPE is the dark-fee detector threshold in percent
+	// (0 → DefaultSPPE, negative → 0).
+	SPPE float64
+}
+
+// ctx returns the options' context, defaulting to Background.
+func (o AuditOptions) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+func (o AuditOptions) minShare() float64 {
+	switch {
+	case o.MinShare == 0:
+		return DefaultMinShare
+	case o.MinShare < 0:
+		return 0
+	}
+	return o.MinShare
+}
+
+func (o AuditOptions) minBlocks() int {
+	switch {
+	case o.MinBlocks == 0:
+		return DefaultMinBlocks
+	case o.MinBlocks < 0:
+		return 0
+	}
+	return o.MinBlocks
+}
+
+func (o AuditOptions) sppe() float64 {
+	switch {
+	case o.SPPE == 0:
+		return DefaultSPPE
+	case o.SPPE < 0:
+		return 0
+	}
+	return o.SPPE
+}
+
+// AuditPPE computes the norm II position-prediction-error report (Figure 7):
+// the distribution of per-block PPE overall and per pool, for pools with at
+// least opts.MinBlocks auditable blocks.
+func (a *Auditor) AuditPPE(opts AuditOptions) PPEReport {
+	minBlocks := opts.minBlocks()
+	var all []float64
+	perPool := make(map[string][]float64)
+	for _, rec := range a.Index().Records() {
+		if !rec.PPEValid {
+			continue
+		}
+		all = append(all, rec.PPE)
+		perPool[rec.Pool] = append(perPool[rec.Pool], rec.PPE)
+	}
+	rep := PPEReport{Overall: stats.Summarize(all), PerPool: make(map[string]stats.Summary)}
+	for pool, vals := range perPool {
+		if len(vals) >= minBlocks && pool != poolid.Unknown {
+			rep.PerPool[pool] = stats.Summarize(vals)
+		}
+	}
+	return rep
+}
+
+// PPESeries returns the per-block PPE values in height order, read from the
+// shared index (the distribution Figure 7 plots).
+func (a *Auditor) PPESeries() []float64 {
+	return PPESeriesOnIndex(a.Index())
+}
+
+// WindowedFinding is one Fisher-combined windowed test run for a
+// significant self-interest finding (AuditOptions.Windows > 1).
+type WindowedFinding struct {
+	Owner  string
+	Result WindowedResult
+}
+
+// SelfInterestReport bundles everything the self-interest audit produces:
+// the significant findings (ordered by acceleration p-value), the full
+// tested grid, and — when requested — the windowed re-tests of the
+// findings.
+type SelfInterestReport struct {
+	// Findings are the rows rejecting the null at p < 0.001 in either tail,
+	// ordered by acceleration p-value.
+	Findings []SelfInterestFinding
+	// All is every tested (owner, pool) combination, in grid order.
+	All []SelfInterestFinding
+	// Windows echoes the option the report was computed with; Windowed
+	// holds the Fisher-combined re-tests of the findings when Windows > 1
+	// (findings whose windowed test degenerates are skipped, as the CLI
+	// always did).
+	Windows  int
+	Windowed []WindowedFinding
+}
+
+// AuditSelfInterest audits differential prioritization of pools' own
+// transactions (§5.2): each pool's self-interest set is derived from its
+// reward wallets, the full (owner, testing pool) grid is tested among pools
+// with at least opts.MinShare of blocks, and — with opts.Windows > 1 — each
+// significant finding is re-tested with the Fisher-combined windowed
+// variant. Benign no-signal combinations are skipped; the first unexpected
+// test failure (or the context's error on cancellation) is returned.
+func (a *Auditor) AuditSelfInterest(opts AuditOptions) (SelfInterestReport, error) {
+	ix := a.Index()
+	rep := SelfInterestReport{Windows: opts.Windows}
+	all, err := SelfInterestGridCtx(opts.ctx(), ix, ix.SelfInterestSets(), opts.minShare())
+	if err != nil {
+		return SelfInterestReport{}, err
+	}
+	rep.All = all
+	for _, f := range all {
+		if f.Result.SignificantAccel() || f.Result.SignificantDecel() {
+			rep.Findings = append(rep.Findings, f)
+		}
+	}
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		return rep.Findings[i].Result.AccelP < rep.Findings[j].Result.AccelP
+	})
+	if opts.Windows > 1 {
+		sets := ix.SelfInterestSets()
+		for _, f := range rep.Findings {
+			if err := opts.ctx().Err(); err != nil {
+				return SelfInterestReport{}, err
+			}
+			res, err := WindowedDifferentialTest(a.Chain, a.Registry, f.Result.Pool, sets[f.Owner], opts.Windows)
+			if err != nil {
+				continue // window without signal, as the CLI skipped
+			}
+			rep.Windowed = append(rep.Windowed, WindowedFinding{Owner: f.Owner, Result: res})
+		}
+	}
+	return rep, nil
+}
+
+// AuditScam runs the Table 3 pipeline over an arbitrary transaction set
+// (e.g. all payments touching a scam wallet): one differential test per
+// pool with at least opts.MinShare of blocks, fanned out in parallel with
+// deterministic row order. Benign no-signal pools are skipped; other test
+// errors — and the context's error on cancellation — are returned.
+func (a *Auditor) AuditScam(set map[chain.TxID]bool, opts AuditOptions) ([]DifferentialResult, error) {
+	ix := a.Index()
+	pools := ix.TopPoolsByShare(opts.minShare())
+	results, batchErr := pipeline.MapCtx(pipeline.Default(), opts.ctx(), len(pools), pipeline.RunConfig{},
+		func(ctx context.Context, i int) (DifferentialResult, error) {
+			return DifferentialTestEstimatedOnIndex(ix, pools[i], set)
+		})
+	if batchErr != nil {
+		return nil, batchErr
+	}
+	var out []DifferentialResult
+	for _, r := range results {
+		if r.Err != nil {
+			if BenignTestError(r.Err) {
+				continue
+			}
+			return nil, r.Err
+		}
+		out = append(out, r.Value)
+	}
+	if len(out) == 0 {
+		return nil, ErrNoCBlocks
+	}
+	return out, nil
+}
+
+// AuditLowFee runs the norm III census (§4.2.3): every confirmed
+// transaction offering less than the relay minimum fee-rate, with the pool
+// that mined it, in chain order.
+func (a *Auditor) AuditLowFee(opts AuditOptions) []LowFeeConfirmation {
+	return LowFeeConfirmations(a.Chain, a.Registry)
+}
+
+// AuditDarkFee scans the named pool's blocks for transactions whose signed
+// PPE meets opts.SPPE — the §5.4.2 dark-fee detector — ordered by SPPE
+// descending.
+func (a *Auditor) AuditDarkFee(pool string, opts AuditOptions) []Candidate {
+	return DetectAcceleratedOnIndex(a.Index(), pool, opts.sppe())
+}
+
+// ValidateDarkFee evaluates the dark-fee detector at each threshold against
+// an acceleration oracle (Table 4). The index is shared across thresholds.
+func (a *Auditor) ValidateDarkFee(pool string, thresholds []float64, oracle func(chain.TxID) bool) []DetectorRow {
+	return ValidateDetectorOnIndex(a.Index(), pool, thresholds, oracle)
+}
+
+// DarkFeeBaseline estimates the acceleration base rate over a deterministic
+// sample of the pool's transactions (Table 4's random-sample row).
+func (a *Auditor) DarkFeeBaseline(pool string, sampleEvery int, oracle func(chain.TxID) bool) (sampled, accelerated int) {
+	return BaselineAcceleratedRateOnIndex(a.Index(), pool, sampleEvery, oracle)
+}
+
+// DifferentialTest runs the §5.1 test of the given transaction set against
+// one pool, with θ0 estimated from the pool's share of blocks.
+func (a *Auditor) DifferentialTest(pool string, set map[chain.TxID]bool, opts AuditOptions) (DifferentialResult, error) {
+	return DifferentialTestEstimatedOnIndex(a.Index(), pool, set)
+}
+
+// SelfInterestGridCtx is SelfInterestGrid with cancellation: tests every
+// (owner, testing pool) combination of the given transaction sets against
+// the index's pools with at least minShare of blocks, fanning the
+// differential tests out over the worker pool under ctx. Owners are
+// iterated in sorted order and results merged back in grid order, so the
+// output is bit-identical to the serial loop. Rows come back with the
+// Benjamini–Hochberg adjusted acceleration p-value filled in.
+//
+// Benign no-signal rows (no c-blocks, pool absent, degenerate θ0) are
+// skipped; any other test error aborts the grid and is returned — the first
+// such error in grid order. A cancelled context returns its error.
+func SelfInterestGridCtx(ctx context.Context, ix *index.BlockIndex, sets map[string]map[chain.TxID]bool, minShare float64) ([]SelfInterestFinding, error) {
+	testPools := ix.TopPoolsByShare(minShare)
+	owners := make([]string, 0, len(sets))
+	for owner := range sets {
+		owners = append(owners, owner)
+	}
+	sort.Strings(owners)
+	type combo struct{ owner, tester string }
+	var combos []combo
+	for _, owner := range owners {
+		if len(sets[owner]) == 0 {
+			continue
+		}
+		for _, tester := range testPools {
+			combos = append(combos, combo{owner: owner, tester: tester})
+		}
+	}
+	results, batchErr := pipeline.MapCtx(pipeline.Default(), ctx, len(combos), pipeline.RunConfig{},
+		func(ctx context.Context, i int) (DifferentialResult, error) {
+			return DifferentialTestEstimatedOnIndex(ix, combos[i].tester, sets[combos[i].owner])
+		})
+	if batchErr != nil {
+		return nil, batchErr
+	}
+	var all []SelfInterestFinding
+	for i, r := range results {
+		if r.Err != nil {
+			if BenignTestError(r.Err) {
+				continue
+			}
+			return nil, r.Err
+		}
+		all = append(all, SelfInterestFinding{Owner: combos[i].owner, Result: r.Value})
+	}
+	// Multiple-testing correction across the whole family before any
+	// significance selection.
+	if len(all) > 0 {
+		ps := make([]float64, len(all))
+		for i, f := range all {
+			ps[i] = f.Result.AccelP
+		}
+		if qs, err := stats.BenjaminiHochberg(ps); err == nil {
+			for i := range all {
+				all[i].QAccel = qs[i]
+			}
+		}
+	}
+	return all, nil
+}

@@ -1,0 +1,159 @@
+// Shared rendering of audit results: table builders plus the exact text
+// sections cmd/chainaudit prints. chainauditd's text responses go through
+// the same functions, so "value-identical to the batch CLI" is a property
+// of the code shape, not of two renderers kept manually in sync.
+
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"chainaudit/internal/report"
+)
+
+// PPETable builds the per-pool PPE summary table (the body of the CLI's
+// -ppe section).
+func PPETable(rep PPEReport) *report.Table {
+	t := report.NewTable("PPE by pool", report.SummaryColumns("pool")...)
+	for _, pool := range rep.SortedPools() {
+		report.SummaryRow(t, pool, rep.PerPool[pool])
+	}
+	return t
+}
+
+// WritePPESection writes the -ppe section exactly as cmd/chainaudit prints
+// it: the overall summary line, the per-pool table, and a trailing blank
+// separator line.
+func WritePPESection(w io.Writer, rep PPEReport) error {
+	if _, err := fmt.Fprintf(w, "PPE overall: %s\n", rep.Overall); err != nil {
+		return err
+	}
+	if err := PPETable(rep).Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// SelfInterestTable builds the significant-findings table of the
+// self-interest audit.
+func SelfInterestTable(findings []SelfInterestFinding) *report.Table {
+	t := report.NewTable("Self-interest differential prioritization (p < 0.001)",
+		"owner", "pool", "theta0", "x", "y", "p_accel", "q_accel", "p_decel", "sppe")
+	for _, fdg := range findings {
+		r := fdg.Result
+		t.AddRow(fdg.Owner, r.Pool, r.Theta0, int(r.X), int(r.Y), r.AccelP, fdg.QAccel, r.DecelP, r.SPPE)
+	}
+	return t
+}
+
+// WindowedTable builds the Fisher-combined windowed re-test table for a
+// self-interest report computed with Windows > 1.
+func WindowedTable(rep SelfInterestReport) *report.Table {
+	t := report.NewTable(fmt.Sprintf("Fisher-combined over %d windows", rep.Windows),
+		"owner", "pool", "p_accel_combined", "p_decel_combined")
+	for _, wf := range rep.Windowed {
+		t.AddRow(wf.Owner, wf.Result.Pool, wf.Result.AccelP, wf.Result.DecelP)
+	}
+	return t
+}
+
+// WriteSelfInterestSection writes the -selfinterest section exactly as
+// cmd/chainaudit prints it: the findings table (or the all-clear line), the
+// windowed table when one was computed, and a trailing blank separator.
+func WriteSelfInterestSection(w io.Writer, rep SelfInterestReport) error {
+	if len(rep.Findings) == 0 {
+		if _, err := fmt.Fprintln(w, "self-interest audit: no significant deviations"); err != nil {
+			return err
+		}
+	} else if err := SelfInterestTable(rep.Findings).Render(w); err != nil {
+		return err
+	}
+	if rep.Windows > 1 && len(rep.Findings) > 0 {
+		if err := WindowedTable(rep).Render(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// ScamTable builds the per-pool differential-test table over an address's
+// transactions (Table 3's shape).
+func ScamTable(rows []DifferentialResult) *report.Table {
+	t := report.NewTable("Differential test over the address's transactions",
+		"pool", "theta0", "x", "y", "p_accel", "p_decel", "sppe")
+	for _, r := range rows {
+		t.AddRow(r.Pool, r.Theta0, int(r.X), int(r.Y), r.AccelP, r.DecelP, r.SPPE)
+	}
+	return t
+}
+
+// WriteScamSection writes the -scam section exactly as cmd/chainaudit
+// prints it: the set-size line, the per-pool table when the set is
+// non-empty, and a trailing blank separator.
+func WriteScamSection(w io.Writer, address string, setSize int, rows []DifferentialResult) error {
+	if _, err := fmt.Fprintf(w, "transactions touching %s: %d\n", address, setSize); err != nil {
+		return err
+	}
+	if setSize > 0 {
+		if err := ScamTable(rows).Render(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// LowFeeTable builds the norm III census table: sub-minimum fee-rate
+// confirmations per pool.
+func LowFeeTable(lows []LowFeeConfirmation) *report.Table {
+	byPool := map[string]int{}
+	for _, lf := range lows {
+		byPool[lf.Pool]++
+	}
+	t := report.NewTable("Norm III: confirmed sub-minimum fee-rate transactions", "pool", "count")
+	for _, pool := range report.SortedKeys(byPool) {
+		t.AddRow(pool, byPool[pool])
+	}
+	return t
+}
+
+// WriteLowFeeSection writes the -lowfee section exactly as cmd/chainaudit
+// prints it: the census table (or the all-clear line) and a trailing blank
+// separator.
+func WriteLowFeeSection(w io.Writer, lows []LowFeeConfirmation) error {
+	if len(lows) == 0 {
+		if _, err := fmt.Fprintln(w, "norm III: no sub-minimum confirmations"); err != nil {
+			return err
+		}
+	} else if err := LowFeeTable(lows).Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// DarkFeeTable builds the SPPE-threshold candidate table for one pool.
+func DarkFeeTable(pool string, minSPPE float64, cands []Candidate) *report.Table {
+	t := report.NewTable(fmt.Sprintf("SPPE >= %g%% candidates in %s blocks", minSPPE, pool),
+		"txid", "height", "sppe")
+	for _, cand := range cands {
+		t.AddRow(cand.TxID.String(), int(cand.Height), cand.SPPE)
+	}
+	return t
+}
+
+// WriteDarkFeeSection writes the -darkfee section exactly as cmd/chainaudit
+// prints it: the candidate count line and, when non-empty, the table. (The
+// CLI prints this section last and adds no trailing separator.)
+func WriteDarkFeeSection(w io.Writer, pool string, minSPPE float64, cands []Candidate) error {
+	if _, err := fmt.Fprintf(w, "%d candidates\n", len(cands)); err != nil {
+		return err
+	}
+	if len(cands) > 0 {
+		return DarkFeeTable(pool, minSPPE, cands).Render(w)
+	}
+	return nil
+}

@@ -215,10 +215,10 @@ func (s *Suite) Fig06ViolationPairs(sampleN int) (*report.Figure, *report.Figure
 func (s *Suite) Fig07PPE() (*report.Figure, stats.Summary) {
 	defer obs.Timed("experiment.fig7")()
 	ix := s.CIndex()
-	aud := core.NewIndexedAuditor(ix)
-	rep := aud.PPEReport(1)
+	aud := s.CAuditor()
+	rep := aud.AuditPPE(core.AuditOptions{MinBlocks: 1})
 	f := report.NewFigure("Figure 7: position prediction error (C)", "PPE (%)")
-	f.Add("overall", core.PPESeriesOnIndex(ix), cdfPoints)
+	f.Add("overall", aud.PPESeries(), cdfPoints)
 	for _, pool := range s.top6C() {
 		var vals []float64
 		for _, bi := range ix.PoolRecords(pool) {

@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// The experiment registry: every table and figure of the reproduction is
+// addressable by name, carrying a title and a parameter schema, and runs
+// against a Suite by emitting renderables into a caller-supplied Sink.
+// cmd/reproduce's dispatch and chainauditd's /v1/experiments endpoints both
+// resolve through it, so the two front-ends can never drift apart on what
+// "all experiments" means — a parity test pins the registry against the
+// historical -exp all order.
+
+// Renderable is anything an experiment emits: a report.Table or
+// report.Figure (both also marshal to JSON for the service API).
+type Renderable interface {
+	Render(io.Writer) error
+	RenderCSV(io.Writer) error
+}
+
+// Sink receives one experiment's ordered outputs.
+type Sink interface {
+	// Emit delivers a table or figure.
+	Emit(r Renderable) error
+	// Note delivers a free-form summary line (e.g. "PPE overall: ..."),
+	// rendered as its own text line in every output format.
+	Note(format string, args ...any) error
+}
+
+// textSink renders emissions the way cmd/reproduce always has: each
+// renderable as aligned text (or CSV) followed by one blank separator line,
+// notes as bare lines. Output through a textSink is byte-identical to the
+// historical inline dispatch.
+type textSink struct {
+	w   io.Writer
+	csv bool
+}
+
+// NewTextSink returns a sink writing the classic CLI text (or CSV) format.
+func NewTextSink(w io.Writer, csv bool) Sink { return &textSink{w: w, csv: csv} }
+
+func (t *textSink) Emit(r Renderable) error {
+	var err error
+	if t.csv {
+		err = r.RenderCSV(t.w)
+	} else {
+		err = r.Render(t.w)
+	}
+	if err == nil {
+		_, err = fmt.Fprintln(t.w)
+	}
+	return err
+}
+
+func (t *textSink) Note(format string, args ...any) error {
+	_, err := fmt.Fprintf(t.w, format+"\n", args...)
+	return err
+}
+
+// Param documents one knob of an experiment (or of the suite every
+// experiment shares) for the service API's schema listing. Params are
+// documentation: experiments read their values from the Suite, so the
+// schema can never silently disagree with what actually ran.
+type Param struct {
+	Name    string `json:"name"`
+	Type    string `json:"type"`
+	Default string `json:"default"`
+	Doc     string `json:"doc"`
+}
+
+// SuiteParams are the parameters shared by every experiment: the suite they
+// run against is built from these.
+func SuiteParams() []Param {
+	return []Param{
+		{Name: "seed", Type: "uint64", Default: "42", Doc: "simulation seed the data sets are built from"},
+		{Name: "scale", Type: "float64", Default: "1", Doc: "data-set duration scale (1 = bench scale)"},
+		{Name: "chaos", Type: "string", Default: "", Doc: "deterministic fault-injection spec (internal/faults)"},
+	}
+}
+
+// Descriptor names one experiment.
+type Descriptor struct {
+	// ID is the stable name used by -exp/-only and POST /v1/experiments/{id}.
+	ID string
+	// Title is the human-readable name (the paper's table/figure caption).
+	Title string
+	// Params documents experiment-specific knobs beyond SuiteParams.
+	Params []Param
+	// Run regenerates the experiment against the suite, emitting every
+	// table, figure, and summary line in order.
+	Run func(s *Suite, sink Sink) error
+}
+
+var (
+	regMu   sync.RWMutex
+	regByID = make(map[string]*Descriptor)
+	regAll  []*Descriptor
+)
+
+// Register adds an experiment to the registry. Registration order defines
+// the canonical run order (-exp all and the service listing). Duplicate or
+// anonymous registrations panic: the registry is wired at init time and a
+// collision is a programming error.
+func Register(d Descriptor) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if d.ID == "" || d.Run == nil {
+		panic("experiments: Register needs an ID and a Run function")
+	}
+	if _, dup := regByID[d.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate experiment %q", d.ID))
+	}
+	cp := d
+	regByID[d.ID] = &cp
+	regAll = append(regAll, &cp)
+}
+
+// ByName resolves an experiment by ID.
+func ByName(id string) (*Descriptor, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	d, ok := regByID[id]
+	return d, ok
+}
+
+// All returns every registered experiment in canonical run order.
+func All() []*Descriptor {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]*Descriptor, len(regAll))
+	copy(out, regAll)
+	return out
+}
+
+// Names returns every registered experiment ID, sorted (for error messages
+// and listings where run order does not matter).
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(regByID))
+	for id := range regByID {
+		names = append(names, id)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// The registrations below replicate, in order, exactly what cmd/reproduce's
+// inline dispatch ran before the registry existed; the parity test pins the
+// list. Multi-part experiments emit their parts in the historical order.
+func init() {
+	Register(Descriptor{ID: "fig1", Title: "Figure 1: norm shift", Run: func(s *Suite, sink Sink) error {
+		f, err := s.Fig01NormShift()
+		if err != nil {
+			return err
+		}
+		return sink.Emit(f)
+	}})
+	Register(Descriptor{ID: "table1", Title: "Table 1: data sets", Run: func(s *Suite, sink Sink) error {
+		return sink.Emit(s.Table1())
+	}})
+	Register(Descriptor{ID: "fig2", Title: "Figure 2: pool shares", Run: func(s *Suite, sink Sink) error {
+		return sink.Emit(s.Fig02PoolShares())
+	}})
+	Register(Descriptor{ID: "fig3", Title: "Figure 3: congestion", Run: func(s *Suite, sink Sink) error {
+		fb, fc, cum := s.Fig03Congestion()
+		for _, r := range []Renderable{cum, fb, fc} {
+			if err := sink.Emit(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}})
+	Register(Descriptor{ID: "fig4", Title: "Figure 4: commit delays and fees", Run: func(s *Suite, sink Sink) error {
+		fa, fb, fc := s.Fig04DelaysFees()
+		for _, r := range []Renderable{fa, fb, fc} {
+			if err := sink.Emit(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}})
+	Register(Descriptor{ID: "fig5", Title: "Figure 5: fee vs delay (A)", Run: func(s *Suite, sink Sink) error {
+		return sink.Emit(s.Fig05FeeDelay())
+	}})
+	Register(Descriptor{
+		ID: "fig6", Title: "Figure 6: violation pairs",
+		Params: []Param{{Name: "sample_n", Type: "int", Default: "30", Doc: "snapshots sampled per series"}},
+		Run: func(s *Suite, sink Sink) error {
+			all, non := s.Fig06ViolationPairs(30)
+			if err := sink.Emit(all); err != nil {
+				return err
+			}
+			return sink.Emit(non)
+		}})
+	Register(Descriptor{ID: "fig7", Title: "Figure 7: position prediction error (C)", Run: func(s *Suite, sink Sink) error {
+		f, overall := s.Fig07PPE()
+		if err := sink.Note("PPE overall: %s", overall); err != nil {
+			return err
+		}
+		return sink.Emit(f)
+	}})
+	Register(Descriptor{ID: "fig8", Title: "Figure 8: pool wallets", Run: func(s *Suite, sink Sink) error {
+		return sink.Emit(s.Fig08PoolWallets())
+	}})
+	Register(Descriptor{ID: "table2", Title: "Table 2: self-interest prioritization", Run: func(s *Suite, sink Sink) error {
+		t, _, err := s.Table2SelfInterest()
+		if err != nil {
+			return err
+		}
+		return sink.Emit(t)
+	}})
+	Register(Descriptor{ID: "table3", Title: "Table 3: scam-payment prioritization", Run: func(s *Suite, sink Sink) error {
+		t, _, err := s.Table3Scam()
+		if err != nil {
+			return err
+		}
+		return sink.Emit(t)
+	}})
+	Register(Descriptor{ID: "table4", Title: "Table 4: dark-fee detector validation", Run: func(s *Suite, sink Sink) error {
+		t, _ := s.Table4DarkFee()
+		return sink.Emit(t)
+	}})
+	Register(Descriptor{ID: "table5", Title: "Table 5: fee share of miner revenue", Run: func(s *Suite, sink Sink) error {
+		t, _, err := s.Table5FeeRevenue()
+		if err != nil {
+			return err
+		}
+		return sink.Emit(t)
+	}})
+	Register(Descriptor{ID: "norm3", Title: "Norm III: low-fee confirmation census", Run: func(s *Suite, sink Sink) error {
+		return sink.Emit(s.NormIIICensus())
+	}})
+	Register(Descriptor{ID: "fig9", Title: "Figure 9: mempool (B)", Run: func(s *Suite, sink Sink) error {
+		return sink.Emit(s.Fig09MempoolB())
+	}})
+	Register(Descriptor{ID: "fig10", Title: "Figure 10: fee-rates by pool", Run: func(s *Suite, sink Sink) error {
+		return sink.Emit(s.Fig10FeeratesByPool())
+	}})
+	Register(Descriptor{ID: "fig11", Title: "Figure 11: congestion fees (B)", Run: func(s *Suite, sink Sink) error {
+		return sink.Emit(s.Fig11CongestionFeesB())
+	}})
+	Register(Descriptor{ID: "fig12", Title: "Figure 12: fee vs delay (B)", Run: func(s *Suite, sink Sink) error {
+		return sink.Emit(s.Fig12FeeDelayB())
+	}})
+	Register(Descriptor{ID: "fig13", Title: "Figure 13: scam-window pool shares", Run: func(s *Suite, sink Sink) error {
+		return sink.Emit(s.Fig13ScamWindowShares())
+	}})
+	Register(Descriptor{ID: "fig14", Title: "Figure 14: acceleration fees", Run: func(s *Suite, sink Sink) error {
+		f, ratios := s.Fig14AccelFees()
+		if err := sink.Note("acceleration-fee multiple of public fee: %s", ratios); err != nil {
+			return err
+		}
+		return sink.Emit(f)
+	}})
+	Register(Descriptor{ID: "extensions", Title: "Extensions: beyond the paper", Run: func(s *Suite, sink Sink) error {
+		bias, err := s.ExtFeeEstimatorBias()
+		if err != nil {
+			return err
+		}
+		if err := sink.Emit(bias); err != nil {
+			return err
+		}
+		cens, err := s.ExtCensorshipPower()
+		if err != nil {
+			return err
+		}
+		if err := sink.Emit(cens); err != nil {
+			return err
+		}
+		sig, err := s.ExtDelaySignificance()
+		if err != nil {
+			return err
+		}
+		if err := sink.Emit(sig); err != nil {
+			return err
+		}
+		cmp, err := s.ExtNormComparison()
+		if err != nil {
+			return err
+		}
+		if err := sink.Emit(cmp); err != nil {
+			return err
+		}
+		rbf, err := s.ExtConflictOutcomes()
+		if err != nil {
+			return err
+		}
+		return sink.Emit(rbf)
+	}})
+	Register(Descriptor{ID: "ablations", Title: "Ablations: methodology sensitivity", Run: func(s *Suite, sink Sink) error {
+		gap, err := s.AblationPolicyGap()
+		if err != nil {
+			return err
+		}
+		if err := sink.Emit(gap); err != nil {
+			return err
+		}
+		if err := sink.Emit(s.AblationBinomApprox()); err != nil {
+			return err
+		}
+		return sink.Emit(s.AblationSnapshotSampling())
+	}})
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"chainaudit/internal/report"
+)
+
+// TestRegistryMatchesHistoricalAllOrder pins the registry to exactly what
+// cmd/reproduce's -exp all ran before the registry existed, in the same
+// order. Adding an experiment means appending here too — deliberately, so
+// the canonical list never drifts by accident.
+func TestRegistryMatchesHistoricalAllOrder(t *testing.T) {
+	want := []string{
+		"fig1", "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"table2", "table3", "table4", "table5", "norm3",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"extensions", "ablations",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, d := range all {
+		if d.ID != want[i] {
+			t.Errorf("position %d: registered %q, want %q", i, d.ID, want[i])
+		}
+		if d.Title == "" {
+			t.Errorf("%s has no title", d.ID)
+		}
+		if d.Run == nil {
+			t.Errorf("%s has no Run", d.ID)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, id := range []string{"fig1", "table2", "ablations"} {
+		d, ok := ByName(id)
+		if !ok || d.ID != id {
+			t.Errorf("ByName(%q) = %v, %t", id, d, ok)
+		}
+	}
+	if _, ok := ByName("fig99"); ok {
+		t.Error("ByName resolved an unknown experiment")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(All()) {
+		t.Fatalf("Names() returned %d ids, registry holds %d", len(names), len(All()))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted at %d: %q >= %q", i, names[i-1], names[i])
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndAnonymous(t *testing.T) {
+	mustPanic := func(name string, d Descriptor) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(d)
+	}
+	mustPanic("duplicate", Descriptor{ID: "fig1", Run: func(*Suite, Sink) error { return nil }})
+	mustPanic("no id", Descriptor{Run: func(*Suite, Sink) error { return nil }})
+	mustPanic("no run", Descriptor{ID: "zzz-no-run"})
+}
+
+// TestTextSinkMatchesHistoricalEmit pins the sink's byte semantics to
+// cmd/reproduce's old inline emit: renderable then one blank line, notes as
+// bare lines.
+func TestTextSinkMatchesHistoricalEmit(t *testing.T) {
+	tab := report.NewTable("T", "a")
+	tab.AddRow("x")
+
+	var b strings.Builder
+	sink := NewTextSink(&b, false)
+	if err := sink.Note("n: %d", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Emit(tab); err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	want.WriteString("n: 7\n")
+	if err := tab.Render(&want); err != nil {
+		t.Fatal(err)
+	}
+	want.WriteString("\n")
+	if b.String() != want.String() {
+		t.Errorf("text sink drifted:\ngot  %q\nwant %q", b.String(), want.String())
+	}
+
+	b.Reset()
+	csv := NewTextSink(&b, true)
+	if err := csv.Emit(tab); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "a\nx\n\n" {
+		t.Errorf("csv sink drifted: %q", b.String())
+	}
+}

@@ -108,6 +108,13 @@ func (s *Suite) CIndex() *index.BlockIndex {
 	return s.cIdx
 }
 
+// CAuditor returns an auditor over the shared C index — the AuditOptions
+// entry point the experiments and chainauditd both consume. The wrapper is
+// cheap; the index underneath is built once per suite.
+func (s *Suite) CAuditor() *core.Auditor {
+	return core.NewIndexedAuditor(s.CIndex())
+}
+
 func scaleDur(d time.Duration, scale float64) time.Duration {
 	return time.Duration(float64(d) * scale)
 }

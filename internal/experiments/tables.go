@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"chainaudit/internal/chain"
@@ -41,7 +42,7 @@ func (s *Suite) Table2SelfInterest() (*report.Table, []core.SelfInterestFinding,
 	for owner, ids := range s.C.Result.Truth.PayoutTxs {
 		sets[owner] = payoutSet(ids)
 	}
-	all, err := core.SelfInterestGrid(s.CIndex(), sets, 0.04)
+	all, err := core.SelfInterestGridCtx(context.Background(), s.CIndex(), sets, 0.04)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -67,7 +68,7 @@ func (s *Suite) Table3Scam() (*report.Table, []core.DifferentialResult, error) {
 	win := s.C.ScamWindow()
 	set := payoutSet(s.C.Result.Truth.ScamTxs)
 	aud := core.Auditor{Chain: win, Registry: s.C.Registry}
-	rows, err := aud.ScamAudit(set, 0.05)
+	rows, err := aud.AuditScam(set, core.AuditOptions{MinShare: 0.05})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -85,14 +86,14 @@ func (s *Suite) Table3Scam() (*report.Table, []core.DifferentialResult, error) {
 func (s *Suite) Table4DarkFee() (*report.Table, []core.DetectorRow) {
 	defer obs.Timed("experiment.table4")()
 	svc := s.C.Services["BTC.com"]
-	rows := core.ValidateDetectorOnIndex(s.CIndex(), "BTC.com",
+	rows := s.CAuditor().ValidateDarkFee("BTC.com",
 		[]float64{100, 99, 90, 50, 1}, svc.IsAccelerated)
 	t := report.NewTable("Table 4: detecting accelerated transactions by SPPE threshold (BTC.com)",
 		"sppe_min", "candidates", "accelerated", "pct_accelerated")
 	for _, r := range rows {
 		t.AddRow(r.MinSPPE, r.Candidates, r.Accelerated, r.Precision()*100)
 	}
-	sampled, accel := core.BaselineAcceleratedRateOnIndex(s.CIndex(), "BTC.com", 13, svc.IsAccelerated)
+	sampled, accel := s.CAuditor().DarkFeeBaseline("BTC.com", 13, svc.IsAccelerated)
 	t.AddRow("random-sample baseline", sampled, accel, float64(accel)*100/float64(max(sampled, 1)))
 	return t, rows
 }

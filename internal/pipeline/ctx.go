@@ -195,16 +195,27 @@ func (e *Executor) EachCtx(ctx context.Context, n int, rc RunConfig, f func(ctx 
 // watchdog timeouts after retries) live in the per-index results, keeping
 // error selection deterministic for the caller.
 func MapCtx[T any](e *Executor, ctx context.Context, n int, rc RunConfig, f func(ctx context.Context, i int) (T, error)) ([]Result[T], error) {
-	out := make([]Result[T], n)
+	// Values publish through per-index atomics, not direct slice writes: a
+	// watchdog-abandoned attempt cannot be killed, and when it eventually
+	// finishes it must not race the caller reading the returned slice (or a
+	// retry publishing its own value). Each attempt stores its own value
+	// object; the deref below reads an immutable pointee.
+	vals := make([]atomic.Pointer[T], n)
 	errs, batchErr := e.EachCtx(ctx, n, rc, func(ctx context.Context, i int) error {
 		v, err := f(ctx, i)
 		if err == nil {
-			out[i].Value = v
+			vals[i].Store(&v)
 		}
 		return err
 	})
+	out := make([]Result[T], n)
 	for i, err := range errs {
 		out[i].Err = err
+		if err == nil {
+			if p := vals[i].Load(); p != nil {
+				out[i].Value = *p
+			}
+		}
 	}
 	return out, batchErr
 }

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"encoding/json"
+
+	"chainaudit/internal/stats"
+)
+
+// JSON marshalling for the report primitives, the wire format chainauditd
+// serves. Field names are part of the chainaudit.serve/v1 API: add fields
+// freely, never rename or repurpose existing ones. The text renderers in
+// report.go are untouched by this layer — a golden test pins their output
+// byte-for-byte.
+
+// tableJSON is Table's stable wire shape. Rows carry the same formatted
+// strings the text renderer prints, so a JSON consumer sees exactly the
+// values the paper's tables show (and service responses stay value-identical
+// to CLI output by construction).
+type tableJSON struct {
+	Kind    string     `json:"kind"` // always "table"
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON encodes the table with stable field names; empty column and
+// row sets encode as [] rather than null.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	out := tableJSON{Kind: "table", Title: t.Title, Columns: t.Columns, Rows: t.Rows}
+	if out.Columns == nil {
+		out.Columns = []string{}
+	}
+	if out.Rows == nil {
+		out.Rows = [][]string{}
+	}
+	return json.Marshal(out)
+}
+
+// pointJSON is one CDF sample on the wire.
+type pointJSON struct {
+	X float64 `json:"x"`
+	F float64 `json:"f"`
+}
+
+// seriesJSON is one named CDF series on the wire.
+type seriesJSON struct {
+	Name   string      `json:"name"`
+	Points []pointJSON `json:"points"`
+}
+
+// figureJSON is Figure's stable wire shape. Notes carry the degraded-mode
+// coverage annotations, so a service consumer sees the same caveats the
+// text renderer prints under the title.
+type figureJSON struct {
+	Kind   string       `json:"kind"` // always "figure"
+	Title  string       `json:"title"`
+	XLabel string       `json:"xlabel"`
+	Notes  []string     `json:"notes"`
+	Series []seriesJSON `json:"series"`
+}
+
+// MarshalJSON encodes the figure with stable field names; empty note and
+// series sets encode as [] rather than null.
+func (f *Figure) MarshalJSON() ([]byte, error) {
+	out := figureJSON{Kind: "figure", Title: f.Title, XLabel: f.XLabel, Notes: f.Notes}
+	if out.Notes == nil {
+		out.Notes = []string{}
+	}
+	out.Series = make([]seriesJSON, len(f.Series))
+	for i, s := range f.Series {
+		out.Series[i] = seriesJSON{Name: s.Name, Points: pointsJSON(s.Points)}
+	}
+	return json.Marshal(out)
+}
+
+func pointsJSON(pts []stats.CDFPoint) []pointJSON {
+	out := make([]pointJSON, len(pts))
+	for i, p := range pts {
+		out[i] = pointJSON{X: p.X, F: p.F}
+	}
+	return out
+}

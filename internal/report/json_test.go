@@ -1,0 +1,126 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := NewTable("Sample table", "pool", "n", "p")
+	t.AddRow("F2Pool", 17, 0.00001)
+	t.AddRow("ViaBTC", 3, 0.5)
+	return t
+}
+
+func sampleFigure() *Figure {
+	f := NewFigure("Sample figure", "delay (s)")
+	f.AddNote("C: first-seen 3/4 (75.0%%) of confirmed txs; unseen txs excluded")
+	f.Add("overall", []float64{1, 2, 2, 4}, 4)
+	return f
+}
+
+func TestTableJSONStableFieldNames(t *testing.T) {
+	data, err := json.Marshal(sampleTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"kind":"table","title":"Sample table","columns":["pool","n","p"],` +
+		`"rows":[["F2Pool","17","1.000e-05"],["ViaBTC","3","0.5000"]]}`
+	if string(data) != want {
+		t.Errorf("table JSON drifted:\ngot  %s\nwant %s", data, want)
+	}
+}
+
+func TestEmptyTableJSONHasNoNulls(t *testing.T) {
+	data, err := json.Marshal(&Table{Title: "empty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "null") {
+		t.Errorf("empty table marshals nulls: %s", data)
+	}
+}
+
+func TestFigureJSONStableFieldNames(t *testing.T) {
+	data, err := json.Marshal(sampleFigure())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		`"kind":"figure"`, `"title":"Sample figure"`, `"xlabel":"delay (s)"`,
+		`"notes":["C: first-seen 3/4 (75.0%) of confirmed txs; unseen txs excluded"]`,
+		`"series":[{"name":"overall","points":[`, `{"x":1,"f":0.25}`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("figure JSON missing %s in %s", want, s)
+		}
+	}
+	var decoded struct {
+		Series []struct {
+			Points []struct{ X, F float64 }
+		}
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Series) != 1 || len(decoded.Series[0].Points) != 4 {
+		t.Errorf("figure JSON shape wrong: %+v", decoded)
+	}
+	if last := decoded.Series[0].Points[3]; last.F != 1 {
+		t.Errorf("CDF does not end at 1: %+v", last)
+	}
+}
+
+func TestEmptyFigureJSONHasNoNulls(t *testing.T) {
+	data, err := json.Marshal(&Figure{Title: "empty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "null") {
+		t.Errorf("empty figure marshals nulls: %s", data)
+	}
+}
+
+// TestTextRenderGolden pins the text renderers byte-for-byte: adding the
+// JSON layer (or any future output format) must never move the existing
+// text output, which the reproduction's byte-identity smoke tests diff.
+func TestTextRenderGolden(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	wantTable := "== Sample table ==\n" +
+		"pool    n   p        \n" +
+		"------  --  ---------\n" +
+		"F2Pool  17  1.000e-05\n" +
+		"ViaBTC  3   0.5000   \n"
+	if b.String() != wantTable {
+		t.Errorf("table text drifted:\ngot:\n%q\nwant:\n%q", b.String(), wantTable)
+	}
+
+	b.Reset()
+	if err := sampleFigure().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	wantFigure := "== Sample figure ==\n" +
+		".. C: first-seen 3/4 (75.0%) of confirmed txs; unseen txs excluded\n" +
+		"-- series \"overall\" (delay (s) vs CDF) --\n" +
+		"             1    0.2500\n" +
+		"             2    0.5000\n" +
+		"             2    0.7500\n" +
+		"             4    1.0000\n"
+	if b.String() != wantFigure {
+		t.Errorf("figure text drifted:\ngot:\n%q\nwant:\n%q", b.String(), wantFigure)
+	}
+
+	b.Reset()
+	if err := sampleTable().RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := "pool,n,p\nF2Pool,17,1.000e-05\nViaBTC,3,0.5000\n"
+	if b.String() != wantCSV {
+		t.Errorf("table CSV drifted:\ngot %q\nwant %q", b.String(), wantCSV)
+	}
+}

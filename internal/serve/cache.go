@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"sync"
+
+	"chainaudit/internal/obs"
+)
+
+// Request-level metrics for the service, recorded into the shared obs
+// registry so GET /v1/metrics (and any run manifest) sees them.
+var (
+	mRequests  = obs.Default.Counter("serve.requests")
+	mCacheHits = obs.Default.Counter("serve.cache_hits")
+	mErrors    = obs.Default.Counter("serve.errors")
+	mWatchdogs = obs.Default.Counter("serve.watchdog_timeouts")
+	mLatency   = obs.Default.Timer("serve.request")
+)
+
+// resultCache memoizes computed payloads by key — (dataset fingerprint,
+// audit/experiment, params) hashed by the caller. Concurrent requests for
+// the same key compute once and share the result; errors are never cached,
+// so a watchdog timeout or fault leaves the key free for the next attempt.
+type resultCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	res  *payload
+	err  error
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{entries: make(map[string]*cacheEntry)}
+}
+
+// do returns the payload for key, computing it with f on first use. The
+// hit flag reports whether the result came from a completed earlier
+// computation (the envelope's "cached" field).
+func (c *resultCache) do(key string, f func() (*payload, error)) (res *payload, hit bool, err error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	computed := false
+	e.once.Do(func() {
+		computed = true
+		e.res, e.err = f()
+	})
+	if e.err != nil {
+		// Drop failed entries: the next request recomputes instead of
+		// replaying a transient failure forever.
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		return nil, false, e.err
+	}
+	if !computed {
+		mCacheHits.Inc()
+	}
+	return e.res, !computed, nil
+}

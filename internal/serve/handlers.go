@@ -1,0 +1,479 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/core"
+	"chainaudit/internal/experiments"
+	"chainaudit/internal/obs"
+	"chainaudit/internal/pipeline"
+	"chainaudit/internal/report"
+)
+
+// Envelope is the v1 response body for experiment and audit requests.
+// Results carry the same tables/figures the batch CLIs print (report JSON
+// shapes); Notes carry the section's non-table lines verbatim.
+type Envelope struct {
+	API         string            `json:"api"`
+	Kind        string            `json:"kind"` // "experiment" or "audit"
+	Name        string            `json:"name"`
+	Dataset     string            `json:"dataset,omitempty"`
+	Fingerprint string            `json:"fingerprint,omitempty"`
+	Params      map[string]string `json:"params,omitempty"`
+	Cached      bool              `json:"cached"`
+	Degraded    bool              `json:"degraded"`
+	ElapsedMS   float64           `json:"elapsed_ms"`
+	Notes       []string          `json:"notes"`
+	Results     []json.RawMessage `json:"results"`
+	Error       string            `json:"error,omitempty"`
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v1/healthz", s.instrument(s.handleHealthz))
+	s.mux.HandleFunc("GET /v1/metrics", s.instrument(s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/experiments", s.instrument(s.handleExperimentList))
+	s.mux.HandleFunc("POST /v1/experiments/{name}", s.instrument(s.handleExperimentRun))
+	s.mux.HandleFunc("POST /v1/audits/{kind}", s.instrument(s.handleAudit))
+}
+
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		mRequests.Inc()
+		t0 := time.Now()
+		defer func() { mLatency.Observe(time.Since(t0)) }()
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// fail writes an error envelope. 5xx statuses count as service errors.
+func fail(w http.ResponseWriter, status int, env Envelope, err error) {
+	if status >= 500 {
+		mErrors.Inc()
+	}
+	env.API = API
+	env.Error = err.Error()
+	env.Notes = []string{}
+	env.Results = []json.RawMessage{}
+	writeJSON(w, status, env)
+}
+
+// writeResult finishes a successful request in the asked-for format.
+func writeResult(w http.ResponseWriter, format string, env Envelope, p *payload) {
+	switch format {
+	case "text", "csv":
+		body := p.Text
+		if format == "csv" {
+			body = p.CSV
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Chainaudit-Cached", strconv.FormatBool(env.Cached))
+		w.Header().Set("X-Chainaudit-Fingerprint", env.Fingerprint)
+		_, _ = w.Write([]byte(body))
+	default:
+		env.API = API
+		env.Notes = p.Notes
+		env.Results = p.Results
+		if env.Notes == nil {
+			env.Notes = []string{}
+		}
+		if env.Results == nil {
+			env.Results = []json.RawMessage{}
+		}
+		writeJSON(w, http.StatusOK, env)
+	}
+}
+
+// format validates the ?format= parameter. Audits have no CSV mode (the
+// batch CLI does not either), so csvOK is false for them.
+func format(q url.Values, csvOK bool) (string, error) {
+	f := q.Get("format")
+	switch f {
+	case "", "json":
+		return "json", nil
+	case "text":
+		return "text", nil
+	case "csv":
+		if csvOK {
+			return "csv", nil
+		}
+		return "", fmt.Errorf("format csv is only available for experiments")
+	default:
+		return "", fmt.Errorf("unknown format %q (json, text%s)", f, map[bool]string{true: ", csv"}[csvOK])
+	}
+}
+
+// timeout resolves the effective watchdog for one request: the server
+// default, overridable (in either direction) by ?timeout_ms=N.
+func (s *Server) timeout(q url.Values) (time.Duration, error) {
+	raw := q.Get("timeout_ms")
+	if raw == "" {
+		return s.cfg.Watchdog, nil
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms < 0 {
+		return 0, fmt.Errorf("bad timeout_ms %q", raw)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// runBounded executes one computation under the request context, the
+// watchdog, and the configured retry budget — through the same pipeline
+// layer the batch reproduction uses. Each call runs on its own worker
+// goroutine, so an abandoned (timed-out) computation never wedges other
+// requests.
+func (s *Server) runBounded(ctx context.Context, timeout time.Duration, f func(ctx context.Context) (*payload, error)) (*payload, error) {
+	rc := pipeline.RunConfig{Timeout: timeout, Retries: s.cfg.Retries, Backoff: 100 * time.Millisecond}
+	res, batchErr := pipeline.MapCtx(pipeline.Default(), ctx, 1, rc,
+		func(ctx context.Context, _ int) (*payload, error) { return f(ctx) })
+	if batchErr != nil {
+		return nil, batchErr
+	}
+	return res[0].Value, res[0].Err
+}
+
+// errStatus maps a computation error to an HTTP status: watchdog timeouts
+// are 504 (the request was sound, the bound was not), everything else 500.
+func errStatus(err error) int {
+	if errors.Is(err, pipeline.ErrWatchdog) {
+		mWatchdogs.Inc()
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+// ---- GET /v1/healthz ----
+
+type healthDataset struct {
+	Name        string   `json:"name"`
+	Fingerprint string   `json:"fingerprint"`
+	Blocks      int      `json:"blocks"`
+	Txs         int64    `json:"txs"`
+	Degraded    bool     `json:"degraded"`
+	Notes       []string `json:"notes,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := struct {
+		API         string          `json:"api"`
+		Status      string          `json:"status"`
+		UptimeMS    float64         `json:"uptime_ms"`
+		Datasets    []healthDataset `json:"datasets"`
+		Experiments int             `json:"experiments"`
+	}{API: API, Status: "ok", UptimeMS: float64(time.Since(s.start)) / float64(time.Millisecond)}
+	for _, name := range s.order {
+		set := s.sets[name]
+		resp.Datasets = append(resp.Datasets, healthDataset{
+			Name: set.name, Fingerprint: set.fingerprint,
+			Blocks: set.blocks, Txs: set.txs,
+			Degraded: set.degraded, Notes: set.notes,
+		})
+	}
+	if s.suite != nil {
+		resp.Experiments = len(experiments.All())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- GET /v1/metrics ----
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := struct {
+		API     string       `json:"api"`
+		Metrics obs.Snapshot `json:"metrics"`
+	}{API: API, Metrics: obs.Default.Snapshot()}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- GET /v1/experiments ----
+
+type expInfo struct {
+	ID     string              `json:"id"`
+	Title  string              `json:"title"`
+	Params []experiments.Param `json:"params"`
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	resp := struct {
+		API         string              `json:"api"`
+		Available   bool                `json:"available"`
+		Experiments []expInfo           `json:"experiments"`
+		SuiteParams []experiments.Param `json:"suite_params"`
+	}{API: API, Available: s.suite != nil, SuiteParams: experiments.SuiteParams()}
+	for _, d := range experiments.All() {
+		info := expInfo{ID: d.ID, Title: d.Title, Params: d.Params}
+		if info.Params == nil {
+			info.Params = []experiments.Param{}
+		}
+		resp.Experiments = append(resp.Experiments, info)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- POST /v1/experiments/{name} ----
+
+func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	env := Envelope{Kind: "experiment", Name: name, Fingerprint: s.suiteFP}
+	q := r.URL.Query()
+	fmtName, err := format(q, true)
+	if err != nil {
+		fail(w, http.StatusBadRequest, env, err)
+		return
+	}
+	if s.suite == nil {
+		fail(w, http.StatusBadRequest, env, fmt.Errorf("no simulated suite loaded (start chainauditd with -sim)"))
+		return
+	}
+	d, ok := experiments.ByName(name)
+	if !ok {
+		fail(w, http.StatusNotFound, env, fmt.Errorf("unknown experiment %q", name))
+		return
+	}
+	wd, err := s.timeout(q)
+	if err != nil {
+		fail(w, http.StatusBadRequest, env, err)
+		return
+	}
+	env.Degraded = s.plan.Active()
+	key := obs.ConfigHash(s.suiteFP, "experiment="+name)
+	t0 := time.Now()
+	p, hit, err := s.cache.do(key, func() (*payload, error) {
+		return s.runBounded(r.Context(), wd, func(context.Context) (*payload, error) {
+			rec := &recSink{}
+			if err := d.Run(s.suite, rec); err != nil {
+				return nil, err
+			}
+			return rec.payload()
+		})
+	})
+	env.ElapsedMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	if err != nil {
+		fail(w, errStatus(err), env, err)
+		return
+	}
+	env.Cached = hit
+	writeResult(w, fmtName, env, p)
+}
+
+// ---- POST /v1/audits/{kind} ----
+
+// auditReq is one parsed audit request. Display values keep the CLI's flag
+// semantics (e.g. the dark-fee table title shows the requested threshold).
+type auditReq struct {
+	opts     core.AuditOptions
+	sppeShow float64
+	address  string
+	pool     string
+}
+
+// parseAudit maps query parameters onto AuditOptions with the CLI flags'
+// semantics: absent means package default, an explicit 0 means "no
+// threshold".
+func parseAudit(kind string, q url.Values) (*auditReq, map[string]string, error) {
+	req := &auditReq{sppeShow: core.DefaultSPPE}
+	params := map[string]string{}
+	if raw := q.Get("minshare"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad minshare %q", raw)
+		}
+		req.opts.MinShare = v
+		if v <= 0 {
+			req.opts.MinShare = -1
+		}
+		params["minshare"] = raw
+	}
+	if raw := q.Get("sppe"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad sppe %q", raw)
+		}
+		req.opts.SPPE = v
+		req.sppeShow = v
+		if v <= 0 {
+			req.opts.SPPE = -1
+		}
+		params["sppe"] = raw
+	}
+	if raw := q.Get("windows"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad windows %q", raw)
+		}
+		req.opts.Windows = v
+		params["windows"] = raw
+	}
+	req.address = q.Get("address")
+	req.pool = q.Get("pool")
+	switch kind {
+	case "scam":
+		if req.address == "" {
+			return nil, nil, fmt.Errorf("audit scam needs ?address=")
+		}
+		params["address"] = req.address
+	case "darkfee":
+		if req.pool == "" {
+			return nil, nil, fmt.Errorf("audit darkfee needs ?pool=")
+		}
+		params["pool"] = req.pool
+	}
+	return req, params, nil
+}
+
+// auditRunners computes each audit kind into a payload, through exactly the
+// AuditOptions methods and section renderers cmd/chainaudit uses — the text
+// body is byte-identical to the CLI's section for the same chain and
+// parameters.
+var auditRunners = map[string]func(set *auditSet, req *auditReq) (*payload, error){
+	"ppe": func(set *auditSet, req *auditReq) (*payload, error) {
+		rep := set.aud.AuditPPE(req.opts)
+		p := &payload{Notes: []string{fmt.Sprintf("PPE overall: %s", rep.Overall)}}
+		if err := p.addTables(core.PPETable(rep)); err != nil {
+			return nil, err
+		}
+		return p, renderInto(p, func(w io.Writer) error { return core.WritePPESection(w, rep) })
+	},
+	"selfinterest": func(set *auditSet, req *auditReq) (*payload, error) {
+		rep, err := set.aud.AuditSelfInterest(req.opts)
+		if err != nil {
+			return nil, err
+		}
+		p := &payload{}
+		if len(rep.Findings) == 0 {
+			p.Notes = []string{"self-interest audit: no significant deviations"}
+		} else {
+			tables := []*report.Table{core.SelfInterestTable(rep.Findings)}
+			if rep.Windows > 1 {
+				tables = append(tables, core.WindowedTable(rep))
+			}
+			if err := p.addTables(tables...); err != nil {
+				return nil, err
+			}
+		}
+		return p, renderInto(p, func(w io.Writer) error { return core.WriteSelfInterestSection(w, rep) })
+	},
+	"lowfee": func(set *auditSet, req *auditReq) (*payload, error) {
+		lows := set.aud.AuditLowFee(req.opts)
+		p := &payload{}
+		if len(lows) == 0 {
+			p.Notes = []string{"norm III: no sub-minimum confirmations"}
+		} else if err := p.addTables(core.LowFeeTable(lows)); err != nil {
+			return nil, err
+		}
+		return p, renderInto(p, func(w io.Writer) error { return core.WriteLowFeeSection(w, lows) })
+	},
+	"scam": func(set *auditSet, req *auditReq) (*payload, error) {
+		txs := core.TouchingAddress(set.aud.Chain, chain.Address(req.address))
+		var rows []core.DifferentialResult
+		if len(txs) > 0 {
+			var err error
+			if rows, err = set.aud.AuditScam(txs, req.opts); err != nil {
+				return nil, err
+			}
+		}
+		p := &payload{Notes: []string{fmt.Sprintf("transactions touching %s: %d", req.address, len(txs))}}
+		if len(txs) > 0 {
+			if err := p.addTables(core.ScamTable(rows)); err != nil {
+				return nil, err
+			}
+		}
+		return p, renderInto(p, func(w io.Writer) error {
+			return core.WriteScamSection(w, req.address, len(txs), rows)
+		})
+	},
+	"darkfee": func(set *auditSet, req *auditReq) (*payload, error) {
+		cands := set.aud.AuditDarkFee(req.pool, req.opts)
+		p := &payload{Notes: []string{fmt.Sprintf("%d candidates", len(cands))}}
+		if len(cands) > 0 {
+			if err := p.addTables(core.DarkFeeTable(req.pool, req.sppeShow, cands)); err != nil {
+				return nil, err
+			}
+		}
+		return p, renderInto(p, func(w io.Writer) error {
+			return core.WriteDarkFeeSection(w, req.pool, req.sppeShow, cands)
+		})
+	},
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	kind := r.PathValue("kind")
+	env := Envelope{Kind: "audit", Name: kind}
+	q := r.URL.Query()
+	fmtName, err := format(q, false)
+	if err != nil {
+		fail(w, http.StatusBadRequest, env, err)
+		return
+	}
+	runner, ok := auditRunners[kind]
+	if !ok {
+		fail(w, http.StatusNotFound, env, fmt.Errorf("unknown audit %q (ppe, selfinterest, lowfee, scam, darkfee)", kind))
+		return
+	}
+	set, err := s.lookupSet(q.Get("dataset"))
+	if err != nil {
+		fail(w, http.StatusNotFound, env, err)
+		return
+	}
+	env.Dataset = set.name
+	env.Fingerprint = set.fingerprint
+	env.Degraded = set.degraded
+	req, params, err := parseAudit(kind, q)
+	if err != nil {
+		fail(w, http.StatusBadRequest, env, err)
+		return
+	}
+	env.Params = params
+	wd, err := s.timeout(q)
+	if err != nil {
+		fail(w, http.StatusBadRequest, env, err)
+		return
+	}
+	keyParts := []string{set.fingerprint, "audit=" + kind}
+	for _, k := range sortedKeys(params) {
+		keyParts = append(keyParts, k+"="+params[k])
+	}
+	key := obs.ConfigHash(keyParts...)
+	t0 := time.Now()
+	p, hit, err := s.cache.do(key, func() (*payload, error) {
+		return s.runBounded(r.Context(), wd, func(ctx context.Context) (*payload, error) {
+			bounded := *req
+			bounded.opts.Ctx = ctx
+			return runner(set, &bounded)
+		})
+	})
+	env.ElapsedMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	if err != nil {
+		fail(w, errStatus(err), env, err)
+		return
+	}
+	env.Cached = hit
+	writeResult(w, fmtName, env, p)
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"chainaudit/internal/experiments"
+	"chainaudit/internal/report"
+)
+
+// payload is one computed result, rendered once in every format the service
+// offers and then shared by the cache. Text and CSV replay the exact bytes
+// the batch CLIs print; Notes/Results carry the JSON envelope's body.
+type payload struct {
+	Notes   []string
+	Results []json.RawMessage
+	Text    string
+	CSV     string
+}
+
+// addTables marshals audit tables into the payload's JSON results.
+func (p *payload) addTables(tables ...*report.Table) error {
+	for _, t := range tables {
+		raw, err := json.Marshal(t)
+		if err != nil {
+			return err
+		}
+		p.Results = append(p.Results, raw)
+	}
+	return nil
+}
+
+// renderInto captures an audit section renderer's exact bytes as the
+// payload's text body.
+func renderInto(p *payload, f func(w io.Writer) error) error {
+	var b bytes.Buffer
+	if err := f(&b); err != nil {
+		return err
+	}
+	p.Text = b.String()
+	return nil
+}
+
+// recSink records an experiment's ordered emissions so one run can be
+// replayed into every response format.
+type recSink struct {
+	events []recEvent
+}
+
+type recEvent struct {
+	note string
+	r    experiments.Renderable // nil for notes
+}
+
+func (rs *recSink) Emit(r experiments.Renderable) error {
+	rs.events = append(rs.events, recEvent{r: r})
+	return nil
+}
+
+func (rs *recSink) Note(format string, args ...any) error {
+	rs.events = append(rs.events, recEvent{note: fmt.Sprintf(format, args...)})
+	return nil
+}
+
+// payload renders the recording into all formats. Text and CSV go through
+// experiments.NewTextSink — the same sink cmd/reproduce prints with — so the
+// service's text body is byte-identical to the CLI's section for the same
+// suite.
+func (rs *recSink) payload() (*payload, error) {
+	p := &payload{}
+	for _, e := range rs.events {
+		if e.r == nil {
+			p.Notes = append(p.Notes, e.note)
+			continue
+		}
+		raw, err := json.Marshal(e.r)
+		if err != nil {
+			return nil, err
+		}
+		p.Results = append(p.Results, raw)
+	}
+	var text, csv strings.Builder
+	if err := rs.replay(experiments.NewTextSink(&text, false)); err != nil {
+		return nil, err
+	}
+	if err := rs.replay(experiments.NewTextSink(&csv, true)); err != nil {
+		return nil, err
+	}
+	p.Text = text.String()
+	p.CSV = csv.String()
+	return p, nil
+}
+
+func (rs *recSink) replay(sink experiments.Sink) error {
+	for _, e := range rs.events {
+		if e.r == nil {
+			if err := sink.Note("%s", e.note); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := sink.Emit(e.r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
