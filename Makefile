@@ -1,10 +1,30 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-key reproduce smoke-metrics smoke-chaos smoke-serve clean
+.PHONY: check build vet test race bench bench-key reproduce lint lint-fixtures smoke-metrics smoke-chaos smoke-serve clean
 
-# check is the tier-1 gate: vet, build, the full test suite under the
-# race detector, and the metrics, chaos, and service smoke tests.
-check: vet build race smoke-metrics smoke-chaos smoke-serve
+# check is the tier-1 gate: vet, build, the analyzer suite (plus the guard
+# that keeps its fixtures honest), the full test suite under the race
+# detector, and the metrics, chaos, and service smoke tests.
+check: vet build lint lint-fixtures race smoke-metrics smoke-chaos smoke-serve
+
+# lint runs the determinism & audit-integrity analyzer suite (DESIGN.md §9)
+# over every module package. Any unsuppressed finding fails the gate.
+lint:
+	$(GO) run ./cmd/chainauditlint ./...
+
+# lint-fixtures proves each analyzer still fires: the driver must exit
+# non-zero on every testdata fixture and name the analyzer in its output.
+# A fixture that stops producing its diagnostic means a silently dead
+# analyzer, and fails here before it can rot.
+lint-fixtures:
+	@for a in walltime unseededrand maporder errdrop ctxleak; do \
+		out=$$($(GO) run ./cmd/chainauditlint ./internal/lint/testdata/src/$$a 2>&1); \
+		if [ $$? -eq 0 ]; then echo "lint-fixtures: $$a fixture produced no findings"; exit 1; fi; \
+		if ! echo "$$out" | grep -q ": $$a: "; then \
+			echo "lint-fixtures: $$a analyzer did not fire on its fixture:"; echo "$$out"; exit 1; \
+		fi; \
+		echo "lint-fixtures: $$a ok"; \
+	done
 
 build:
 	$(GO) build ./...

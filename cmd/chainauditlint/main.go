@@ -1,0 +1,100 @@
+// Command chainauditlint runs the repository's determinism and
+// audit-integrity analyzer suite (internal/lint) over module packages:
+//
+//	chainauditlint [-v] [-json] [packages ...]
+//
+// Patterns follow the go tool ("./...", "./internal/core"); with no
+// arguments it lints "./...". Exit status: 0 when every finding is
+// suppressed or absent, 1 when unsuppressed findings remain, 2 when
+// loading or type-checking fails. -v additionally prints suppressed
+// findings with their //lint:allow reasons (the audit trail); -json emits
+// the findings as a JSON array instead of text.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"chainaudit/internal/lint"
+)
+
+func main() {
+	var (
+		verbose = flag.Bool("v", false, "also print suppressed findings with their //lint:allow reasons")
+		jsonOut = flag.Bool("json", false, "emit findings as JSON")
+	)
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chainauditlint:", err)
+		os.Exit(2)
+	}
+	code, err := run(os.Stdout, cwd, patterns, *verbose, *jsonOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chainauditlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run lints the packages matched by patterns (resolved against dir) and
+// reports findings on w. It returns the process exit code.
+func run(w io.Writer, dir string, patterns []string, verbose, jsonOut bool) (int, error) {
+	mod, err := lint.FindModule(dir)
+	if err != nil {
+		return 2, err
+	}
+	loader := lint.NewLoader(mod)
+	dirs, err := loader.Expand(dir, patterns)
+	if err != nil {
+		return 2, err
+	}
+	pkgs := make([]*lint.Package, 0, len(dirs))
+	for _, d := range dirs {
+		p, err := loader.Load(d)
+		if err != nil {
+			return 2, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	findings := lint.Run(pkgs, lint.Analyzers())
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, f := range findings {
+			if f.Suppressed && !verbose {
+				continue
+			}
+			pos := f.Pos
+			if rel, err := filepath.Rel(dir, pos.Filename); err == nil && !filepath.IsAbs(rel) {
+				pos.Filename = rel
+			}
+			if f.Suppressed {
+				fmt.Fprintf(w, "%s: %s: suppressed: %s (//lint:allow %s)\n", pos, f.Analyzer, f.Message, f.Reason)
+			} else {
+				fmt.Fprintf(w, "%s: %s: %s\n", pos, f.Analyzer, f.Message)
+			}
+		}
+	}
+	unsuppressed := lint.Unsuppressed(findings)
+	if !jsonOut {
+		fmt.Fprintf(w, "chainauditlint: %d packages, %d findings (%d suppressed)\n",
+			len(pkgs), len(findings), len(findings)-unsuppressed)
+	}
+	if unsuppressed > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chainaudit/internal/lint"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	mod, err := lint.FindModule(".")
+	if err != nil {
+		t.Fatalf("find module: %v", err)
+	}
+	return mod.Dir
+}
+
+// TestRunFixtureFails pins the gate semantics: a fixture package with known
+// findings must produce exit code 1 and name its analyzer in the output.
+func TestRunFixtureFails(t *testing.T) {
+	root := moduleRoot(t)
+	var out bytes.Buffer
+	fixture := filepath.Join("internal", "lint", "testdata", "src", "maporder")
+	code, err := run(&out, root, []string{"./" + filepath.ToSlash(fixture)}, false, false)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\noutput:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), ": maporder: ") {
+		t.Fatalf("output does not name the maporder analyzer:\n%s", out.String())
+	}
+}
+
+// TestRunCleanPackage pins the zero exit on a package with no findings.
+func TestRunCleanPackage(t *testing.T) {
+	root := moduleRoot(t)
+	var out bytes.Buffer
+	code, err := run(&out, root, []string{"./internal/stats"}, false, false)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\noutput:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "0 findings") {
+		t.Fatalf("summary missing from output:\n%s", out.String())
+	}
+}
+
+// TestRunJSON pins the -json shape consumers script against.
+func TestRunJSON(t *testing.T) {
+	root := moduleRoot(t)
+	var out bytes.Buffer
+	fixture := filepath.Join("internal", "lint", "testdata", "src", "errdrop")
+	code, err := run(&out, root, []string{"./" + filepath.ToSlash(fixture)}, false, true)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON findings array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON output has no findings")
+	}
+	for _, f := range findings {
+		if f.Analyzer == "" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("finding missing fields: %+v", f)
+		}
+	}
+}
+
+// TestRunBadPattern pins the loader-error path to exit code 2.
+func TestRunBadPattern(t *testing.T) {
+	root := moduleRoot(t)
+	var out bytes.Buffer
+	code, err := run(&out, root, []string{"./no/such/dir"}, false, false)
+	if err == nil {
+		t.Fatal("run succeeded on a nonexistent pattern")
+	}
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

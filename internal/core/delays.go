@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"chainaudit/internal/chain"
 	"chainaudit/internal/mempool"
 	"chainaudit/internal/poolid"
@@ -54,7 +56,9 @@ func BandOf(r chain.SatPerVByte) FeeBand {
 
 // CommitDelays computes, for every observed transaction that confirmed, the
 // commit delay in blocks (1 = next block), optionally grouped. seen maps
-// txid → first-contact record.
+// txid → first-contact record. The result is sorted: seen is a map, and an
+// iteration-ordered slice would make downstream float accumulation depend
+// on the scheduler rather than the seed.
 func CommitDelays(c *chain.Chain, seen map[chain.TxID]SeenRecord) []float64 {
 	var out []float64
 	for id, rec := range seen {
@@ -62,6 +66,7 @@ func CommitDelays(c *chain.Chain, seen map[chain.TxID]SeenRecord) []float64 {
 			out = append(out, float64(d))
 		}
 	}
+	sort.Float64s(out)
 	return out
 }
 

@@ -109,6 +109,10 @@ func BuildTable5(seed uint64, perEra time.Duration, capacity int64) ([]Table5Row
 	}
 	var out []Table5Row
 	for i, era := range DefaultTable5Eras() {
+		// buildPools also returns the acceleration-service map; Table 5
+		// measures the fee share of block revenue only and deliberately runs
+		// without acceleration wired in (no Accel in the config below), so
+		// the services are dropped — there is no error being swallowed here.
 		pools, _ := buildPools(seed + uint64(i))
 		fill := float64(capacity) / 600.0 / 300.0
 		rate := era.congestion * fill

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errSourcePkgs are the packages whose error results carry audit integrity:
+// a dropped error from the audit engine, data-set construction, or the
+// chain layer silently degrades the reproduction (the swallowed
+// SelfInterestAudit errors fixed in PR 1 were exactly this). Calls into
+// them are checked wherever they appear, so the analyzer runs over every
+// package.
+var errSourcePkgs = []string{"core", "dataset", "chain"}
+
+// ErrDrop rejects blank-identifier discards of error results returned by
+// internal/core, internal/dataset, and internal/chain functions.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "blank-identifier discards of audit-layer errors silently degrade results",
+	Run: func(p *Package) []Diag {
+		var out []Diag
+		inspectAll(p, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(p.Info, call)
+			if fn == nil || !errSourcePackage(pkgPathOf(fn)) {
+				return true
+			}
+			results := sigOf(fn).Results()
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != "_" || i >= results.Len() {
+					continue
+				}
+				if !isErrorType(results.At(i).Type()) {
+					continue
+				}
+				out = append(out, Diag{
+					Pos: id.Pos(),
+					Message: fmt.Sprintf(
+						"error result of %s discarded with _: handle it, propagate it, or annotate why it cannot fail here",
+						fn.FullName()),
+				})
+			}
+			return true
+		})
+		return out
+	},
+}
+
+// errSourcePackage reports whether errors from pkgPath must not be
+// discarded: the audit-integrity packages, plus the errdrop fixture
+// package (whose local helpers stand in for them).
+func errSourcePackage(pkgPath string) bool {
+	if fixtureFor(pkgPath) == "errdrop" {
+		return true
+	}
+	seg := internalOf(pkgPath)
+	for _, s := range errSourcePkgs {
+		if seg == s || strings.HasPrefix(seg, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

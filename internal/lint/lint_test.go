@@ -1,0 +1,102 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"chainaudit/internal/lint"
+)
+
+// checkSource type-checks a dependency-free source string into a Package so
+// directive handling can be tested without touching the loader.
+func checkSource(t *testing.T, src string) *lint.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{}
+	tp, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	return &lint.Package{Path: "p", Dir: ".", Fset: fset, Files: []*ast.File{f}, Types: tp, Info: info}
+}
+
+// TestDirectiveMisuse pins the audit-trail guarantees: a reasonless
+// directive, an unknown analyzer name, and a directive that suppresses
+// nothing are each reported under the "directive" pseudo-analyzer.
+func TestDirectiveMisuse(t *testing.T) {
+	src := `package p
+
+func f() int {
+	//lint:allow walltime
+	x := 1
+	//lint:allow nosuch because reasons
+	x++
+	//lint:allow walltime reasoned but covering a clean line
+	return x
+}
+`
+	pkg := checkSource(t, src)
+	findings := lint.Run([]*lint.Package{pkg}, lint.Analyzers())
+	var msgs []string
+	for _, f := range findings {
+		if f.Analyzer != lint.DirectiveAnalyzer {
+			t.Errorf("unexpected non-directive finding: %s: %s", f.Analyzer, f.Message)
+			continue
+		}
+		if f.Suppressed {
+			t.Errorf("directive finding must not be suppressible: %s", f.Message)
+		}
+		msgs = append(msgs, f.Message)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("directive findings = %d, want 3: %q", len(msgs), msgs)
+	}
+	for i, want := range []string{"missing its reason", `unknown analyzer "nosuch"`, "suppresses nothing"} {
+		if !strings.Contains(msgs[i], want) {
+			t.Errorf("directive finding %d = %q, want substring %q", i, msgs[i], want)
+		}
+	}
+}
+
+// TestDirectiveNotOurs checks that comments merely sharing the prefix
+// (e.g. //lint:allowance) are ignored rather than reported as malformed.
+func TestDirectiveNotOurs(t *testing.T) {
+	src := `package p
+
+//lint:allowance is a different word entirely
+func f() {}
+`
+	pkg := checkSource(t, src)
+	if got := lint.Run([]*lint.Package{pkg}, lint.Analyzers()); len(got) != 0 {
+		t.Fatalf("findings = %v, want none", got)
+	}
+}
+
+// TestUnsuppressed covers the exit-code arithmetic the driver relies on.
+func TestUnsuppressed(t *testing.T) {
+	fs := []lint.Finding{
+		{Analyzer: "walltime", Suppressed: true},
+		{Analyzer: "maporder"},
+		{Analyzer: "errdrop"},
+	}
+	if got := lint.Unsuppressed(fs); got != 2 {
+		t.Fatalf("Unsuppressed = %d, want 2", got)
+	}
+	if got := lint.Unsuppressed(nil); got != 0 {
+		t.Fatalf("Unsuppressed(nil) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// mapOrderScope covers the deterministic packages plus every layer that
+// turns audit results into bytes: the shared index and pool attribution
+// (whose outputs feed report rows), the report renderers, and the HTTP
+// service (whose text responses are diffed byte-for-byte against the CLIs).
+var mapOrderScope = append([]string{"serve", "report", "index", "poolid"}, deterministicPkgs...)
+
+// sinkMethods are method names whose call inside a map-range body means
+// iteration order is becoming output order: report rows, writer emission,
+// string/hash accumulation.
+var sinkMethods = map[string]bool{
+	"AddRow": true, "AddRecord": true,
+	"Write": true, "WriteString": true, "WriteRune": true, "WriteByte": true,
+}
+
+// MapOrder rejects map iterations whose bodies accumulate ordered output —
+// appending to an outer slice, emitting report rows, writing to a sink —
+// with no sort call in the same function to pin the order. Go randomizes
+// map iteration per run, so any such loop leaks scheduler entropy straight
+// into report bytes; this is the bug class behind the sorted-PPE-pools fix
+// in PR 1. Order-independent bodies (map→map transforms, per-key appends
+// like m[k] = append(m[k], v), aggregation) are not flagged.
+var MapOrder = &Analyzer{
+	Name:    "maporder",
+	Doc:     "ranging over a map while accumulating ordered output without a sort leaks map-iteration entropy into results",
+	InScope: scopeFor("maporder", mapOrderScope...),
+	Run: func(p *Package) []Diag {
+		var out []Diag
+		// Scan each top-level function (and each function literal bound at
+		// package scope, e.g. handler tables) as one region: a sort anywhere
+		// in the region — keys sorted before the loop or results sorted
+		// after — pins the order.
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Body != nil {
+						out = append(out, scanFuncForMapOrder(p, d.Body)...)
+					}
+				case *ast.GenDecl:
+					ast.Inspect(d, func(n ast.Node) bool {
+						if lit, ok := n.(*ast.FuncLit); ok {
+							out = append(out, scanFuncForMapOrder(p, lit.Body)...)
+							return false
+						}
+						return true
+					})
+				}
+			}
+		}
+		return out
+	},
+}
+
+func scanFuncForMapOrder(p *Package, body *ast.BlockStmt) []Diag {
+	var out []Diag
+	sorted := containsSortCall(p.Info, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if !bodyAccumulatesOrder(p.Info, rng) {
+			return true
+		}
+		if sorted {
+			return true
+		}
+		out = append(out, Diag{
+			Pos: rng.Pos(),
+			Message: "range over map accumulates ordered output with no sort in the enclosing function: " +
+				"iterate sorted keys (cf. report.SortedKeys) or sort the result before it reaches report bytes",
+		})
+		return true
+	})
+	return out
+}
+
+// bodyAccumulatesOrder reports whether the range body turns iteration order
+// into output order: appends to a slice declared outside the loop, or calls
+// an emission sink (fmt printing, report-row adds, writer methods).
+func bodyAccumulatesOrder(info *types.Info, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if appendsToOuter(info, n, rng) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if isSinkCall(info, n) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// appendsToOuter reports whether the assignment grows a slice that outlives
+// the loop iteration: x = append(x, ...) with x declared outside the range
+// statement. Appends into map or slice elements (m[k] = append(m[k], v))
+// are keyed by the iteration variable and stay order-independent.
+func appendsToOuter(info *types.Info, as *ast.AssignStmt, rng *ast.RangeStmt) bool {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		// Pair the append with its target. Tuple assigns never hold append
+		// results beyond position i in practice; fall back to lhs[0].
+		lhs := as.Lhs[0]
+		if len(as.Lhs) == len(as.Rhs) {
+			lhs = as.Lhs[i]
+		}
+		target, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue // index or selector target: keyed/structured, not ordered accumulation
+		}
+		obj := info.Defs[target]
+		if obj == nil {
+			obj = info.Uses[target]
+		}
+		if obj == nil {
+			continue
+		}
+		if obj.Pos() < rng.Pos() || obj.Pos() > rng.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// isSinkCall reports whether the call emits bytes or rows whose order the
+// caller will observe.
+func isSinkCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return false
+	}
+	if pkgPathOf(fn) == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+		return true
+	}
+	if pkgPathOf(fn) == "fmt" && strings.HasPrefix(fn.Name(), "Print") {
+		return true
+	}
+	return sigOf(fn).Recv() != nil && sinkMethods[fn.Name()]
+}
+
+// containsSortCall reports whether the function body calls into sort,
+// slices.Sort*, or a Sort method anywhere.
+func containsSortCall(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case pkgPathOf(fn) == "sort":
+			found = true
+		case pkgPathOf(fn) == "slices" && strings.HasPrefix(fn.Name(), "Sort"):
+			found = true
+		case sigOf(fn).Recv() != nil && fn.Name() == "Sort":
+			found = true
+		}
+		return !found
+	})
+	return found
+}

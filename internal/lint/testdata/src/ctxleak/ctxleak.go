@@ -1,0 +1,69 @@
+// Package ctxleak exercises the ctxleak analyzer: goroutines that capture a
+// context.Context but give cancellation no path to stop them.
+package ctxleak
+
+import "context"
+
+// Leak references ctx but never honors cancellation: the goroutine outlives
+// the request that spawned it.
+func Leak(ctx context.Context, ch chan int) {
+	go func() { // want `never honors cancellation`
+		for v := range ch {
+			if v < 0 && ctx.Value("k") != nil {
+				return
+			}
+		}
+	}()
+}
+
+// Named launches the same leak through a local variable binding.
+func Named(ctx context.Context, ch chan int) {
+	w := func() {
+		for v := range ch {
+			if v < 0 && ctx.Value("k") != nil {
+				return
+			}
+		}
+	}
+	go w() // want `never honors cancellation`
+}
+
+// Honors selects on ctx.Done — the canonical cancellable worker.
+func Honors(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v, ok := <-ch:
+				if !ok || v < 0 {
+					return
+				}
+			}
+		}
+	}()
+}
+
+// Polls checks ctx.Err each round; cancellation stops the loop.
+func Polls(ctx context.Context, f func() bool) {
+	go func() {
+		for ctx.Err() == nil {
+			if f() {
+				return
+			}
+		}
+	}()
+}
+
+// Delegates hands the context to the callee, which owns cancellation.
+func Delegates(ctx context.Context, f func(context.Context)) {
+	go func() { f(ctx) }()
+}
+
+// NoContext captures no context at all; nothing to honor.
+func NoContext(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}

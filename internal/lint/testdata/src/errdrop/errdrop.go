@@ -1,0 +1,39 @@
+// Package errdrop exercises the errdrop analyzer: blank-identifier discards
+// of error results from audit-integrity packages. The local helpers stand
+// in for internal/core, internal/dataset, and internal/chain functions.
+package errdrop
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+func load() (int, error) { return 7, errBoom }
+
+func check() error { return errBoom }
+
+// Discard swallows the error a tuple call returned.
+func Discard() int {
+	n, _ := load() // want `error result of .*load discarded with _`
+	return n
+}
+
+// DiscardLone swallows a bare error result.
+func DiscardLone() {
+	_ = check() // want `error result of .*check discarded with _`
+}
+
+// Handled is the fix: the error propagates.
+func Handled() (int, error) {
+	n, err := load()
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Explained shows the escape hatch for a discard that genuinely cannot
+// fail, with the reason on record.
+func Explained() int {
+	n, _ := load() //lint:allow errdrop fixture: stand-in for a can't-fail call with the rationale on record
+	return n
+}

@@ -1,0 +1,62 @@
+// Package maporder exercises the maporder analyzer: map iterations whose
+// bodies accumulate ordered output without a sort pinning the order.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Keys leaks map-iteration entropy into the returned slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map accumulates ordered output`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the fix: the sort in the same function pins the order.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump emits rows in map order — the bytes differ across runs.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `range over map accumulates ordered output`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Tally is order-independent (map→map transform) and must not be flagged.
+func Tally(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// PerKey appends into keyed slots, not an ordered accumulator; clean.
+func PerKey(m map[string][]int) map[string][]int {
+	out := make(map[string][]int)
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}
+
+// Sum aggregates commutatively over ints; iteration order cannot show.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

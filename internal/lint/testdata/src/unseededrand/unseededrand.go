@@ -1,0 +1,34 @@
+// Package unseededrand exercises the unseededrand analyzer: math/rand
+// globals and RNGs whose seeds do not flow from the run configuration.
+package unseededrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Config carries the run seed, the only sanctioned randomness source.
+type Config struct{ Seed int64 }
+
+// Global draws from the process-wide generator no config seed controls.
+func Global() int {
+	return rand.Intn(10) // want `math/rand global Intn`
+}
+
+// AsValue smuggles the same global state through a function value.
+var AsValue = rand.Int // want `reference to math/rand global Int`
+
+// FixedSeed hard-wires the seed, hiding the config plumbing.
+func FixedSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `constant seed`
+}
+
+// WallSeed makes two same-config runs diverge.
+func WallSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from the wall clock`
+}
+
+// FromConfig is the sanctioned shape: the seed flows from the run config.
+func FromConfig(c Config) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed))
+}

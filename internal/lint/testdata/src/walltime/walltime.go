@@ -1,0 +1,32 @@
+// Package walltime exercises the walltime analyzer: wall-clock reads in a
+// deterministic package are findings unless an explicit //lint:allow
+// directive carries a reason.
+package walltime
+
+import "time"
+
+// Stamp is the canonical violation: output depends on when the run happened.
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now in deterministic package`
+}
+
+// Age and Left read the clock through the measurement helpers.
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since in deterministic package`
+}
+
+func Left(t time.Time) time.Duration {
+	return time.Until(t) // want `time\.Until in deterministic package`
+}
+
+// Pure is the fix: the caller supplies the time.
+func Pure(now time.Time, t time.Time) time.Duration {
+	return now.Sub(t)
+}
+
+// Allowed demonstrates the escape hatch: a reasoned directive on the line
+// above the read suppresses the finding while keeping an audit trail.
+func Allowed() time.Time {
+	//lint:allow walltime fixture: stands in for the injected-clock fallback in p2p
+	return time.Now()
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand and math/rand/v2 entry points that
+// build a generator from an explicit seed. Constructing one is fine — if
+// the seed derives from the run configuration; a constant or wall-clock
+// seed is the finding.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func isMathRand(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// UnseededRand rejects randomness that does not flow from a config seed.
+// The repo's deterministic packages draw exclusively from stats.RNG streams
+// forked off the run seed; math/rand's global functions (process-wide state,
+// auto-seeded since Go 1.20) and RNGs constructed from constants or the
+// wall clock reintroduce run-to-run variance that no seed can reproduce.
+var UnseededRand = &Analyzer{
+	Name:    "unseededrand",
+	Doc:     "math/rand globals and RNGs not seeded from the run configuration make reruns irreproducible",
+	InScope: scopeFor("unseededrand", deterministicPkgs...),
+	Run: func(p *Package) []Diag {
+		var out []Diag
+		flaggedSel := make(map[*ast.SelectorExpr]bool)
+		inspectAll(p, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(p.Info, call)
+			if fn == nil || !isMathRand(pkgPathOf(fn)) || sigOf(fn).Recv() != nil {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				flaggedSel[sel] = true
+			}
+			if !randConstructors[fn.Name()] {
+				out = append(out, Diag{
+					Pos: call.Pos(),
+					Message: fmt.Sprintf(
+						"math/rand global %s draws from process-wide state no config seed controls: fork a stats.RNG from the run seed instead",
+						fn.Name()),
+				})
+				return true
+			}
+			for _, arg := range call.Args {
+				switch {
+				case containsWallClock(p.Info, arg):
+					out = append(out, Diag{
+						Pos:     call.Pos(),
+						Message: fmt.Sprintf("%s seeded from the wall clock: two runs of the same config diverge — derive the seed from the run configuration", fn.Name()),
+					})
+				case isConstantSeed(p.Info, arg):
+					out = append(out, Diag{
+						Pos:     call.Pos(),
+						Message: fmt.Sprintf("%s constructed with constant seed: hard-wired seeds hide the config plumbing reruns depend on — pass the run seed through", fn.Name()),
+					})
+				}
+			}
+			return true
+		})
+		// Non-call references (rand.Intn stored as a value, etc.) smuggle the
+		// same global state; flag whatever the call pass did not cover.
+		inspectAll(p, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || flaggedSel[sel] {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || !isMathRand(obj.Pkg().Path()) {
+				return true
+			}
+			if fn, ok := obj.(*types.Func); ok && (sigOf(fn).Recv() != nil || randConstructors[fn.Name()]) {
+				return true
+			}
+			if _, ok := obj.(*types.TypeName); ok {
+				return true // rand.Rand / rand.Source as types are fine
+			}
+			out = append(out, Diag{
+				Pos:     sel.Pos(),
+				Message: fmt.Sprintf("reference to math/rand global %s: process-wide RNG state escapes the run seed — use a stats.RNG stream", obj.Name()),
+			})
+			return true
+		})
+		return out
+	},
+}
+
+// isConstantSeed reports whether a numeric seed argument is a compile-time
+// constant (literal or named constant).
+func isConstantSeed(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsInteger|types.IsFloat) != 0
+}
+
+// containsWallClock reports whether the expression contains a time.Now
+// call (covering time.Now().UnixNano() and friends).
+func containsWallClock(info *types.Info, arg ast.Expr) bool {
+	found := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeOf(info, call); fn != nil && pkgPathOf(fn) == "time" && fn.Name() == "Now" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// Walltime rejects wall-clock reads in deterministic packages. A
+// time.Now/Since/Until call anywhere in the simulation or audit path makes
+// outputs depend on when the run happened rather than only on the seed —
+// the exact bug class behind the relayed-transaction stamping fix in
+// internal/p2p (nodes now take an injected clock; the nil-clock fallback
+// there carries the one sanctioned //lint:allow).
+var Walltime = &Analyzer{
+	Name:    "walltime",
+	Doc:     "wall-clock reads (time.Now/Since/Until) in deterministic packages break byte-identical reruns",
+	InScope: scopeFor("walltime", deterministicPkgs...),
+	Run: func(p *Package) []Diag {
+		var out []Diag
+		inspectAll(p, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(p.Info, call)
+			if fn == nil || pkgPathOf(fn) != "time" {
+				return true
+			}
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				out = append(out, Diag{
+					Pos: call.Pos(),
+					Message: fmt.Sprintf(
+						"time.%s in deterministic package %s: output must be a pure function of the seed — take the time as a parameter or inject a clock (cf. p2p Node.SetClock)",
+						fn.Name(), p.Types.Name()),
+				})
+			}
+			return true
+		})
+		return out
+	},
+}

@@ -3,6 +3,7 @@ package p2p
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -26,6 +27,7 @@ type Node struct {
 	blocks  map[int64]*chain.Block
 	tip     int64
 	peers   map[*peer]struct{}
+	peerSeq int64 // connection counter; orders peers deterministically
 	seenLog []SeenEvent
 	closed  bool
 }
@@ -91,10 +93,7 @@ func (n *Node) Restart() {
 		n.mu.Unlock()
 		return
 	}
-	peers := make([]*peer, 0, len(n.peers))
-	for p := range n.peers {
-		peers = append(peers, p)
-	}
+	peers := n.snapshotPeers(nil)
 	for _, e := range n.pool.Entries() {
 		delete(n.txs, e.Tx.ID) // forget unconfirmed txs so they can be re-learned
 	}
@@ -122,6 +121,7 @@ func (n *Node) now() time.Time {
 	clock := n.clock
 	n.mu.Unlock()
 	if clock == nil {
+		//lint:allow walltime injected-clock fallback: nil clock means the harness opted into wall time (SetClock not called)
 		return time.Now()
 	}
 	return clock()
@@ -154,6 +154,7 @@ type peer struct {
 	conn net.Conn
 	out  chan frame
 	name string
+	seq  int64 // connection order, for deterministic peer iteration
 	once sync.Once
 
 	// sendMu guards out against close: send holds it across the channel
@@ -184,6 +185,8 @@ func (n *Node) Connect(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	n.peerSeq++
+	p.seq = n.peerSeq
 	n.peers[p] = struct{}{}
 	tip := n.tip
 	n.mu.Unlock()
@@ -197,10 +200,7 @@ func (n *Node) Connect(conn net.Conn) {
 func (n *Node) Close() {
 	n.mu.Lock()
 	n.closed = true
-	peers := make([]*peer, 0, len(n.peers))
-	for p := range n.peers {
-		peers = append(peers, p)
-	}
+	peers := n.snapshotPeers(nil)
 	n.mu.Unlock()
 	for _, p := range peers {
 		p.close()
@@ -275,16 +275,25 @@ func (n *Node) broadcastBlock(blk *chain.Block, except *peer) {
 
 func (n *Node) eachPeer(except *peer, f func(*peer)) {
 	n.mu.Lock()
+	peers := n.snapshotPeers(except)
+	n.mu.Unlock()
+	for _, p := range peers {
+		f(p)
+	}
+}
+
+// snapshotPeers copies the peer set in connection order (the peers map is a
+// set, and map iteration order would otherwise leak into relay and shutdown
+// order). Callers must hold n.mu.
+func (n *Node) snapshotPeers(except *peer) []*peer {
 	peers := make([]*peer, 0, len(n.peers))
 	for p := range n.peers {
 		if p != except {
 			peers = append(peers, p)
 		}
 	}
-	n.mu.Unlock()
-	for _, p := range peers {
-		f(p)
-	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].seq < peers[j].seq })
+	return peers
 }
 
 // send relays one message to the peer, first letting the node's fault

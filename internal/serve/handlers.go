@@ -47,11 +47,26 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/audits/{kind}", s.instrument(s.handleAudit))
 }
 
+// reqTimer measures one request's wall-clock span — the latency metric and
+// the envelope's elapsed_ms field. Wall time in internal/serve is
+// observability-only and never reaches result bytes, which is why the
+// package sits on the walltime analyzer's allowlist rather than carrying
+// //lint:allow directives (DESIGN.md §9).
+type reqTimer struct{ t0 time.Time }
+
+func startTimer() reqTimer { return reqTimer{t0: time.Now()} }
+
+// elapsed returns the span since the timer started.
+func (t reqTimer) elapsed() time.Duration { return time.Since(t.t0) }
+
+// ms returns the span in fractional milliseconds, the envelope's unit.
+func (t reqTimer) ms() float64 { return float64(t.elapsed()) / float64(time.Millisecond) }
+
 func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		mRequests.Inc()
-		t0 := time.Now()
-		defer func() { mLatency.Observe(time.Since(t0)) }()
+		t := startTimer()
+		defer func() { mLatency.Observe(t.elapsed()) }()
 		h(w, r)
 	}
 }
@@ -178,7 +193,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeMS    float64         `json:"uptime_ms"`
 		Datasets    []healthDataset `json:"datasets"`
 		Experiments int             `json:"experiments"`
-	}{API: API, Status: "ok", UptimeMS: float64(time.Since(s.start)) / float64(time.Millisecond)}
+	}{API: API, Status: "ok", UptimeMS: reqTimer{t0: s.start}.ms()}
 	for _, name := range s.order {
 		set := s.sets[name]
 		resp.Datasets = append(resp.Datasets, healthDataset{
@@ -255,7 +270,7 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	}
 	env.Degraded = s.plan.Active()
 	key := obs.ConfigHash(s.suiteFP, "experiment="+name)
-	t0 := time.Now()
+	t := startTimer()
 	p, hit, err := s.cache.do(key, func() (*payload, error) {
 		return s.runBounded(r.Context(), wd, func(context.Context) (*payload, error) {
 			rec := &recSink{}
@@ -265,7 +280,7 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 			return rec.payload()
 		})
 	})
-	env.ElapsedMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	env.ElapsedMS = t.ms()
 	if err != nil {
 		fail(w, errStatus(err), env, err)
 		return
@@ -452,7 +467,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		keyParts = append(keyParts, k+"="+params[k])
 	}
 	key := obs.ConfigHash(keyParts...)
-	t0 := time.Now()
+	t := startTimer()
 	p, hit, err := s.cache.do(key, func() (*payload, error) {
 		return s.runBounded(r.Context(), wd, func(ctx context.Context) (*payload, error) {
 			bounded := *req
@@ -460,7 +475,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 			return runner(set, &bounded)
 		})
 	})
-	env.ElapsedMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	env.ElapsedMS = t.ms()
 	if err != nil {
 		fail(w, errStatus(err), env, err)
 		return
