@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-key reproduce lint lint-fixtures smoke-metrics smoke-chaos smoke-serve clean
+.PHONY: check build vet test race bench bench-key reproduce lint lint-fixtures smoke-metrics smoke-chaos smoke-serve smoke-stream clean
 
 # check is the tier-1 gate: vet, build, the analyzer suite (plus the guard
 # that keeps its fixtures honest), the full test suite under the race
-# detector, and the metrics, chaos, and service smoke tests.
-check: vet build lint lint-fixtures race smoke-metrics smoke-chaos smoke-serve
+# detector, and the metrics, chaos, service, and stream-replay smoke tests.
+check: vet build lint lint-fixtures race smoke-metrics smoke-chaos smoke-serve smoke-stream
 
 # lint runs the determinism & audit-integrity analyzer suite (DESIGN.md §9)
 # over every module package. Any unsuppressed finding fails the gate.
@@ -38,10 +38,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs every experiment benchmark; bench-key just the two the
-# shared-index refactor is measured by (see EXPERIMENTS.md).
+# bench runs every experiment benchmark, then refreshes the machine-readable
+# batch-vs-incremental report (BENCH_6.json, chainaudit.bench/v1 schema);
+# bench-key just the two the shared-index refactor is measured by (see
+# EXPERIMENTS.md).
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) run ./cmd/chainbench -out BENCH_6.json
 
 bench-key:
 	$(GO) test -bench='BenchmarkFig07PPE|BenchmarkTable2SelfInterest' -benchtime=3x -run=^$$ .
@@ -100,6 +103,37 @@ smoke-serve:
 	curl -sf -X POST "http://$$ADDR/v1/audits/ppe?dataset=main&format=text" > /tmp/chainaudit-serve-ppe-srv.txt && \
 	cmp /tmp/chainaudit-serve-fig2-cli.txt /tmp/chainaudit-serve-fig2-srv.txt && \
 	cmp /tmp/chainaudit-serve-ppe-cli.txt /tmp/chainaudit-serve-ppe-srv.txt
+
+# smoke-stream pins the streaming headline invariant end to end over real
+# processes: record a gendata chain as an ingest stream, boot chainauditd
+# with the same CSV as the batch reference, replay the stream into a fresh
+# data set, and diff the streamed audits byte-for-byte against the batch
+# ones — full chain and sliding window.
+smoke-stream:
+	$(GO) build -o /tmp/chainauditd ./cmd/chainauditd
+	$(GO) build -o /tmp/streamfeed ./cmd/streamfeed
+	$(GO) run ./cmd/gendata -set C -seed 9 -hours 5 -out /tmp/chainaudit-stream-chain.csv > /dev/null
+	/tmp/streamfeed record -chain /tmp/chainaudit-stream-chain.csv \
+		-out /tmp/chainaudit-stream.jsonl -batch 16 -dataset live
+	rm -f /tmp/chainaudit-stream-addr
+	/tmp/chainauditd -addr 127.0.0.1:0 -ready-file /tmp/chainaudit-stream-addr \
+		-chain main=/tmp/chainaudit-stream-chain.csv 2> /tmp/chainaudit-stream-log.txt & \
+	DPID=$$!; trap 'kill $$DPID 2>/dev/null' EXIT; \
+	tries=0; until [ -s /tmp/chainaudit-stream-addr ]; do \
+		tries=$$((tries+1)); \
+		if [ $$tries -gt 1200 ]; then echo "chainauditd never became ready"; cat /tmp/chainaudit-stream-log.txt; exit 1; fi; \
+		if ! kill -0 $$DPID 2>/dev/null; then echo "chainauditd died"; cat /tmp/chainaudit-stream-log.txt; exit 1; fi; \
+		sleep 0.1; \
+	done; \
+	ADDR=$$(cat /tmp/chainaudit-stream-addr) && \
+	/tmp/streamfeed replay -in /tmp/chainaudit-stream.jsonl -url "http://$$ADDR" -dataset live && \
+	curl -sf "http://$$ADDR/v1/healthz" | grep -q '"watermark"' && \
+	for q in 'ppe?format=text' 'lowfee?format=text' 'ppe?format=text&window=20' 'lowfee?format=text&window=20'; do \
+		curl -sf -X POST "http://$$ADDR/v1/audits/$$q&dataset=main" > /tmp/chainaudit-stream-batch.txt && \
+		curl -sf -X POST "http://$$ADDR/v1/audits/$$q&dataset=live" > /tmp/chainaudit-stream-live.txt && \
+		cmp /tmp/chainaudit-stream-batch.txt /tmp/chainaudit-stream-live.txt || \
+		{ echo "smoke-stream: $$q diverged between batch and stream"; exit 1; }; \
+	done
 
 clean:
 	$(GO) clean ./...

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"testing"
 
+	"chainaudit/internal/core"
 	"chainaudit/internal/experiments"
 	"chainaudit/internal/index"
 )
@@ -49,6 +50,45 @@ func BenchmarkBlockIndexBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if ix := index.Build(c, s.C.Registry); ix.Len() != c.Len() {
 			b.Fatal("short index")
+		}
+	}
+}
+
+// BenchmarkBlockIndexAppendIncremental measures the streaming counterpart
+// of BenchmarkBlockIndexBuild: growing data set C's index block by block
+// through AppendBlock (fresh chain, same attribution and position analysis,
+// plus the per-append share refresh the batch path does once).
+func BenchmarkBlockIndexAppendIncremental(b *testing.B) {
+	s := getBenchSuite(b)
+	blocks := s.C.Result.Chain.Blocks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := index.NewIncremental(s.C.Registry)
+		for _, blk := range blocks {
+			if _, err := ix.AppendBlock(blk); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if ix.Len() != len(blocks) {
+			b.Fatal("short index")
+		}
+	}
+}
+
+// BenchmarkWindowAuditPPE measures one sliding-window re-audit over the
+// last 32 blocks of data set C — the per-request cost of the streaming
+// audit endpoints after an append invalidates the result cache.
+func BenchmarkWindowAuditPPE(b *testing.B) {
+	s := getBenchSuite(b)
+	ix := s.CAuditor().Index()
+	w := core.NewWindowAuditor(0)
+	for i := 0; i < ix.Len(); i++ {
+		w.ObserveBlock(ix.Record(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := w.AuditPPE(32, core.AuditOptions{}); rep.Overall.N == 0 {
+			b.Fatal("empty")
 		}
 	}
 }

@@ -8,21 +8,29 @@
 // Data sets load once at startup: -chain name=path loads a chain CSV (as
 // produced by cmd/gendata) under the given name, repeatably; -sim builds
 // the simulated suite data sets A, B, and C and enables the experiment
-// endpoints. With no -chain flags, -sim is implied. Endpoints:
+// endpoints. With no -chain flags, -sim is implied. Additional streaming
+// data sets are created at runtime by POST /v1/ingest (cmd/streamfeed
+// replays recorded streams). Endpoints:
 //
-//	GET  /v1/healthz              liveness + loaded data sets
-//	GET  /v1/metrics              obs registry snapshot
+//	GET  /v1/healthz              liveness + data sets (index length, ingest watermark)
+//	GET  /v1/metrics              obs registry snapshot (incl. serve.ingest.*)
 //	GET  /v1/experiments          the experiment registry (ids, titles, params)
 //	POST /v1/experiments/{name}   run one experiment (?format=json|text|csv)
 //	POST /v1/audits/{kind}        ppe | selfinterest | lowfee | scam | darkfee
 //	                              (?dataset= ?minshare= ?sppe= ?windows=
-//	                               ?address= ?pool= ?timeout_ms= ?format=)
+//	                               ?address= ?pool= ?timeout_ms= ?format=
+//	                               ?window=N — sliding-window variant of
+//	                               ppe/lowfee/darkfee over the last N blocks,
+//	                               0 = all retained)
+//	POST /v1/ingest               append block/mempool frames to a streaming
+//	                              data set (JSON body: dataset, blocks, mempool)
 //
 // Responses are value-identical to the batch CLIs (cmd/reproduce,
 // cmd/chainaudit); text-format bodies are byte-identical to the matching
-// CLI sections. -watchdog bounds each request's computation (504 on
-// timeout); -ready-file writes the bound address once listening, for
-// scripts that start the daemon on port 0. SIGINT/SIGTERM shut down
+// CLI sections, and a replayed stream audits byte-identically to the batch
+// path over the same window. -watchdog bounds each request's computation
+// (504 on timeout); -ready-file writes the bound address once listening,
+// for scripts that start the daemon on port 0. SIGINT/SIGTERM shut down
 // gracefully.
 package main
 

@@ -1,0 +1,226 @@
+// Command chainbench measures the cost of the batch-vs-incremental index
+// refactor and the streaming audit path, emitting a machine-readable report
+// (the checked-in BENCH_6.json):
+//
+//	chainbench -seed 11 -hours 4 -out BENCH_6.json
+//
+// Four measurements over one simulated data set C:
+//
+//   - index.Build/batch         — the one-shot batch index over the full chain
+//   - index.AppendBlock/replay  — the same chain grown block by block through
+//     the incremental path (throughput plus per-append latency percentiles)
+//   - WindowAuditor.ObserveBlock — maintaining sliding-window audit state
+//   - WindowAuditor.AuditPPE/32  — one windowed re-audit, the per-request cost
+//     of a streaming audit endpoint after an append
+//
+// Throughput numbers (ns/op, allocs) come from testing.Benchmark; append
+// latency percentiles come from an instrumented replay. The report is a
+// performance artifact: its numbers are machine-dependent by nature, only
+// its shape (the chainaudit.bench/v1 schema) is stable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"chainaudit/internal/core"
+	"chainaudit/internal/dataset"
+	"chainaudit/internal/index"
+)
+
+// BenchSchema identifies the report format.
+const BenchSchema = "chainaudit.bench/v1"
+
+// Report is the emitted document.
+type Report struct {
+	Schema  string   `json:"schema"`
+	Go      string   `json:"go"`
+	OS      string   `json:"os"`
+	Arch    string   `json:"arch"`
+	Dataset Dataset  `json:"dataset"`
+	Results []Result `json:"results"`
+}
+
+// Dataset records what was measured over.
+type Dataset struct {
+	Builder string  `json:"builder"`
+	Seed    uint64  `json:"seed"`
+	Hours   float64 `json:"hours"`
+	Blocks  int     `json:"blocks"`
+	Txs     int64   `json:"txs"`
+}
+
+// Result is one measurement. Latency percentiles are present only for the
+// per-append measurement; BlocksPerSec only where an op covers the chain.
+type Result struct {
+	Name         string  `json:"name"`
+	Iters        int     `json:"iters"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	BlocksPerSec float64 `json:"blocks_per_sec,omitempty"`
+	P50Ns        int64   `json:"p50_ns,omitempty"`
+	P95Ns        int64   `json:"p95_ns,omitempty"`
+	P99Ns        int64   `json:"p99_ns,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "chainbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("chainbench", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 11, "simulation seed")
+	hours := fs.Float64("hours", 4, "simulated span in hours")
+	window := fs.Int("window", 32, "sliding-window size for the re-audit measurement")
+	outPath := fs.String("out", "BENCH_6.json", "report path (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := dataset.Cached(dataset.BuilderC, dataset.Options{Seed: *seed, Duration: time.Duration(*hours * float64(time.Hour))})
+	if err != nil {
+		return err
+	}
+	c := ds.Result.Chain
+	blocks := c.Blocks()
+	rep := Report{
+		Schema: BenchSchema,
+		Go:     runtime.Version(),
+		OS:     runtime.GOOS,
+		Arch:   runtime.GOARCH,
+		Dataset: Dataset{
+			Builder: "C", Seed: *seed, Hours: *hours,
+			Blocks: c.Len(), Txs: c.TxCount(),
+		},
+	}
+
+	// Batch: the one-shot build over the full chain.
+	batch := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ix := index.Build(c, ds.Registry); ix.Len() != c.Len() {
+				b.Fatal("short index")
+			}
+		}
+	})
+	rep.Results = append(rep.Results, result("index.Build/batch", batch, c.Len()))
+
+	// Incremental: the same chain replayed through AppendBlock.
+	incr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix := index.NewIncremental(ds.Registry)
+			for _, blk := range blocks {
+				if _, err := ix.AppendBlock(blk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	incrRes := result("index.AppendBlock/replay", incr, c.Len())
+
+	// Per-append latency percentiles from one instrumented replay.
+	lat := make([]time.Duration, 0, len(blocks))
+	ix := index.NewIncremental(ds.Registry)
+	for _, blk := range blocks {
+		t0 := time.Now()
+		if _, err := ix.AppendBlock(blk); err != nil {
+			return err
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	incrRes.P50Ns = percentile(lat, 50)
+	incrRes.P95Ns = percentile(lat, 95)
+	incrRes.P99Ns = percentile(lat, 99)
+	rep.Results = append(rep.Results, incrRes)
+
+	// Maintaining sliding-window audit state per block.
+	recs := make([]*index.BlockRecord, ix.Len())
+	for i := range recs {
+		recs[i] = ix.Record(i)
+	}
+	observe := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w := core.NewWindowAuditor(0)
+			for _, r := range recs {
+				w.ObserveBlock(r)
+			}
+		}
+	})
+	rep.Results = append(rep.Results, result("core.WindowAuditor.ObserveBlock/replay", observe, c.Len()))
+
+	// One windowed re-audit — the post-append cost of a streaming endpoint.
+	w := core.NewWindowAuditor(0)
+	for _, r := range recs {
+		w.ObserveBlock(r)
+	}
+	audit := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if rep := w.AuditPPE(*window, core.AuditOptions{}); rep.Overall.N == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	rep.Results = append(rep.Results, result(fmt.Sprintf("core.WindowAuditor.AuditPPE/window=%d", *window), audit, 0))
+
+	var dst io.Writer = out
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	if *outPath != "-" {
+		for _, r := range rep.Results {
+			fmt.Fprintf(out, "%-44s %12.0f ns/op %10d allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+		}
+		fmt.Fprintf(out, "report -> %s\n", *outPath)
+	}
+	return nil
+}
+
+// result converts a testing.BenchmarkResult; blocks > 0 adds chain
+// throughput (an op covers the whole chain).
+func result(name string, r testing.BenchmarkResult, blocks int) Result {
+	res := Result{
+		Name:        name,
+		Iters:       r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if blocks > 0 && res.NsPerOp > 0 {
+		res.BlocksPerSec = float64(blocks) / (res.NsPerOp / float64(time.Second/time.Nanosecond))
+	}
+	return res
+}
+
+// percentile reads the p-th percentile from an ascending sample set
+// (nearest-rank on the closed index range).
+func percentile(sorted []time.Duration, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p * (len(sorted) - 1)) / 100
+	return sorted[idx].Nanoseconds()
+}

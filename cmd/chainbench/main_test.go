@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReportShape runs a small measurement and validates the emitted
+// document against the chainaudit.bench/v1 shape `make bench` checks in.
+func TestReportShape(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	if err := run([]string{"-hours", "1", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Schema != BenchSchema || rep.Go == "" {
+		t.Errorf("header = %+v", rep)
+	}
+	if rep.Dataset.Blocks == 0 || rep.Dataset.Txs == 0 {
+		t.Errorf("dataset = %+v", rep.Dataset)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("results = %d, want 4", len(rep.Results))
+	}
+	names := map[string]bool{}
+	for _, r := range rep.Results {
+		names[r.Name] = true
+		if r.Iters == 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s: empty measurement %+v", r.Name, r)
+		}
+	}
+	for _, want := range []string{"index.Build/batch", "index.AppendBlock/replay"} {
+		if !names[want] {
+			t.Errorf("missing result %q (have %v)", want, names)
+		}
+	}
+	for _, r := range rep.Results {
+		if r.Name == "index.AppendBlock/replay" {
+			if r.P50Ns == 0 || r.P99Ns < r.P50Ns {
+				t.Errorf("append percentiles = p50 %d p95 %d p99 %d", r.P50Ns, r.P95Ns, r.P99Ns)
+			}
+			if r.BlocksPerSec <= 0 {
+				t.Errorf("append throughput = %v", r.BlocksPerSec)
+			}
+		}
+	}
+}

@@ -204,6 +204,27 @@ func (c *Chain) Slice(from, to time.Time) *Chain {
 	return out
 }
 
+// Suffix returns a new chain view over the last n blocks (all blocks when
+// n <= 0 or n >= Len). The underlying blocks are shared. This is the batch
+// reference for sliding-window audits: an audit over Suffix(n) defines what
+// the incremental windowed state must reproduce byte-for-byte.
+func (c *Chain) Suffix(n int) *Chain {
+	out := New()
+	if n <= 0 || n > len(c.blocks) {
+		n = len(c.blocks)
+	}
+	for _, b := range c.blocks[len(c.blocks)-n:] {
+		for i, tx := range b.Txs {
+			out.index[tx.ID] = TxLocation{Height: b.Height, Index: i}
+			for _, in := range tx.Inputs {
+				out.spent[in.PrevOut] = tx.ID
+			}
+		}
+		out.blocks = append(out.blocks, b)
+	}
+	return out
+}
+
 // ConfirmDelayBlocks returns, for a transaction first seen while block
 // seenAtHeight was the tip, the number of blocks it waited before inclusion
 // (1 = included in the immediately following block). ok is false when the

@@ -123,6 +123,121 @@ func TestSpanAndSlice(t *testing.T) {
 	}
 }
 
+// TestAppendEdgeCases pins the failure semantics streaming ingest relies
+// on: every malformed append is rejected with a well-defined error and
+// leaves the chain exactly as it was (same length, same tip, no partial
+// indexing of the rejected block's transactions).
+func TestAppendEdgeCases(t *testing.T) {
+	c := New()
+	if err := c.Append(buildBlock(100, "/P/", newTestTx(10, 100, "a", "b"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(buildBlock(101, "/P/", newTestTx(20, 100, "c", "d"))); err != nil {
+		t.Fatal(err)
+	}
+	unchanged := func(t *testing.T, label string) {
+		t.Helper()
+		if c.Len() != 2 || c.Tip().Height != 101 {
+			t.Fatalf("%s mutated the chain: len=%d tip=%d", label, c.Len(), c.Tip().Height)
+		}
+	}
+
+	// Duplicate height: re-appending the current tip height is a gap error,
+	// not a silent overwrite.
+	dupTx := newTestTx(30, 100, "e", "f")
+	if err := c.Append(buildBlock(101, "/P/", dupTx)); !errors.Is(err, ErrChainGap) {
+		t.Errorf("duplicate height = %v, want ErrChainGap", err)
+	}
+	unchanged(t, "duplicate height")
+	if c.Contains(dupTx.ID) {
+		t.Error("rejected block's tx leaked into the index")
+	}
+
+	// Height regression: appending below the tip is the same gap error.
+	if err := c.Append(buildBlock(99, "/P/", newTestTx(40, 100, "g", "h"))); !errors.Is(err, ErrChainGap) {
+		t.Errorf("height regression = %v, want ErrChainGap", err)
+	}
+	unchanged(t, "height regression")
+
+	// Out-of-order append: skipping ahead leaves a hole and is rejected; the
+	// block becomes appendable once the gap is filled.
+	ahead := buildBlock(103, "/P/", newTestTx(50, 100, "i", "j"))
+	if err := c.Append(ahead); !errors.Is(err, ErrChainGap) {
+		t.Errorf("out-of-order append = %v, want ErrChainGap", err)
+	}
+	unchanged(t, "out-of-order append")
+	if err := c.Append(buildBlock(102, "/P/")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(ahead); err != nil {
+		t.Errorf("retry after gap fill rejected: %v", err)
+	}
+	if c.Len() != 4 || c.Tip().Height != 103 {
+		t.Errorf("after gap fill: len=%d tip=%d", c.Len(), c.Tip().Height)
+	}
+}
+
+// TestAppendDegradedEdgeCases proves the degraded path keeps the structural
+// invariants: height contiguity and the coinbase-at-0 rule still hold even
+// though value validation is waived.
+func TestAppendDegradedEdgeCases(t *testing.T) {
+	c := New()
+	// Degraded blocks waive value validation (coinbase overpays), but append.
+	over := buildBlock(7, "/P/", newTestTx(10, 100, "a", "b"))
+	over.Txs[0].Outputs[0].Value = Subsidy(7) + 1_000_000
+	if err := c.AppendDegraded(over); err != nil {
+		t.Fatalf("degraded overpaying block rejected: %v", err)
+	}
+	// Missing coinbase is still fatal.
+	noCB := buildBlock(8, "/P/", newTestTx(20, 100, "c", "d"))
+	noCB.Txs = noCB.Txs[1:]
+	if err := c.AppendDegraded(noCB); err == nil {
+		t.Error("degraded block without coinbase accepted")
+	}
+	// Height gaps are still gaps.
+	if err := c.AppendDegraded(buildBlock(10, "/P/")); !errors.Is(err, ErrChainGap) {
+		t.Errorf("degraded gap = %v, want ErrChainGap", err)
+	}
+	// Duplicate confirmations are still rejected.
+	tx := over.Txs[1]
+	if err := c.AppendDegraded(buildBlock(8, "/P/", tx)); err == nil {
+		t.Error("degraded duplicate confirmation accepted")
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d after rejections, want 1", c.Len())
+	}
+}
+
+func TestSuffix(t *testing.T) {
+	c := New()
+	for h := int64(0); h < 10; h++ {
+		if err := c.Append(buildBlock(h, "/P/", newTestTx(Amount(h+1), 100, "a", "b"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub := c.Suffix(3)
+	if sub.Len() != 3 || sub.Blocks()[0].Height != 7 || sub.Tip().Height != 9 {
+		t.Fatalf("Suffix(3) = len %d range [%d, %d]", sub.Len(), sub.Blocks()[0].Height, sub.Tip().Height)
+	}
+	// The suffix indexes its members and only its members.
+	kept := sub.Blocks()[0].Body()[0]
+	dropped := c.Blocks()[0].Body()[0]
+	if !sub.Contains(kept.ID) || sub.Contains(dropped.ID) {
+		t.Error("suffix index wrong")
+	}
+	// n <= 0 and oversized n mean "everything".
+	if c.Suffix(0).Len() != 10 || c.Suffix(-1).Len() != 10 || c.Suffix(99).Len() != 10 {
+		t.Error("Suffix clamp wrong")
+	}
+	// A suffix supports further appends independently.
+	if err := sub.Append(buildBlock(10, "/P/")); err != nil {
+		t.Errorf("append on suffix: %v", err)
+	}
+	if c.Len() != 10 {
+		t.Error("append on suffix leaked into parent")
+	}
+}
+
 func TestConfirmDelayBlocks(t *testing.T) {
 	c := New()
 	tx := newTestTx(9, 100, "a", "b")

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sort"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/index"
+	"chainaudit/internal/mempool"
+	"chainaudit/internal/poolid"
+	"chainaudit/internal/stats"
+)
+
+// WindowAuditor maintains running audit aggregates over a sliding height
+// window, updating as blocks and mempool snapshots arrive. It is the
+// streaming counterpart of Auditor: each observed block contributes a small
+// per-block delta (its PPE sample, its low-fee rows, its non-negative-SPPE
+// dark-fee candidates), and the windowed audits assemble verdicts from the
+// retained deltas without re-walking the chain.
+//
+// The determinism contract mirrors the rest of the stack: an audit over the
+// last n observed blocks is value-identical — and, through the shared
+// section renderers, byte-identical — to the batch audit of
+// chain.Suffix(n). The equivalence tests pin this.
+//
+// A WindowAuditor is not safe for concurrent use; callers serialize
+// observations against queries (internal/serve holds a per-dataset
+// RWMutex).
+type WindowAuditor struct {
+	// max bounds the retained window in blocks (0 = retain everything).
+	max    int
+	blocks []windowBlock
+
+	snapshots   int
+	lastTip     int64
+	lastTipSeen bool
+}
+
+// windowBlock is one observed block's audit delta.
+type windowBlock struct {
+	height   int64
+	pool     string
+	ppe      float64
+	ppeValid bool
+	lowFee   []LowFeeConfirmation
+	// cands holds the block's dark-fee candidates with SPPE >= 0 in audited
+	// order. Effective detector thresholds are never negative (see
+	// AuditOptions.sppe), so every queryable candidate is retained.
+	cands []Candidate
+}
+
+// NewWindowAuditor returns an empty windowed auditor retaining at most
+// maxBlocks observed blocks (0 = unbounded).
+func NewWindowAuditor(maxBlocks int) *WindowAuditor {
+	if maxBlocks < 0 {
+		maxBlocks = 0
+	}
+	return &WindowAuditor{max: maxBlocks}
+}
+
+// ObserveBlock folds one indexed block into the window, evicting the oldest
+// block when the window is full. Records must arrive in height order — the
+// order index.BlockIndex yields them.
+func (w *WindowAuditor) ObserveBlock(rec *index.BlockRecord) {
+	wb := windowBlock{
+		height:   rec.Block.Height,
+		pool:     rec.Pool,
+		ppe:      rec.PPE,
+		ppeValid: rec.PPEValid,
+	}
+	for i, tx := range rec.Block.Body() {
+		if rec.FeeRates[i] >= chain.MinRelayFeeRate {
+			continue
+		}
+		wb.lowFee = append(wb.lowFee, LowFeeConfirmation{
+			TxID:    tx.ID,
+			Height:  rec.Block.Height,
+			Pool:    rec.Pool,
+			FeeRate: rec.FeeRates[i],
+			ZeroFee: tx.Fee == 0,
+		})
+	}
+	if info := rec.Positions; info.N() >= 2 {
+		n := info.N()
+		for _, id := range info.IDs {
+			s := index.PercentileRank(info.Predicted[id], n) - index.PercentileRank(info.Observed[id], n)
+			if s >= 0 {
+				wb.cands = append(wb.cands, Candidate{TxID: id, Height: rec.Block.Height, SPPE: s})
+			}
+		}
+	}
+	w.blocks = append(w.blocks, wb)
+	if w.max > 0 && len(w.blocks) > w.max {
+		w.blocks = w.blocks[1:]
+	}
+}
+
+// ObserveSnapshot folds one mempool snapshot into the stream state. The
+// auditor only tracks arrival bookkeeping here — first-seen times live on
+// the index (see index.ObserveFirstSeen); window verdicts are block-driven.
+func (w *WindowAuditor) ObserveSnapshot(s *mempool.Snapshot) {
+	w.snapshots++
+	w.lastTip = s.TipHeight
+	w.lastTipSeen = true
+}
+
+// Len returns the number of blocks currently retained.
+func (w *WindowAuditor) Len() int { return len(w.blocks) }
+
+// Snapshots returns the number of mempool snapshots observed.
+func (w *WindowAuditor) Snapshots() int { return w.snapshots }
+
+// LastSnapshotTip returns the tip height the most recent mempool snapshot
+// reported; ok is false before the first snapshot.
+func (w *WindowAuditor) LastSnapshotTip() (int64, bool) { return w.lastTip, w.lastTipSeen }
+
+// Heights returns the retained height range; ok is false for an empty
+// window.
+func (w *WindowAuditor) Heights() (lo, hi int64, ok bool) {
+	if len(w.blocks) == 0 {
+		return 0, 0, false
+	}
+	return w.blocks[0].height, w.blocks[len(w.blocks)-1].height, true
+}
+
+// tail returns the last n retained blocks (all of them when n <= 0 or n
+// exceeds the retained count) — the windowed analogue of chain.Suffix.
+func (w *WindowAuditor) tail(n int) []windowBlock {
+	if n <= 0 || n > len(w.blocks) {
+		n = len(w.blocks)
+	}
+	return w.blocks[len(w.blocks)-n:]
+}
+
+// AuditPPE computes the Figure 7 PPE report over the last window blocks
+// (0 = every retained block), value-identical to Auditor.AuditPPE over the
+// corresponding chain suffix.
+func (w *WindowAuditor) AuditPPE(window int, opts AuditOptions) PPEReport {
+	minBlocks := opts.minBlocks()
+	var all []float64
+	perPool := make(map[string][]float64)
+	for _, wb := range w.tail(window) {
+		if !wb.ppeValid {
+			continue
+		}
+		all = append(all, wb.ppe)
+		perPool[wb.pool] = append(perPool[wb.pool], wb.ppe)
+	}
+	rep := PPEReport{Overall: stats.Summarize(all), PerPool: make(map[string]stats.Summary)}
+	for pool, vals := range perPool {
+		if len(vals) >= minBlocks && pool != poolid.Unknown {
+			rep.PerPool[pool] = stats.Summarize(vals)
+		}
+	}
+	return rep
+}
+
+// AuditLowFee returns the norm III census over the last window blocks
+// (0 = every retained block) in chain order, value-identical to
+// Auditor.AuditLowFee over the corresponding chain suffix.
+func (w *WindowAuditor) AuditLowFee(window int) []LowFeeConfirmation {
+	var out []LowFeeConfirmation
+	for _, wb := range w.tail(window) {
+		out = append(out, wb.lowFee...)
+	}
+	return out
+}
+
+// AuditDarkFee scans the named pool's blocks within the last window blocks
+// (0 = every retained block) for candidates meeting opts.SPPE, ordered by
+// SPPE descending — value-identical to Auditor.AuditDarkFee over the
+// corresponding chain suffix. Candidates within a block keep audited order
+// before the stable sort, exactly as the batch detector appends them.
+func (w *WindowAuditor) AuditDarkFee(pool string, window int, opts AuditOptions) []Candidate {
+	minSPPE := opts.sppe()
+	var out []Candidate
+	for _, wb := range w.tail(window) {
+		if wb.pool != pool {
+			continue
+		}
+		for _, cand := range wb.cands {
+			if cand.SPPE >= minSPPE {
+				out = append(out, cand)
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].SPPE > out[j].SPPE })
+	return out
+}

@@ -168,7 +168,7 @@ func ReadChainCSVQuarantine(r io.Reader) (*chain.Chain, []QuarantinedRecord, err
 			setAside(curLine, fmt.Sprintf("block %d coinbase reconstructed from row metadata", cur.Height))
 		}
 		cur.ComputeHash([32]byte{})
-		if err := appendLoose(c, cur); err != nil {
+		if err := AppendLoose(c, cur); err != nil {
 			// A block that lost rows can fail value validation (its recorded
 			// coinbase pay exceeds the surviving fees). Admit it with the
 			// structural checks only, on the record.
@@ -251,7 +251,7 @@ func ReadChainCSV(r io.Reader) (*chain.Chain, error) {
 			return nil
 		}
 		cur.ComputeHash([32]byte{})
-		if err := appendLoose(c, cur); err != nil {
+		if err := AppendLoose(c, cur); err != nil {
 			return err
 		}
 		cur = nil
@@ -344,10 +344,13 @@ func parseTxRow(row []string) (*chain.Tx, error) {
 	return tx, nil
 }
 
-// appendLoose appends without full Validate (round-tripped transactions
+// AppendLoose appends without full Validate (round-tripped transactions
 // keep only their first input/output edge, so value balance no longer
 // holds), while preserving the structural checks that matter downstream.
-func appendLoose(c *chain.Chain, b *chain.Block) error {
+// Streaming ingest appends blocks reconstructed from the same single-edge
+// frame format with this, so a replayed stream lands on the identical chain
+// a CSV round trip produces.
+func AppendLoose(c *chain.Chain, b *chain.Block) error {
 	if len(b.Txs) == 0 || !b.Txs[0].IsCoinbase() {
 		return fmt.Errorf("dataset: block %d missing coinbase", b.Height)
 	}

@@ -1,13 +1,16 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"time"
 
 	"chainaudit/internal/chain"
 	"chainaudit/internal/core"
 	"chainaudit/internal/feeest"
 	"chainaudit/internal/gbt"
+	"chainaudit/internal/index"
 	"chainaudit/internal/miner"
 	"chainaudit/internal/norms"
 	"chainaudit/internal/obs"
@@ -101,6 +104,92 @@ func (s *Suite) ExtCensorshipPower() (*report.Table, error) {
 			verdict = "CENSORING (p<0.001)"
 		}
 		t.AddRow(pool, r.Theta0, int(r.X), int(r.Y), r.DecelP, r.AccelP, verdict)
+	}
+	return t, nil
+}
+
+// ExtStreamEquivalence pins the streaming refactor's headline invariant as
+// a first-class experiment: data set C replayed block by block through the
+// incremental index and sliding-window auditor (the POST /v1/ingest code
+// path) must render byte-identical PPE, low-fee, and dark-fee sections to
+// the batch auditor over the same height window. Any divergence is an
+// error, not a table row — this is a gate, like `make smoke-stream`, but
+// over the library layers alone.
+func (s *Suite) ExtStreamEquivalence() (*report.Table, error) {
+	defer obs.Timed("experiment.ext.streameq")()
+	c := s.C.Result.Chain
+	reg := s.C.Registry
+	inc := index.NewIncremental(reg)
+	win := core.NewWindowAuditor(0)
+	for _, b := range c.Blocks() {
+		rec, err := inc.AppendBlock(b)
+		if err != nil {
+			return nil, err
+		}
+		win.ObserveBlock(rec)
+	}
+	pools := inc.TopPoolsByShare(core.DefaultMinShare)
+	render := func(f func(io.Writer) error) (string, error) {
+		var buf bytes.Buffer
+		err := f(&buf)
+		return buf.String(), err
+	}
+	t := report.NewTable("Extension: stream-replay audit equivalence (C)",
+		"window", "blocks", "ppe", "lowfee", "darkfee_pools")
+	for _, n := range []int{8, 32, 128, 0} {
+		batch := &core.Auditor{Chain: c.Suffix(n), Registry: reg}
+		wantPPE, err := render(func(w io.Writer) error {
+			return core.WritePPESection(w, batch.AuditPPE(core.AuditOptions{}))
+		})
+		if err != nil {
+			return nil, err
+		}
+		gotPPE, err := render(func(w io.Writer) error {
+			return core.WritePPESection(w, win.AuditPPE(n, core.AuditOptions{}))
+		})
+		if err != nil {
+			return nil, err
+		}
+		if gotPPE != wantPPE {
+			return nil, fmt.Errorf("streameq: PPE diverged at window %d", n)
+		}
+		wantLow, err := render(func(w io.Writer) error {
+			return core.WriteLowFeeSection(w, batch.AuditLowFee(core.AuditOptions{}))
+		})
+		if err != nil {
+			return nil, err
+		}
+		gotLow, err := render(func(w io.Writer) error {
+			return core.WriteLowFeeSection(w, win.AuditLowFee(n))
+		})
+		if err != nil {
+			return nil, err
+		}
+		if gotLow != wantLow {
+			return nil, fmt.Errorf("streameq: low-fee diverged at window %d", n)
+		}
+		for _, pool := range pools {
+			wantDark, err := render(func(w io.Writer) error {
+				return core.WriteDarkFeeSection(w, pool, core.DefaultSPPE, batch.AuditDarkFee(pool, core.AuditOptions{}))
+			})
+			if err != nil {
+				return nil, err
+			}
+			gotDark, err := render(func(w io.Writer) error {
+				return core.WriteDarkFeeSection(w, pool, core.DefaultSPPE, win.AuditDarkFee(pool, n, core.AuditOptions{}))
+			})
+			if err != nil {
+				return nil, err
+			}
+			if gotDark != wantDark {
+				return nil, fmt.Errorf("streameq: dark-fee diverged at window %d pool %s", n, pool)
+			}
+		}
+		label := fmt.Sprintf("last %d", n)
+		if n == 0 {
+			label = "all"
+		}
+		t.AddRow(label, batch.Chain.Len(), "identical", "identical", len(pools))
 	}
 	return t, nil
 }

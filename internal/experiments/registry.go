@@ -305,4 +305,11 @@ func init() {
 		}
 		return sink.Emit(s.AblationSnapshotSampling())
 	}})
+	Register(Descriptor{ID: "streameq", Title: "Stream equivalence: incremental replay vs batch audits", Run: func(s *Suite, sink Sink) error {
+		t, err := s.ExtStreamEquivalence()
+		if err != nil {
+			return err
+		}
+		return sink.Emit(t)
+	}})
 }

@@ -1,20 +1,28 @@
-// Package index builds the shared, immutable audit index every analysis
-// layer consumes. The paper's pipeline is a one-pass derivation of
-// (position, fee-rate, arrival, attribution) facts that many statistical
-// tests then read; Build mirrors that structurally: one parallel sweep over
-// the chain precomputes per-block pool attribution, per-transaction observed
-// and predicted positions, per-block PPE, fee-rate arrays, and CPFP flags,
-// and the audits in internal/core become cheap consumers instead of each
-// re-walking the chain.
+// Package index builds the shared audit index every analysis layer
+// consumes. The paper's pipeline is a one-pass derivation of (position,
+// fee-rate, arrival, attribution) facts that many statistical tests then
+// read; the index mirrors that structurally: each block is distilled once
+// into a BlockRecord (pool attribution, observed and predicted positions,
+// per-block PPE, fee-rate array, CPFP flags), and the audits in
+// internal/core become cheap consumers instead of each re-walking the chain.
 //
-// A BlockIndex is immutable after Build and safe for concurrent readers; the
-// lazily derived aggregates (self-interest sets, reward addresses) are
-// memoized behind sync.Once.
+// The index has two construction modes sharing one code path. Build runs
+// the batch sweep: records are derived in parallel and ingested serially in
+// height order. NewIncremental starts an empty index that grows one block
+// at a time via AppendBlock — the streaming path — where ingesting a record
+// updates the per-pool aggregates, reward-address and self-interest maps
+// incrementally. Build is exactly an AppendBlock loop with the record
+// derivation parallelized, so batch and streaming indexes over the same
+// blocks are identical by construction.
+//
+// A Build result is immutable and safe for concurrent readers. An
+// incremental index mutates on AppendBlock/ObserveFirstSeen: callers must
+// serialize appends against reads (internal/serve holds a per-dataset
+// RWMutex).
 package index
 
 import (
 	"sort"
-	"sync"
 	"time"
 
 	"chainaudit/internal/chain"
@@ -132,94 +140,242 @@ type BlockRecord struct {
 	FeeRates []chain.SatPerVByte
 }
 
-// BlockIndex is the immutable one-pass index over a chain.
+// BlockIndex is the one-pass index over a chain. Batch indexes (Build) are
+// immutable; incremental indexes (NewIncremental) grow via AppendBlock with
+// every derived aggregate updated in place.
 type BlockIndex struct {
 	chain    *chain.Chain
 	registry *poolid.Registry
 	records  []BlockRecord
 	// byPool maps pool name to the indices of its blocks in height order.
 	byPool map[string][]int
-	shares []poolid.Share
+	// poolCounts is the running per-pool tally; shares is its sorted
+	// materialization, refreshed after every ingest.
+	poolCounts map[string]*poolid.Share
+	shares     []poolid.Share
 	// firstSeen optionally carries observer arrival times (see WithFirstSeen).
+	// ownSeen records whether the map is owned by the index (copy-on-write:
+	// a map attached by the caller is cloned before the first merge).
 	firstSeen map[chain.TxID]time.Time
+	ownSeen   bool
 	exec      *pipeline.Executor
+	appendFn  func(*chain.Chain, *chain.Block) error
 
-	selfOnce sync.Once
-	selfSets map[string]map[chain.TxID]bool
-
-	rewardOnce sync.Once
+	// rewardAddr, owner, and selfSets are maintained incrementally: each
+	// ingested block contributes its reward address, and a newly discovered
+	// pool wallet triggers a one-address rescan of earlier blocks so
+	// retroactive self-interest membership matches the batch result.
 	rewardAddr map[string]map[chain.Address]bool
+	owner      map[chain.Address]string
+	selfSets   map[string]map[chain.TxID]bool
 }
 
-// Option configures Build.
+// Option configures an index.
 type Option func(*BlockIndex)
 
 // WithFirstSeen attaches observer first-seen times to the index, for
 // consumers that correlate positions with arrival order. The map is stored
-// as given and must not be mutated afterwards.
+// as given and must not be mutated afterwards; ObserveFirstSeen clones it
+// before merging new arrivals.
 func WithFirstSeen(seen map[chain.TxID]time.Time) Option {
 	return func(ix *BlockIndex) { ix.firstSeen = seen }
 }
 
-// WithExecutor overrides the worker pool the sweep runs on (the default is
-// a machine-sized pool). The result does not depend on the executor — the
-// equivalence tests build with forced serial and forced parallel pools and
-// require identical indexes.
+// WithExecutor overrides the worker pool the batch sweep runs on (the
+// default is a machine-sized pool). The result does not depend on the
+// executor — the equivalence tests build with forced serial and forced
+// parallel pools and require identical indexes.
 func WithExecutor(e *pipeline.Executor) Option {
 	return func(ix *BlockIndex) { ix.exec = e }
 }
 
-// Build runs the one-pass sweep: every block is attributed and
-// position-analyzed exactly once, in parallel over a machine-sized worker
-// pool. Records land at their block's index, so the result is identical to
-// a serial sweep.
-func Build(c *chain.Chain, reg *poolid.Registry, opts ...Option) *BlockIndex {
-	ix := &BlockIndex{chain: c, registry: reg, byPool: make(map[string][]int)}
+// WithAppender overrides how AppendBlock extends the underlying chain (the
+// default is chain.Append, full validation). Streaming ingest of
+// single-edge frames uses dataset.AppendLoose so a replayed stream lands on
+// the same chain a CSV round trip produces.
+func WithAppender(f func(*chain.Chain, *chain.Block) error) Option {
+	return func(ix *BlockIndex) { ix.appendFn = f }
+}
+
+func newIndex(c *chain.Chain, reg *poolid.Registry, opts ...Option) *BlockIndex {
+	ix := &BlockIndex{
+		chain:      c,
+		registry:   reg,
+		byPool:     make(map[string][]int),
+		poolCounts: make(map[string]*poolid.Share),
+		rewardAddr: make(map[string]map[chain.Address]bool),
+		owner:      make(map[chain.Address]string),
+		selfSets:   make(map[string]map[chain.TxID]bool),
+	}
 	for _, opt := range opts {
 		opt(ix)
 	}
+	return ix
+}
+
+// Build runs the batch sweep: every block is attributed and
+// position-analyzed exactly once, in parallel over a machine-sized worker
+// pool, then ingested serially in height order through the same per-record
+// path AppendBlock uses. Records land at their block's index, so the result
+// is identical to a serial sweep — and to an incremental index fed the same
+// blocks one at a time.
+func Build(c *chain.Chain, reg *poolid.Registry, opts ...Option) *BlockIndex {
+	ix := newIndex(c, reg, opts...)
 	blocks := c.Blocks()
-	ix.records = make([]BlockRecord, len(blocks))
+	recs := make([]BlockRecord, len(blocks))
 	exec := ix.exec
 	if exec == nil {
 		exec = pipeline.Default()
 	}
 	exec.Each(len(blocks), func(i int) {
-		b := blocks[i]
-		rec := BlockRecord{
-			Block:     b,
-			Pool:      reg.AttributeBlock(b),
-			Positions: AnalyzeBlock(b),
-			CPFP:      b.CPFPSet(),
-		}
-		rec.PPE, rec.PPEValid = rec.Positions.PPE()
-		body := b.Body()
-		rec.FeeRates = make([]chain.SatPerVByte, len(body))
-		for j, tx := range body {
-			rec.FeeRates[j] = tx.FeeRate()
-		}
-		ix.records[i] = rec
+		recs[i] = buildRecord(blocks[i], reg)
 	})
-	// Serial aggregation keeps the derived orderings identical to the
+	// Serial ingestion keeps the derived orderings identical to the
 	// historical per-audit computations.
-	byPool := make(map[string]*poolid.Share)
-	for i := range ix.records {
-		rec := &ix.records[i]
-		ix.byPool[rec.Pool] = append(ix.byPool[rec.Pool], i)
-		s := byPool[rec.Pool]
-		if s == nil {
-			s = &poolid.Share{Pool: rec.Pool}
-			byPool[rec.Pool] = s
-		}
-		s.Blocks++
-		s.Txs += int64(len(rec.Block.Body()))
+	for i := range recs {
+		ix.ingestRecord(recs[i])
 	}
-	ix.shares = make([]poolid.Share, 0, len(byPool))
-	for _, s := range byPool {
-		if len(ix.records) > 0 {
-			s.HashRate = float64(s.Blocks) / float64(len(ix.records))
+	ix.refreshShares()
+	return ix
+}
+
+// NewIncremental returns an empty index over a fresh chain, ready to grow
+// one block at a time via AppendBlock. The registry attributes blocks as
+// they arrive. Appends and reads must be serialized by the caller.
+func NewIncremental(reg *poolid.Registry, opts ...Option) *BlockIndex {
+	ix := newIndex(chain.New(), reg, opts...)
+	ix.refreshShares()
+	return ix
+}
+
+// buildRecord derives one block's record — the embarrassingly parallel part
+// of the sweep, shared verbatim by Build and AppendBlock.
+func buildRecord(b *chain.Block, reg *poolid.Registry) BlockRecord {
+	rec := BlockRecord{
+		Block:     b,
+		Pool:      reg.AttributeBlock(b),
+		Positions: AnalyzeBlock(b),
+		CPFP:      b.CPFPSet(),
+	}
+	rec.PPE, rec.PPEValid = rec.Positions.PPE()
+	body := b.Body()
+	rec.FeeRates = make([]chain.SatPerVByte, len(body))
+	for j, tx := range body {
+		rec.FeeRates[j] = tx.FeeRate()
+	}
+	return rec
+}
+
+// AppendBlock extends the underlying chain with the block (default
+// chain.Append; see WithAppender), derives its record, and folds it into
+// every aggregate the index maintains. On error the index is unchanged.
+// The returned record is shared with the index and read-only.
+func (ix *BlockIndex) AppendBlock(b *chain.Block) (*BlockRecord, error) {
+	appendFn := ix.appendFn
+	if appendFn == nil {
+		appendFn = (*chain.Chain).Append
+	}
+	if err := appendFn(ix.chain, b); err != nil {
+		return nil, err
+	}
+	ix.ingestRecord(buildRecord(b, ix.registry))
+	ix.refreshShares()
+	return &ix.records[len(ix.records)-1], nil
+}
+
+// ingestRecord folds one derived record into the index's aggregates — the
+// serial part of the sweep, shared verbatim by Build and AppendBlock. Must
+// be called in height order.
+func (ix *BlockIndex) ingestRecord(rec BlockRecord) {
+	i := len(ix.records)
+	ix.records = append(ix.records, rec)
+	ix.byPool[rec.Pool] = append(ix.byPool[rec.Pool], i)
+	s := ix.poolCounts[rec.Pool]
+	if s == nil {
+		s = &poolid.Share{Pool: rec.Pool}
+		ix.poolCounts[rec.Pool] = s
+	}
+	s.Blocks++
+	s.Txs += int64(len(rec.Block.Body()))
+
+	// Reward-address bookkeeping (Figure 8a) and self-interest ownership
+	// (§5.2). A reward address newly seen for an identified pool becomes a
+	// known pool wallet; blocks already ingested are rescanned for that one
+	// address, so late wallet discovery credits earlier transactions exactly
+	// as a batch build over the full chain would. Pools rotate a small,
+	// bounded wallet set, so rescans are rare and the amortized cost of the
+	// incremental path stays linear.
+	if addr := rec.Block.RewardAddress(); addr != "" {
+		set := ix.rewardAddr[rec.Pool]
+		if set == nil {
+			set = make(map[chain.Address]bool)
+			ix.rewardAddr[rec.Pool] = set
 		}
-		ix.shares = append(ix.shares, *s)
+		if !set[addr] {
+			set[addr] = true
+			if rec.Pool != poolid.Unknown {
+				if _, taken := ix.owner[addr]; !taken {
+					ix.owner[addr] = rec.Pool
+					for j := 0; j < i; j++ {
+						ix.creditAddress(&ix.records[j], addr, rec.Pool)
+					}
+				}
+			}
+		}
+	}
+	for _, tx := range rec.Block.Body() {
+		for _, in := range tx.Inputs {
+			ix.creditTx(tx.ID, in.Address)
+		}
+		for _, o := range tx.Outputs {
+			ix.creditTx(tx.ID, o.Address)
+		}
+	}
+}
+
+// creditTx marks the transaction as self-interested for the pool owning the
+// address, if any.
+func (ix *BlockIndex) creditTx(id chain.TxID, addr chain.Address) {
+	pool, ok := ix.owner[addr]
+	if !ok {
+		return
+	}
+	set := ix.selfSets[pool]
+	if set == nil {
+		set = make(map[chain.TxID]bool)
+		ix.selfSets[pool] = set
+	}
+	set[id] = true
+}
+
+// creditAddress rescans one already-ingested block for a newly discovered
+// pool wallet.
+func (ix *BlockIndex) creditAddress(rec *BlockRecord, addr chain.Address, pool string) {
+	for _, tx := range rec.Block.Body() {
+		for _, in := range tx.Inputs {
+			if in.Address == addr {
+				ix.creditTx(tx.ID, in.Address)
+			}
+		}
+		for _, o := range tx.Outputs {
+			if o.Address == addr {
+				ix.creditTx(tx.ID, o.Address)
+			}
+		}
+	}
+}
+
+// refreshShares rematerializes the sorted per-pool share slice from the
+// running tallies: block count descending, ties by name — the same ordering
+// poolid.EstimateShares produces.
+func (ix *BlockIndex) refreshShares() {
+	ix.shares = ix.shares[:0]
+	for _, s := range ix.poolCounts {
+		cp := *s
+		if len(ix.records) > 0 {
+			cp.HashRate = float64(cp.Blocks) / float64(len(ix.records))
+		}
+		ix.shares = append(ix.shares, cp)
 	}
 	sort.Slice(ix.shares, func(i, j int) bool {
 		if ix.shares[i].Blocks != ix.shares[j].Blocks {
@@ -227,7 +383,29 @@ func Build(c *chain.Chain, reg *poolid.Registry, opts ...Option) *BlockIndex {
 		}
 		return ix.shares[i].Pool < ix.shares[j].Pool
 	})
-	return ix
+}
+
+// ObserveFirstSeen merges observer arrival times into the index (streaming
+// mempool snapshots). The earliest sighting of a transaction wins. A map
+// attached via WithFirstSeen is cloned before the first merge, so the
+// caller's map is never mutated.
+func (ix *BlockIndex) ObserveFirstSeen(seen map[chain.TxID]time.Time) {
+	if len(seen) == 0 {
+		return
+	}
+	if !ix.ownSeen {
+		cp := make(map[chain.TxID]time.Time, len(ix.firstSeen)+len(seen))
+		for id, t := range ix.firstSeen {
+			cp[id] = t
+		}
+		ix.firstSeen = cp
+		ix.ownSeen = true
+	}
+	for id, t := range seen {
+		if prev, ok := ix.firstSeen[id]; !ok || t.Before(prev) {
+			ix.firstSeen[id] = t
+		}
+	}
 }
 
 // Chain returns the indexed chain.
@@ -244,11 +422,13 @@ func (ix *BlockIndex) Len() int { return len(ix.records) }
 func (ix *BlockIndex) Record(i int) *BlockRecord { return &ix.records[i] }
 
 // Records returns all block records in height order, shared and read-only.
+// On an incremental index the slice is valid until the next append.
 func (ix *BlockIndex) Records() []BlockRecord { return ix.records }
 
 // Shares returns the per-pool block/transaction counts and hash-rate
 // estimates, ordered by block count descending (ties by name) — the same
-// ordering poolid.EstimateShares produces. Shared and read-only.
+// ordering poolid.EstimateShares produces. Shared and read-only; on an
+// incremental index the slice is valid until the next append.
 func (ix *BlockIndex) Shares() []poolid.Share { return ix.shares }
 
 // HashRateOf returns the estimated hash rate of the named pool, or 0.
@@ -301,74 +481,26 @@ func (ix *BlockIndex) LocateRecord(id chain.TxID) (int, bool) {
 }
 
 // FirstSeen returns the attached observer arrival time for the transaction;
-// ok is false when the index was built without arrival data or the
-// transaction was never seen.
+// ok is false when the index carries no arrival data or the transaction was
+// never seen.
 func (ix *BlockIndex) FirstSeen(id chain.TxID) (time.Time, bool) {
 	t, ok := ix.firstSeen[id]
 	return t, ok
 }
 
 // RewardAddresses returns the distinct coinbase reward addresses each pool
-// used across the chain (Figure 8a), computed once from the cached
-// attributions and memoized.
+// used across the chain (Figure 8a), maintained incrementally as blocks are
+// ingested. The maps are shared and read-only; on an incremental index they
+// are valid until the next append.
 func (ix *BlockIndex) RewardAddresses() map[string]map[chain.Address]bool {
-	ix.rewardOnce.Do(func() {
-		out := make(map[string]map[chain.Address]bool)
-		for i := range ix.records {
-			rec := &ix.records[i]
-			addr := rec.Block.RewardAddress()
-			if addr == "" {
-				continue
-			}
-			set := out[rec.Pool]
-			if set == nil {
-				set = make(map[chain.Address]bool)
-				out[rec.Pool] = set
-			}
-			set[addr] = true
-		}
-		ix.rewardAddr = out
-	})
 	return ix.rewardAddr
 }
 
-// SelfInterestSets derives, for each pool, the confirmed transactions in
+// SelfInterestSets returns, for each pool, the confirmed transactions in
 // which the pool's reward wallets are a party (sender or receiver) — the
-// paper's §5.2 methodology — using the cached attributions. Memoized; the
-// returned maps are shared and read-only.
+// paper's §5.2 methodology — maintained incrementally as blocks are
+// ingested. The maps are shared and read-only; on an incremental index they
+// are valid until the next append.
 func (ix *BlockIndex) SelfInterestSets() map[string]map[chain.TxID]bool {
-	ix.selfOnce.Do(func() {
-		owner := make(map[chain.Address]string)
-		for pool, addrs := range ix.RewardAddresses() {
-			if pool == poolid.Unknown {
-				continue
-			}
-			for a := range addrs {
-				owner[a] = pool
-			}
-		}
-		out := make(map[string]map[chain.TxID]bool)
-		for i := range ix.records {
-			for _, tx := range ix.records[i].Block.Body() {
-				credit := func(addr chain.Address) {
-					if pool, ok := owner[addr]; ok {
-						set := out[pool]
-						if set == nil {
-							set = make(map[chain.TxID]bool)
-							out[pool] = set
-						}
-						set[tx.ID] = true
-					}
-				}
-				for _, in := range tx.Inputs {
-					credit(in.Address)
-				}
-				for _, o := range tx.Outputs {
-					credit(o.Address)
-				}
-			}
-		}
-		ix.selfSets = out
-	})
 	return ix.selfSets
 }

@@ -202,3 +202,147 @@ func TestSPPEConsistency(t *testing.T) {
 		t.Fatal("no audited transactions checked")
 	}
 }
+
+// TestIncrementalMatchesBuild is the streaming-side equivalence guarantee:
+// feeding the same blocks one at a time through AppendBlock produces an
+// index identical, aggregate for aggregate, to a batch Build — record
+// contents, pool shares, reward addresses, and self-interest sets included.
+func TestIncrementalMatchesBuild(t *testing.T) {
+	ds := buildA(t)
+	c, reg := ds.Result.Chain, ds.Registry
+	batch := index.Build(c, reg)
+
+	inc := index.NewIncremental(reg)
+	for i, b := range c.Blocks() {
+		rec, err := inc.AppendBlock(b)
+		if err != nil {
+			t.Fatalf("AppendBlock(%d): %v", b.Height, err)
+		}
+		if rec.Block != b || rec != inc.Record(i) {
+			t.Fatalf("AppendBlock(%d) returned a detached record", b.Height)
+		}
+	}
+	if inc.Len() != batch.Len() {
+		t.Fatalf("lengths: incremental %d batch %d", inc.Len(), batch.Len())
+	}
+	for i := 0; i < batch.Len(); i++ {
+		br, ir := batch.Record(i), inc.Record(i)
+		if br.Block != ir.Block || br.Pool != ir.Pool ||
+			br.PPE != ir.PPE || br.PPEValid != ir.PPEValid {
+			t.Fatalf("record %d diverged: %+v vs %+v", i, br, ir)
+		}
+		for _, id := range br.Positions.IDs {
+			if br.Positions.Observed[id] != ir.Positions.Observed[id] ||
+				br.Positions.Predicted[id] != ir.Positions.Predicted[id] {
+				t.Fatalf("record %d tx %s: positions diverged", i, id)
+			}
+		}
+	}
+	bs, is := batch.Shares(), inc.Shares()
+	if len(bs) != len(is) {
+		t.Fatalf("share counts: batch %d incremental %d", len(bs), len(is))
+	}
+	for i := range bs {
+		if bs[i] != is[i] {
+			t.Fatalf("share %d diverged: %+v vs %+v", i, bs[i], is[i])
+		}
+	}
+	for _, s := range bs {
+		bp, ip := batch.PoolRecords(s.Pool), inc.PoolRecords(s.Pool)
+		if len(bp) != len(ip) {
+			t.Fatalf("pool %s: record counts diverged", s.Pool)
+		}
+		for i := range bp {
+			if bp[i] != ip[i] {
+				t.Fatalf("pool %s: record order diverged at %d", s.Pool, i)
+			}
+		}
+	}
+	ba, ia := batch.RewardAddresses(), inc.RewardAddresses()
+	if len(ba) != len(ia) {
+		t.Fatalf("reward-address pools: batch %d incremental %d", len(ba), len(ia))
+	}
+	for pool, want := range ba {
+		got := ia[pool]
+		if len(got) != len(want) {
+			t.Fatalf("pool %s: reward-address counts diverged", pool)
+		}
+		for a := range want {
+			if !got[a] {
+				t.Fatalf("pool %s: incremental missed reward address %s", pool, a)
+			}
+		}
+	}
+	bss, iss := batch.SelfInterestSets(), inc.SelfInterestSets()
+	if len(bss) != len(iss) {
+		t.Fatalf("self-interest pools: batch %d incremental %d", len(bss), len(iss))
+	}
+	for pool, want := range bss {
+		got := iss[pool]
+		if len(got) != len(want) {
+			t.Fatalf("pool %s: self-interest sizes diverged (%d vs %d)", pool, len(want), len(got))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("pool %s: incremental missed self-interest tx %s", pool, id)
+			}
+		}
+	}
+}
+
+// TestAppendBlockRejectsAndLeavesIndexIntact pins the streaming failure
+// contract: a rejected append leaves the index exactly as it was.
+func TestAppendBlockRejectsAndLeavesIndexIntact(t *testing.T) {
+	ds := buildA(t)
+	c, reg := ds.Result.Chain, ds.Registry
+	blocks := c.Blocks()
+	if len(blocks) < 3 {
+		t.Skip("fixture too small")
+	}
+	inc := index.NewIncremental(reg)
+	if _, err := inc.AppendBlock(blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Gap: skipping blocks[1] must fail and change nothing.
+	if _, err := inc.AppendBlock(blocks[2]); err == nil {
+		t.Fatal("gap append accepted")
+	}
+	if inc.Len() != 1 || inc.Chain().Len() != 1 {
+		t.Fatalf("rejected append mutated index: len=%d chain=%d", inc.Len(), inc.Chain().Len())
+	}
+	if _, err := inc.AppendBlock(blocks[1]); err != nil {
+		t.Fatalf("valid append after rejection: %v", err)
+	}
+}
+
+// TestObserveFirstSeen covers the streaming arrival-time merge: earliest
+// sighting wins and a caller-attached map is never mutated.
+func TestObserveFirstSeen(t *testing.T) {
+	reg := poolid.DefaultRegistry()
+	id := chain.TxID{1}
+	t0 := time.Unix(1000, 0)
+	attached := map[chain.TxID]time.Time{id: t0}
+	inc2 := index.NewIncremental(reg, index.WithFirstSeen(attached))
+
+	// A later sighting does not replace the earlier one.
+	inc2.ObserveFirstSeen(map[chain.TxID]time.Time{id: t0.Add(time.Minute)})
+	if got, ok := inc2.FirstSeen(id); !ok || !got.Equal(t0) {
+		t.Fatalf("FirstSeen = %v %v, want %v", got, ok, t0)
+	}
+	// An earlier sighting does.
+	early := t0.Add(-time.Minute)
+	inc2.ObserveFirstSeen(map[chain.TxID]time.Time{id: early})
+	if got, _ := inc2.FirstSeen(id); !got.Equal(early) {
+		t.Fatalf("FirstSeen = %v, want %v", got, early)
+	}
+	// The attached map was cloned, not mutated.
+	if !attached[id].Equal(t0) {
+		t.Fatal("ObserveFirstSeen mutated the caller's map")
+	}
+	// New transactions merge in.
+	id2 := chain.TxID{2}
+	inc2.ObserveFirstSeen(map[chain.TxID]time.Time{id2: t0})
+	if _, ok := inc2.FirstSeen(id2); !ok {
+		t.Fatal("new arrival not merged")
+	}
+}

@@ -16,6 +16,11 @@ import (
 // policy).
 var deterministicPkgs = []string{
 	"sim", "chain", "mempool", "core", "experiments", "faults", "p2p", "dataset", "stats",
+	// The streaming refactor moved index construction and audit-state
+	// maintenance onto per-block append paths (index.AppendBlock,
+	// core.WindowAuditor); internal/index and internal/workload are in scope
+	// so wall-clock or randomness can't leak into replayed streams.
+	"index", "workload",
 }
 
 // Analyzers returns the full analyzer suite in its canonical order.

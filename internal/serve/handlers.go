@@ -45,6 +45,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/experiments", s.instrument(s.handleExperimentList))
 	s.mux.HandleFunc("POST /v1/experiments/{name}", s.instrument(s.handleExperimentRun))
 	s.mux.HandleFunc("POST /v1/audits/{kind}", s.instrument(s.handleAudit))
+	s.mux.HandleFunc("POST /v1/ingest", s.instrument(s.handleIngest))
 }
 
 // reqTimer measures one request's wall-clock span — the latency metric and
@@ -182,8 +183,18 @@ type healthDataset struct {
 	Fingerprint string   `json:"fingerprint"`
 	Blocks      int      `json:"blocks"`
 	Txs         int64    `json:"txs"`
+	IndexLen    int      `json:"index_len"`
 	Degraded    bool     `json:"degraded"`
 	Notes       []string `json:"notes,omitempty"`
+	// Watermark reports a streaming set's ingest progress: the last appended
+	// height and when it was applied (per the injected clock). Absent for
+	// startup-loaded sets and streams that have not appended yet.
+	Watermark *ingestWatermark `json:"watermark,omitempty"`
+}
+
+type ingestWatermark struct {
+	Height     int64     `json:"height"`
+	LastAppend time.Time `json:"last_append"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -194,13 +205,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Datasets    []healthDataset `json:"datasets"`
 		Experiments int             `json:"experiments"`
 	}{API: API, Status: "ok", UptimeMS: reqTimer{t0: s.start}.ms()}
-	for _, name := range s.order {
-		set := s.sets[name]
-		resp.Datasets = append(resp.Datasets, healthDataset{
+	for _, name := range s.DatasetNames() {
+		set, err := s.lookupSet(name)
+		if err != nil {
+			continue
+		}
+		set.mu.RLock()
+		hd := healthDataset{
 			Name: set.name, Fingerprint: set.fingerprint,
-			Blocks: set.blocks, Txs: set.txs,
+			Blocks: set.blocks, Txs: set.txs, IndexLen: set.blocks,
 			Degraded: set.degraded, Notes: set.notes,
-		})
+		}
+		if set.stream != nil {
+			hd.IndexLen = set.stream.ix.Len()
+		}
+		if h, last, ok := set.watermark(); ok {
+			hd.Watermark = &ingestWatermark{Height: h, LastAppend: last}
+		}
+		set.mu.RUnlock()
+		resp.Datasets = append(resp.Datasets, hd)
 	}
 	if s.suite != nil {
 		resp.Experiments = len(experiments.All())
@@ -298,6 +321,10 @@ type auditReq struct {
 	sppeShow float64
 	address  string
 	pool     string
+	// windowed selects the sliding-window audit variant; window is the
+	// height-window size in blocks (0 = every retained block).
+	windowed bool
+	window   int
 }
 
 // parseAudit maps query parameters onto AuditOptions with the CLI flags'
@@ -336,6 +363,20 @@ func parseAudit(kind string, q url.Values) (*auditReq, map[string]string, error)
 		}
 		req.opts.Windows = v
 		params["windows"] = raw
+	}
+	if raw := q.Get("window"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			return nil, nil, fmt.Errorf("bad window %q", raw)
+		}
+		switch kind {
+		case "ppe", "lowfee", "darkfee":
+		default:
+			return nil, nil, fmt.Errorf("audit %s has no sliding-window variant (ppe, lowfee, darkfee)", kind)
+		}
+		req.windowed = true
+		req.window = v
+		params["window"] = raw
 	}
 	req.address = q.Get("address")
 	req.pool = q.Get("pool")
@@ -429,6 +470,43 @@ var auditRunners = map[string]func(set *auditSet, req *auditReq) (*payload, erro
 	},
 }
 
+// windowRunners computes the sliding-window audit variants through the
+// set's WindowAuditor and the same section renderers the batch runners use,
+// so a windowed response over the full window is byte-identical to the
+// batch audit of the same blocks.
+var windowRunners = map[string]func(set *auditSet, req *auditReq) (*payload, error){
+	"ppe": func(set *auditSet, req *auditReq) (*payload, error) {
+		rep := set.window().AuditPPE(req.window, req.opts)
+		p := &payload{Notes: []string{fmt.Sprintf("PPE overall: %s", rep.Overall)}}
+		if err := p.addTables(core.PPETable(rep)); err != nil {
+			return nil, err
+		}
+		return p, renderInto(p, func(w io.Writer) error { return core.WritePPESection(w, rep) })
+	},
+	"lowfee": func(set *auditSet, req *auditReq) (*payload, error) {
+		lows := set.window().AuditLowFee(req.window)
+		p := &payload{}
+		if len(lows) == 0 {
+			p.Notes = []string{"norm III: no sub-minimum confirmations"}
+		} else if err := p.addTables(core.LowFeeTable(lows)); err != nil {
+			return nil, err
+		}
+		return p, renderInto(p, func(w io.Writer) error { return core.WriteLowFeeSection(w, lows) })
+	},
+	"darkfee": func(set *auditSet, req *auditReq) (*payload, error) {
+		cands := set.window().AuditDarkFee(req.pool, req.window, req.opts)
+		p := &payload{Notes: []string{fmt.Sprintf("%d candidates", len(cands))}}
+		if len(cands) > 0 {
+			if err := p.addTables(core.DarkFeeTable(req.pool, req.sppeShow, cands)); err != nil {
+				return nil, err
+			}
+		}
+		return p, renderInto(p, func(w io.Writer) error {
+			return core.WriteDarkFeeSection(w, req.pool, req.sppeShow, cands)
+		})
+	},
+}
+
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	kind := r.PathValue("kind")
 	env := Envelope{Kind: "audit", Name: kind}
@@ -448,13 +526,21 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusNotFound, env, err)
 		return
 	}
+	// Snapshot the set's provenance under its read lock: streaming sets
+	// rotate fingerprints on append, and the cache key must match the
+	// envelope.
+	set.mu.RLock()
 	env.Dataset = set.name
 	env.Fingerprint = set.fingerprint
 	env.Degraded = set.degraded
+	set.mu.RUnlock()
 	req, params, err := parseAudit(kind, q)
 	if err != nil {
 		fail(w, http.StatusBadRequest, env, err)
 		return
+	}
+	if req.windowed {
+		runner = windowRunners[kind]
 	}
 	env.Params = params
 	wd, err := s.timeout(q)
@@ -462,7 +548,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, env, err)
 		return
 	}
-	keyParts := []string{set.fingerprint, "audit=" + kind}
+	keyParts := []string{env.Fingerprint, "audit=" + kind}
 	for _, k := range sortedKeys(params) {
 		keyParts = append(keyParts, k+"="+params[k])
 	}
@@ -472,6 +558,13 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		return s.runBounded(r.Context(), wd, func(ctx context.Context) (*payload, error) {
 			bounded := *req
 			bounded.opts.Ctx = ctx
+			// Audits read the set's (possibly streaming) index and window
+			// state under the read lock, serialized against ingest appends.
+			set.mu.RLock()
+			defer set.mu.RUnlock()
+			if bounded.windowed {
+				defer mReaudit.Time()()
+			}
 			return runner(set, &bounded)
 		})
 	})

@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/core"
+	"chainaudit/internal/dataset"
+	"chainaudit/internal/index"
+	"chainaudit/internal/mempool"
+	"chainaudit/internal/obs"
+	"chainaudit/internal/poolid"
+)
+
+// Streaming-ingest metrics, alongside the request metrics in sinks.go.
+var (
+	mIngestRequests  = obs.Default.Counter("serve.ingest.requests")
+	mIngestBlocks    = obs.Default.Counter("serve.ingest.blocks")
+	mIngestSnapshots = obs.Default.Counter("serve.ingest.snapshots")
+	mIngestRejects   = obs.Default.Counter("serve.ingest.rejects")
+	// mIngestLag tracks how far behind the stream the service observes
+	// blocks: now (injected clock) minus the block's own timestamp, in
+	// milliseconds, for the most recent append.
+	mIngestLag    = obs.Default.Gauge("serve.ingest.lag_ms")
+	mIngestAppend = obs.Default.Timer("serve.ingest.append")
+	// mReaudit measures windowed re-audit latency — the time from a windowed
+	// audit request to its recomputed verdict.
+	mReaudit = obs.Default.Timer("serve.window.audit")
+)
+
+// TxFrame is one transaction in a block frame — the JSON mirror of a chain
+// CSV row (single input/output edge, exact for generated transactions).
+type TxFrame struct {
+	ID     string   `json:"id"` // 64 hex chars
+	VSize  int64    `json:"vsize"`
+	Fee    int64    `json:"fee"`
+	TimeNS int64    `json:"time_ns"`
+	Tag    string   `json:"coinbase_tag,omitempty"`
+	In     *EdgeIn  `json:"in,omitempty"`
+	Out    *EdgeOut `json:"out,omitempty"`
+}
+
+type EdgeIn struct {
+	TxID  string `json:"txid"`
+	Index uint32 `json:"index"`
+	Addr  string `json:"addr"`
+	Value int64  `json:"value"`
+}
+
+type EdgeOut struct {
+	Addr  string `json:"addr"`
+	Value int64  `json:"value"`
+}
+
+// BlockFrame is one block in an ingest request. Txs arrive in committed
+// order with the coinbase first.
+type BlockFrame struct {
+	Height int64     `json:"height"`
+	TimeNS int64     `json:"time_ns"`
+	Txs    []TxFrame `json:"txs"`
+}
+
+// SnapshotFrame is one mempool observation: the observer's first-seen times
+// for pending transactions plus the tip the observer saw.
+type SnapshotFrame struct {
+	TimeNS    int64 `json:"time_ns"`
+	TipHeight int64 `json:"tip_height"`
+	Txs       []struct {
+		ID          string `json:"id"`
+		FirstSeenNS int64  `json:"first_seen_ns"`
+	} `json:"txs"`
+}
+
+// IngestRequest is the POST /v1/ingest body: a batch of block and mempool
+// snapshot frames for one streaming data set, applied in order (blocks
+// first, then snapshots).
+type IngestRequest struct {
+	Dataset string          `json:"dataset"`
+	Blocks  []BlockFrame    `json:"blocks"`
+	Mempool []SnapshotFrame `json:"mempool"`
+}
+
+// IngestResponse reports what one ingest request applied. On a rejected
+// append, Appended counts the blocks applied before the failure — those
+// remain part of the data set.
+type IngestResponse struct {
+	API         string  `json:"api"`
+	Dataset     string  `json:"dataset"`
+	Fingerprint string  `json:"fingerprint"`
+	Appended    int     `json:"appended"`
+	Snapshots   int     `json:"snapshots"`
+	IndexLen    int     `json:"index_len"`
+	Height      *int64  `json:"height,omitempty"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	Error       string  `json:"error,omitempty"`
+}
+
+func parseTxID(s string) (chain.TxID, error) {
+	var id chain.TxID
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != 32 {
+		return id, fmt.Errorf("bad txid %q", s)
+	}
+	copy(id[:], raw)
+	return id, nil
+}
+
+// FrameBlock converts a chain block to its ingest frame — the recording
+// side of the stream protocol (cmd/streamfeed). Like the CSV writer, only
+// the first input/output edge is carried, which is exact for generated
+// single-edge transactions; buildFrameBlock is its inverse.
+func FrameBlock(b *chain.Block) BlockFrame {
+	f := BlockFrame{Height: b.Height, TimeNS: b.Time.UnixNano()}
+	for i, tx := range b.Txs {
+		tf := TxFrame{
+			ID:     tx.ID.String(),
+			VSize:  tx.VSize,
+			Fee:    int64(tx.Fee),
+			TimeNS: tx.Time.UnixNano(),
+		}
+		if i == 0 {
+			tf.Tag = b.MinerTag()
+		}
+		if len(tx.Inputs) > 0 {
+			in := tx.Inputs[0]
+			tf.In = &EdgeIn{
+				TxID:  in.PrevOut.TxID.String(),
+				Index: in.PrevOut.Index,
+				Addr:  string(in.Address),
+				Value: int64(in.Value),
+			}
+		}
+		if len(tx.Outputs) > 0 {
+			out := tx.Outputs[0]
+			tf.Out = &EdgeOut{Addr: string(out.Address), Value: int64(out.Value)}
+		}
+		f.Txs = append(f.Txs, tf)
+	}
+	return f
+}
+
+// buildFrameBlock converts one frame to a chain block, mirroring the CSV
+// reader's reconstruction (IDs verbatim, single-edge inputs/outputs).
+func buildFrameBlock(f *BlockFrame) (*chain.Block, error) {
+	b := &chain.Block{Height: f.Height, Time: time.Unix(0, f.TimeNS)}
+	for i, tf := range f.Txs {
+		id, err := parseTxID(tf.ID)
+		if err != nil {
+			return nil, fmt.Errorf("block %d tx %d: %w", f.Height, i, err)
+		}
+		tx := &chain.Tx{
+			ID:    id,
+			VSize: tf.VSize,
+			Fee:   chain.Amount(tf.Fee),
+			Time:  time.Unix(0, tf.TimeNS),
+		}
+		if i == 0 {
+			tx.CoinbaseTag = tf.Tag
+		}
+		if tf.In != nil {
+			prev, err := parseTxID(tf.In.TxID)
+			if err != nil {
+				return nil, fmt.Errorf("block %d tx %d input: %w", f.Height, i, err)
+			}
+			tx.Inputs = []chain.TxIn{{
+				PrevOut: chain.OutPoint{TxID: prev, Index: tf.In.Index},
+				Address: chain.Address(tf.In.Addr),
+				Value:   chain.Amount(tf.In.Value),
+			}}
+		}
+		if tf.Out != nil {
+			tx.Outputs = []chain.TxOut{{Address: chain.Address(tf.Out.Addr), Value: chain.Amount(tf.Out.Value)}}
+		}
+		b.Txs = append(b.Txs, tx)
+	}
+	b.ComputeHash([32]byte{})
+	return b, nil
+}
+
+// newStreamSet creates an empty streaming data set. Frames carry the same
+// single-edge transactions the CSVs do, so the chain grows through
+// dataset.AppendLoose — a replayed stream lands on the identical chain a
+// CSV round trip produces.
+func newStreamSet(name string) *auditSet {
+	ix := index.NewIncremental(poolid.DefaultRegistry(), index.WithAppender(dataset.AppendLoose))
+	return &auditSet{
+		name:        name,
+		fingerprint: obs.ConfigHash("stream", name, "empty"),
+		aud:         core.NewIndexedAuditor(ix),
+		stream: &streamState{
+			ix:  ix,
+			win: core.NewWindowAuditor(0),
+		},
+	}
+}
+
+// lookupStreamSet resolves (or creates) the streaming data set an ingest
+// request targets. Ingest into a startup-loaded set is rejected: those are
+// the immutable batch references the stream is audited against.
+func (s *Server) lookupStreamSet(name string) (*auditSet, error) {
+	s.setsMu.Lock()
+	defer s.setsMu.Unlock()
+	if set, ok := s.sets[name]; ok {
+		if set.stream == nil {
+			return nil, fmt.Errorf("dataset %q is a startup-loaded batch set; ingest targets streaming sets only", name)
+		}
+		return set, nil
+	}
+	set := newStreamSet(name)
+	s.sets[name] = set
+	s.order = append(s.order, name)
+	if s.defName == "" {
+		s.defName = name
+	}
+	return set, nil
+}
+
+// ---- POST /v1/ingest ----
+
+// handleIngest applies a batch of frames to a streaming data set. Appends
+// are ordered and fail fast: the first unappendable block (gap, duplicate,
+// double spend, missing coinbase) stops the batch with 409, and everything
+// applied before it stays. Each applied block updates the incremental
+// index, the sliding-window audit state, the ingest watermark, and rotates
+// the set's fingerprint (retiring its result-cache entries).
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	mIngestRequests.Inc()
+	t := startTimer()
+	var req IngestRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, IngestResponse{API: API, Error: fmt.Sprintf("bad ingest body: %v", err), ElapsedMS: t.ms()})
+		return
+	}
+	if req.Dataset == "" {
+		writeJSON(w, http.StatusBadRequest, IngestResponse{API: API, Error: "ingest needs a dataset name", ElapsedMS: t.ms()})
+		return
+	}
+	set, err := s.lookupStreamSet(req.Dataset)
+	if err != nil {
+		mIngestRejects.Inc()
+		writeJSON(w, http.StatusConflict, IngestResponse{API: API, Dataset: req.Dataset, Error: err.Error(), ElapsedMS: t.ms()})
+		return
+	}
+
+	// Frames are parsed before taking the set's write lock, so malformed
+	// input never blocks concurrent audits.
+	blocks := make([]*chain.Block, 0, len(req.Blocks))
+	for i := range req.Blocks {
+		b, err := buildFrameBlock(&req.Blocks[i])
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, IngestResponse{API: API, Dataset: req.Dataset, Error: err.Error(), ElapsedMS: t.ms()})
+			return
+		}
+		blocks = append(blocks, b)
+	}
+
+	set.mu.Lock()
+	defer set.mu.Unlock()
+	resp := IngestResponse{API: API, Dataset: req.Dataset}
+	st := set.stream
+	for _, b := range blocks {
+		bt := startTimer()
+		rec, err := st.ix.AppendBlock(b)
+		if err != nil {
+			mIngestRejects.Inc()
+			resp.Error = err.Error()
+			break
+		}
+		mIngestAppend.Observe(bt.elapsed())
+		st.win.ObserveBlock(rec)
+		st.appends++
+		st.lastHeight = b.Height
+		st.lastAppend = s.now()
+		set.blocks = st.ix.Len()
+		set.txs += int64(len(b.Body()))
+		set.fingerprint = obs.ConfigHash(set.fingerprint, fmt.Sprintf("h=%d", b.Height), fmt.Sprintf("%x", b.Hash))
+		mIngestBlocks.Inc()
+		mIngestLag.Set(float64(st.lastAppend.Sub(b.Time)) / float64(time.Millisecond))
+		resp.Appended++
+	}
+	if resp.Error == "" {
+		for i := range req.Mempool {
+			sf := &req.Mempool[i]
+			seen := make(map[chain.TxID]time.Time, len(sf.Txs))
+			for _, stx := range sf.Txs {
+				id, err := parseTxID(stx.ID)
+				if err != nil {
+					continue // a damaged pending tx is observer noise, not data
+				}
+				ns := stx.FirstSeenNS
+				if ns == 0 {
+					ns = sf.TimeNS
+				}
+				seen[id] = time.Unix(0, ns)
+			}
+			st.ix.ObserveFirstSeen(seen)
+			st.win.ObserveSnapshot(&mempool.Snapshot{
+				Time:      time.Unix(0, sf.TimeNS),
+				Count:     len(sf.Txs),
+				TipHeight: sf.TipHeight,
+			})
+			st.snapshots++
+			mIngestSnapshots.Inc()
+			resp.Snapshots++
+		}
+	}
+	resp.Fingerprint = set.fingerprint
+	resp.IndexLen = st.ix.Len()
+	if st.appends > 0 {
+		h := st.lastHeight
+		resp.Height = &h
+	}
+	resp.ElapsedMS = t.ms()
+	status := http.StatusOK
+	if resp.Error != "" {
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, resp)
+}

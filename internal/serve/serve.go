@@ -1,13 +1,18 @@
 // Package serve is chainauditd's engine: a long-running HTTP/JSON audit
-// service over one or more chain data sets (CSV files or freshly simulated
-// suites). Data sets are loaded once at startup into shared, read-only audit
-// indexes; every request runs through the context-aware pipeline executor
-// under a per-request watchdog, and completed results are memoized by
-// (dataset fingerprint, audit, params). Audits and experiments resolve
-// through exactly the code paths the batch CLIs use — core.Auditor's
+// service over one or more chain data sets (CSV files, freshly simulated
+// suites, or live streams). Startup data sets are loaded once into shared
+// audit indexes; streaming data sets grow block by block through
+// POST /v1/ingest, with the incremental index and sliding-window audit
+// state updated per append and the set's fingerprint rotated so stale cache
+// entries retire themselves. Every request runs through the context-aware
+// pipeline executor under a per-request watchdog, and completed results are
+// memoized by (dataset fingerprint, audit, params). Audits and experiments
+// resolve through exactly the code paths the batch CLIs use — core.Auditor's
 // AuditOptions API, the shared section renderers, and the experiments
 // registry — so a service response is value-identical (for text formats,
-// byte-identical) to the corresponding CLI output. See DESIGN.md §8.
+// byte-identical) to the corresponding CLI output, and a replayed stream is
+// byte-identical to the batch audit of the same window. See DESIGN.md §8
+// and §11.
 package serve
 
 import (
@@ -17,12 +22,14 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"chainaudit/internal/core"
 	"chainaudit/internal/dataset"
 	"chainaudit/internal/experiments"
 	"chainaudit/internal/faults"
+	"chainaudit/internal/index"
 	"chainaudit/internal/obs"
 )
 
@@ -58,11 +65,19 @@ type Config struct {
 	// Retries re-runs a failed audit computation (watchdog timeouts
 	// included) up to N extra times before the request fails.
 	Retries int
+	// Clock supplies the service's notion of "now" for ingest watermarks and
+	// lag metrics (nil = time.Now). Tests inject a fixed clock; result bytes
+	// never depend on it.
+	Clock func() time.Time
 }
 
-// auditSet is one loaded data set: a shared read-only auditor plus the
-// provenance the envelopes carry.
+// auditSet is one loaded data set: a shared auditor plus the provenance the
+// envelopes carry. Startup-loaded sets are read-only; streaming sets
+// (created by POST /v1/ingest) grow, so every audit read holds mu.RLock and
+// every append holds mu.Lock. The fingerprint rotates on append, which
+// retires all of the set's result-cache entries at once.
 type auditSet struct {
+	mu          sync.RWMutex
 	name        string
 	fingerprint string
 	aud         *core.Auditor
@@ -70,6 +85,52 @@ type auditSet struct {
 	txs         int64
 	degraded    bool
 	notes       []string
+
+	// stream holds live-ingest state; nil for startup-loaded sets.
+	stream *streamState
+
+	// winOnce/winAud lazily build the sliding-window auditor for
+	// startup-loaded sets by replaying the batch index — so windowed audits
+	// on static and streaming data go through the identical code path.
+	winOnce sync.Once
+	winAud  *core.WindowAuditor
+}
+
+// streamState is the live-ingest side of a streaming data set.
+type streamState struct {
+	ix         *index.BlockIndex
+	win        *core.WindowAuditor
+	appends    int64
+	snapshots  int64
+	lastHeight int64
+	lastAppend time.Time
+}
+
+// window returns the set's sliding-window auditor. Streaming sets maintain
+// it on ingest; static sets replay their batch index into one on first use.
+// Callers hold mu (read or write).
+func (set *auditSet) window() *core.WindowAuditor {
+	if set.stream != nil {
+		return set.stream.win
+	}
+	set.winOnce.Do(func() {
+		w := core.NewWindowAuditor(0)
+		ix := set.aud.Index()
+		for i := 0; i < ix.Len(); i++ {
+			w.ObserveBlock(ix.Record(i))
+		}
+		set.winAud = w
+	})
+	return set.winAud
+}
+
+// watermark reports a streaming set's ingest progress; ok is false for
+// static sets. Callers hold mu.
+func (set *auditSet) watermark() (height int64, last time.Time, ok bool) {
+	if set.stream == nil || set.stream.appends == 0 {
+		return 0, time.Time{}, false
+	}
+	return set.stream.lastHeight, set.stream.lastAppend, true
 }
 
 // Server is the audit service. It is safe for concurrent use: data sets and
@@ -80,12 +141,25 @@ type Server struct {
 	plan    *faults.Plan
 	suite   *experiments.Suite
 	suiteFP string
+	// setsMu guards sets/order: POST /v1/ingest registers new streaming
+	// data sets at runtime. Mutation of a set's contents is the set's own
+	// mu; this lock only covers the map.
+	setsMu  sync.RWMutex
 	sets    map[string]*auditSet
 	order   []string // deterministic listing order
 	defName string   // default dataset for audits
 	cache   *resultCache
 	mux     *http.ServeMux
 	start   time.Time
+}
+
+// now reads the configured clock (observability only — watermarks and lag
+// metrics; never result bytes).
+func (s *Server) now() time.Time {
+	if s.cfg.Clock != nil {
+		return s.cfg.Clock()
+	}
+	return time.Now()
 }
 
 // New loads every configured data set, builds the shared indexes' owners,
@@ -205,6 +279,8 @@ func (s *Server) addChainCSV(spec ChainSpec) error {
 }
 
 func (s *Server) addSet(set *auditSet) error {
+	s.setsMu.Lock()
+	defer s.setsMu.Unlock()
 	if _, dup := s.sets[set.name]; dup {
 		return fmt.Errorf("serve: duplicate data set name %q", set.name)
 	}
@@ -218,6 +294,8 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // DatasetNames returns the loaded data set names in listing order.
 func (s *Server) DatasetNames() []string {
+	s.setsMu.RLock()
+	defer s.setsMu.RUnlock()
 	out := make([]string, len(s.order))
 	copy(out, s.order)
 	return out
@@ -228,7 +306,9 @@ func (s *Server) lookupSet(name string) (*auditSet, error) {
 	if name == "" {
 		name = s.defName
 	}
+	s.setsMu.RLock()
 	set, ok := s.sets[name]
+	s.setsMu.RUnlock()
 	if !ok {
 		names := s.DatasetNames()
 		sort.Strings(names)

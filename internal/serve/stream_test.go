@@ -1,0 +1,315 @@
+package serve
+
+// Streaming-ingest tests: replaying a recorded block stream through
+// POST /v1/ingest must yield audit responses byte-identical to the batch
+// path over the same window — the in-process half of the smoke-stream gate
+// — plus the watermark, cache-invalidation, and failure contracts.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/core"
+	"chainaudit/internal/dataset"
+)
+
+// streamFixture builds a CSV-backed server with an injected clock and
+// returns it with the round-tripped chain the CSV loads into (the batch
+// reference the stream must reproduce).
+func streamFixture(t *testing.T) (*Server, *chain.Chain, *time.Time) {
+	t.Helper()
+	ds, err := dataset.Cached(dataset.BuilderC, dataset.Options{Seed: 11, Duration: 4 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "chain.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteChainCSV(f, ds.Result.Chain); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	c, err := dataset.ReadChainCSV(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1_700_000_000, 0)
+	s, err := New(Config{
+		Chains: []ChainSpec{{Name: "main", Path: path}},
+		Clock:  func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c, &now
+}
+
+func postJSON(t *testing.T, h http.Handler, target string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", target, bytes.NewReader(raw))
+	req.Header.Set("Content-Type", "application/json")
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+func textBody(t *testing.T, h http.Handler, target string) string {
+	t.Helper()
+	rr := do(t, h, "POST", target)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("%s = %d: %s", target, rr.Code, rr.Body.String())
+	}
+	return rr.Body.String()
+}
+
+func TestIngestReplayMatchesBatch(t *testing.T) {
+	s, c, _ := streamFixture(t)
+	h := s.Handler()
+	blocks := c.Blocks()
+
+	// Replay the recorded chain in small batches, with a mempool snapshot
+	// per batch carrying the transactions' own times as first-seen.
+	const batch = 16
+	for i := 0; i < len(blocks); i += batch {
+		end := i + batch
+		if end > len(blocks) {
+			end = len(blocks)
+		}
+		req := IngestRequest{Dataset: "live"}
+		var snap SnapshotFrame
+		for _, b := range blocks[i:end] {
+			req.Blocks = append(req.Blocks, FrameBlock(b))
+			snap.TimeNS = b.Time.UnixNano()
+			snap.TipHeight = b.Height
+			for _, tx := range b.Body() {
+				snap.Txs = append(snap.Txs, struct {
+					ID          string `json:"id"`
+					FirstSeenNS int64  `json:"first_seen_ns"`
+				}{ID: tx.ID.String(), FirstSeenNS: tx.Time.UnixNano()})
+			}
+		}
+		req.Mempool = []SnapshotFrame{snap}
+		rr := postJSON(t, h, "/v1/ingest", req)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("ingest batch at %d = %d: %s", i, rr.Code, rr.Body.String())
+		}
+		resp := decode[IngestResponse](t, rr)
+		if resp.Appended != end-i || resp.Snapshots != 1 || resp.Error != "" {
+			t.Fatalf("ingest batch at %d = %+v", i, resp)
+		}
+	}
+
+	// Pick the most-mined pool for the dark-fee comparison.
+	set, err := s.lookupSet("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := set.aud.Index().TopPoolsByShare(core.DefaultMinShare)[0]
+
+	// Full-chain audits: streamed dataset byte-identical to the batch CSV set.
+	kinds := []struct{ name, extra string }{
+		{"ppe", ""},
+		{"lowfee", ""},
+		{"selfinterest", ""},
+		{"darkfee", "&pool=" + pool},
+	}
+	for _, k := range kinds {
+		want := textBody(t, h, "/v1/audits/"+k.name+"?dataset=main&format=text"+k.extra)
+		got := textBody(t, h, "/v1/audits/"+k.name+"?dataset=live&format=text"+k.extra)
+		if got != want {
+			t.Errorf("streamed %s diverged from batch:\n--- batch ---\n%s--- stream ---\n%s", k.name, want, got)
+		}
+	}
+
+	// Sliding-window audits: batch and streamed sets answer identically, and
+	// both match the batch auditor over the chain suffix.
+	const win = 20
+	for _, k := range kinds {
+		if k.name == "selfinterest" {
+			continue // no sliding-window variant
+		}
+		target := "/v1/audits/" + k.name + "?dataset=%s&format=text" + k.extra + fmt.Sprintf("&window=%d", win)
+		want := textBody(t, h, fmt.Sprintf(target, "main"))
+		got := textBody(t, h, fmt.Sprintf(target, "live"))
+		if got != want {
+			t.Errorf("windowed %s diverged between batch and stream:\n--- batch ---\n%s--- stream ---\n%s", k.name, want, got)
+		}
+	}
+	suffix := &core.Auditor{Chain: c.Suffix(win), Registry: set.aud.Registry}
+	var ref bytes.Buffer
+	if err := core.WritePPESection(&ref, suffix.AuditPPE(core.AuditOptions{})); err != nil {
+		t.Fatal(err)
+	}
+	got := textBody(t, h, fmt.Sprintf("/v1/audits/ppe?dataset=live&format=text&window=%d", win))
+	if got != ref.String() {
+		t.Errorf("windowed PPE diverged from chain.Suffix reference:\n--- suffix ---\n%s--- stream ---\n%s", ref.String(), got)
+	}
+}
+
+func TestIngestWatermarkAndCacheInvalidation(t *testing.T) {
+	s, c, now := streamFixture(t)
+	h := s.Handler()
+	blocks := c.Blocks()
+	if len(blocks) < 2 {
+		t.Fatal("fixture too small")
+	}
+
+	t0 := *now
+	first := IngestRequest{Dataset: "live", Blocks: []BlockFrame{FrameBlock(blocks[0])}}
+	if rr := postJSON(t, h, "/v1/ingest", first); rr.Code != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", rr.Code, rr.Body.String())
+	}
+
+	type health struct {
+		Datasets []struct {
+			Name        string `json:"name"`
+			Fingerprint string `json:"fingerprint"`
+			Blocks      int    `json:"blocks"`
+			IndexLen    int    `json:"index_len"`
+			Watermark   *struct {
+				Height     int64     `json:"height"`
+				LastAppend time.Time `json:"last_append"`
+			} `json:"watermark"`
+		} `json:"datasets"`
+	}
+	hz := decode[health](t, do(t, h, "GET", "/v1/healthz"))
+	byName := map[string]int{}
+	for i, d := range hz.Datasets {
+		byName[d.Name] = i
+	}
+	mainDS := hz.Datasets[byName["main"]]
+	if mainDS.Watermark != nil {
+		t.Errorf("batch dataset grew a watermark: %+v", mainDS.Watermark)
+	}
+	if mainDS.IndexLen != mainDS.Blocks || mainDS.IndexLen == 0 {
+		t.Errorf("batch index_len = %d, blocks = %d", mainDS.IndexLen, mainDS.Blocks)
+	}
+	live := hz.Datasets[byName["live"]]
+	if live.IndexLen != 1 || live.Blocks != 1 {
+		t.Errorf("live index_len = %d blocks = %d, want 1", live.IndexLen, live.Blocks)
+	}
+	if live.Watermark == nil {
+		t.Fatal("live dataset has no watermark")
+	}
+	if live.Watermark.Height != blocks[0].Height || !live.Watermark.LastAppend.Equal(t0) {
+		t.Errorf("watermark = %+v, want height %d at %v", live.Watermark, blocks[0].Height, t0)
+	}
+
+	// The watermark time comes from the injected clock.
+	*now = t0.Add(42 * time.Second)
+	fpBefore := live.Fingerprint
+	if !decode[Envelope](t, do(t, h, "POST", "/v1/audits/ppe?dataset=live")).Cached {
+		// prime the cache so post-append Cached=false below proves invalidation
+		if !decode[Envelope](t, do(t, h, "POST", "/v1/audits/ppe?dataset=live")).Cached {
+			t.Fatal("repeat audit not cached")
+		}
+	}
+
+	second := IngestRequest{Dataset: "live", Blocks: []BlockFrame{FrameBlock(blocks[1])}}
+	if rr := postJSON(t, h, "/v1/ingest", second); rr.Code != http.StatusOK {
+		t.Fatalf("second ingest = %d", rr.Code)
+	}
+	hz = decode[health](t, do(t, h, "GET", "/v1/healthz"))
+	live = hz.Datasets[byName["live"]]
+	if live.Watermark.Height != blocks[1].Height || !live.Watermark.LastAppend.Equal(t0.Add(42*time.Second)) {
+		t.Errorf("watermark after append = %+v", live.Watermark)
+	}
+	if live.Fingerprint == fpBefore {
+		t.Error("fingerprint did not rotate on append")
+	}
+	// The appended block invalidates cached audit results (new fingerprint →
+	// new cache key → fresh computation over the grown chain).
+	env := decode[Envelope](t, do(t, h, "POST", "/v1/audits/ppe?dataset=live"))
+	if env.Cached {
+		t.Error("audit after append served from stale cache")
+	}
+	if env.Fingerprint != live.Fingerprint {
+		t.Errorf("audit fingerprint %q != healthz fingerprint %q", env.Fingerprint, live.Fingerprint)
+	}
+
+	// Ingest metrics are flowing.
+	m := decode[struct {
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}](t, do(t, h, "GET", "/v1/metrics"))
+	if m.Metrics.Counters["serve.ingest.requests"] == 0 || m.Metrics.Counters["serve.ingest.blocks"] == 0 {
+		t.Errorf("ingest counters missing: %v", m.Metrics.Counters)
+	}
+}
+
+func TestIngestErrors(t *testing.T) {
+	s, c, _ := streamFixture(t)
+	h := s.Handler()
+	blocks := c.Blocks()
+
+	// Malformed body.
+	req := httptest.NewRequest("POST", "/v1/ingest", bytes.NewReader([]byte("{nope")))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("malformed body = %d", rr.Code)
+	}
+	// Missing dataset name.
+	if rr := postJSON(t, h, "/v1/ingest", IngestRequest{}); rr.Code != http.StatusBadRequest {
+		t.Errorf("missing dataset = %d", rr.Code)
+	}
+	// Ingest into a startup-loaded batch set.
+	if rr := postJSON(t, h, "/v1/ingest", IngestRequest{Dataset: "main"}); rr.Code != http.StatusConflict {
+		t.Errorf("ingest into batch set = %d", rr.Code)
+	}
+	// Unparseable txid.
+	bad := IngestRequest{Dataset: "live", Blocks: []BlockFrame{{
+		Height: blocks[0].Height, TimeNS: blocks[0].Time.UnixNano(),
+		Txs: []TxFrame{{ID: "nothex", Tag: "/P/"}},
+	}}}
+	if rr := postJSON(t, h, "/v1/ingest", bad); rr.Code != http.StatusBadRequest {
+		t.Errorf("bad txid = %d", rr.Code)
+	}
+	// A gap mid-batch: the first block appends, the third (skipping the
+	// second) is rejected with 409 and the applied prefix is reported.
+	gap := IngestRequest{Dataset: "live", Blocks: []BlockFrame{
+		FrameBlock(blocks[0]), FrameBlock(blocks[2]),
+	}}
+	rr2 := postJSON(t, h, "/v1/ingest", gap)
+	if rr2.Code != http.StatusConflict {
+		t.Fatalf("gap batch = %d: %s", rr2.Code, rr2.Body.String())
+	}
+	resp := decode[IngestResponse](t, rr2)
+	if resp.Appended != 1 || resp.Error == "" || resp.IndexLen != 1 {
+		t.Errorf("gap batch response = %+v", resp)
+	}
+	// The prefix stays usable: the skipped block appends cleanly afterwards.
+	fix := IngestRequest{Dataset: "live", Blocks: []BlockFrame{FrameBlock(blocks[1]), FrameBlock(blocks[2])}}
+	if rr := postJSON(t, h, "/v1/ingest", fix); rr.Code != http.StatusOK {
+		t.Errorf("gap fill = %d: %s", rr.Code, rr.Body.String())
+	}
+	// Window on an audit without a sliding variant.
+	if rr := do(t, h, "POST", "/v1/audits/selfinterest?dataset=live&window=5"); rr.Code != http.StatusBadRequest {
+		t.Errorf("windowed selfinterest = %d", rr.Code)
+	}
+	if rr := do(t, h, "POST", "/v1/audits/ppe?dataset=live&window=-3"); rr.Code != http.StatusBadRequest {
+		t.Errorf("negative window = %d", rr.Code)
+	}
+}
