@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-key reproduce lint lint-fixtures smoke-metrics smoke-chaos smoke-serve smoke-stream clean
+.PHONY: check build vet test race bench bench-key reproduce lint lint-fixtures smoke-metrics smoke-chaos smoke-serve smoke-stream smoke-live clean
 
 # check is the tier-1 gate: vet, build, the analyzer suite (plus the guard
 # that keeps its fixtures honest), the full test suite under the race
-# detector, and the metrics, chaos, service, and stream-replay smoke tests.
-check: vet build lint lint-fixtures race smoke-metrics smoke-chaos smoke-serve smoke-stream
+# detector, and the metrics, chaos, service, stream-replay, and live-feed
+# smoke tests.
+check: vet build lint lint-fixtures race smoke-metrics smoke-chaos smoke-serve smoke-stream smoke-live
 
 # lint runs the determinism & audit-integrity analyzer suite (DESIGN.md §9)
 # over every module package. Any unsuppressed finding fails the gate.
@@ -39,12 +40,13 @@ race:
 	$(GO) test -race ./...
 
 # bench runs every experiment benchmark, then refreshes the machine-readable
-# batch-vs-incremental report (BENCH_6.json, chainaudit.bench/v1 schema);
-# bench-key just the two the shared-index refactor is measured by (see
-# EXPERIMENTS.md).
+# streaming-path report (BENCH_7.json, chainaudit.bench/v1 schema: batch vs
+# incremental index, window maintenance, and live observer ingest with ship
+# latency percentiles); bench-key just the two the shared-index refactor is
+# measured by (see EXPERIMENTS.md).
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
-	$(GO) run ./cmd/chainbench -out BENCH_6.json
+	$(GO) run ./cmd/chainbench -out BENCH_7.json
 
 bench-key:
 	$(GO) test -bench='BenchmarkFig07PPE|BenchmarkTable2SelfInterest' -benchtime=3x -run=^$$ .
@@ -133,6 +135,41 @@ smoke-stream:
 		curl -sf -X POST "http://$$ADDR/v1/audits/$$q&dataset=live" > /tmp/chainaudit-stream-live.txt && \
 		cmp /tmp/chainaudit-stream-batch.txt /tmp/chainaudit-stream-live.txt || \
 		{ echo "smoke-stream: $$q diverged between batch and stream"; exit 1; }; \
+	done
+
+# smoke-live closes the streaming loop over real processes: chainobserver
+# replays a gendata chain through a two-node p2p network and ships what the
+# watcher observes into chainauditd over HTTP, teeing its own recording;
+# streamfeed then replays that recording into a second data set. The live
+# feed, the replay of its recording, and the CSV-loaded batch reference must
+# all serve byte-identical audits — full chain and sliding window.
+smoke-live:
+	$(GO) build -o /tmp/chainauditd ./cmd/chainauditd
+	$(GO) build -o /tmp/chainobserver ./cmd/chainobserver
+	$(GO) build -o /tmp/streamfeed ./cmd/streamfeed
+	$(GO) run ./cmd/gendata -set C -seed 9 -hours 5 -out /tmp/chainaudit-live-chain.csv > /dev/null
+	rm -f /tmp/chainaudit-live-addr
+	/tmp/chainauditd -addr 127.0.0.1:0 -ready-file /tmp/chainaudit-live-addr \
+		-chain main=/tmp/chainaudit-live-chain.csv 2> /tmp/chainaudit-live-log.txt & \
+	DPID=$$!; trap 'kill $$DPID 2>/dev/null' EXIT; \
+	tries=0; until [ -s /tmp/chainaudit-live-addr ]; do \
+		tries=$$((tries+1)); \
+		if [ $$tries -gt 1200 ]; then echo "chainauditd never became ready"; cat /tmp/chainaudit-live-log.txt; exit 1; fi; \
+		if ! kill -0 $$DPID 2>/dev/null; then echo "chainauditd died"; cat /tmp/chainaudit-live-log.txt; exit 1; fi; \
+		sleep 0.1; \
+	done; \
+	ADDR=$$(cat /tmp/chainaudit-live-addr) && \
+	/tmp/chainobserver -chain /tmp/chainaudit-live-chain.csv -url "http://$$ADDR" \
+		-dataset live -record /tmp/chainaudit-live.jsonl -batch 16 && \
+	/tmp/streamfeed replay -in /tmp/chainaudit-live.jsonl -url "http://$$ADDR" -dataset replay && \
+	for q in 'ppe?format=text' 'lowfee?format=text' 'ppe?format=text&window=20' 'lowfee?format=text&window=20'; do \
+		curl -sf -X POST "http://$$ADDR/v1/audits/$$q&dataset=live" > /tmp/chainaudit-live-feed.txt && \
+		curl -sf -X POST "http://$$ADDR/v1/audits/$$q&dataset=replay" > /tmp/chainaudit-live-replay.txt && \
+		curl -sf -X POST "http://$$ADDR/v1/audits/$$q&dataset=main" > /tmp/chainaudit-live-batch.txt && \
+		cmp /tmp/chainaudit-live-feed.txt /tmp/chainaudit-live-replay.txt || \
+		{ echo "smoke-live: $$q diverged between live feed and replayed recording"; exit 1; }; \
+		cmp /tmp/chainaudit-live-feed.txt /tmp/chainaudit-live-batch.txt || \
+		{ echo "smoke-live: $$q diverged between live feed and batch reference"; exit 1; }; \
 	done
 
 clean:

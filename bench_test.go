@@ -83,7 +83,9 @@ func BenchmarkWindowAuditPPE(b *testing.B) {
 	ix := s.CAuditor().Index()
 	w := core.NewWindowAuditor(0)
 	for i := 0; i < ix.Len(); i++ {
-		w.ObserveBlock(ix.Record(i))
+		if err := w.ObserveBlock(ix.Record(i)); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -3,7 +3,7 @@
 //
 //	chainauditd [-addr host:port] [-sim] [-seed N] [-scale X] [-chaos spec]
 //	            [-chain name=path ...] [-watchdog d] [-retries n]
-//	            [-ready-file f]
+//	            [-stream-retain N] [-ready-file f]
 //
 // Data sets load once at startup: -chain name=path loads a chain CSV (as
 // produced by cmd/gendata) under the given name, repeatably; -sim builds
@@ -89,6 +89,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	chaos := fs.String("chaos", "", "build -sim data sets under a fault-injection spec (see internal/faults)")
 	watchdog := fs.Duration("watchdog", 2*time.Minute, "per-request watchdog timeout (0 = none)")
 	retries := fs.Int("retries", 0, "per-request retries on failure")
+	streamRetain := fs.Int("stream-retain", 0, "retention horizon for streaming data sets in blocks (0 = unbounded)")
 	readyFile := fs.String("ready-file", "", "write the bound address to this file once listening")
 	var chains chainList
 	fs.Var(&chains, "chain", "chain CSV to serve as name=path (repeatable)")
@@ -100,13 +101,14 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	}
 
 	cfg := serve.Config{
-		Seed:     *seed,
-		Scale:    *scale,
-		Chaos:    *chaos,
-		Chains:   chains,
-		Sim:      *sim,
-		Watchdog: *watchdog,
-		Retries:  *retries,
+		Seed:         *seed,
+		Scale:        *scale,
+		Chaos:        *chaos,
+		Chains:       chains,
+		Sim:          *sim,
+		Watchdog:     *watchdog,
+		Retries:      *retries,
+		StreamRetain: *streamRetain,
 	}
 	fmt.Fprintf(logw, "chainauditd: loading data sets (sim=%t chains=%d)...\n", *sim, len(chains))
 	start := time.Now()

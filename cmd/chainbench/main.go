@@ -1,10 +1,10 @@
 // Command chainbench measures the cost of the batch-vs-incremental index
 // refactor and the streaming audit path, emitting a machine-readable report
-// (the checked-in BENCH_6.json):
+// (the checked-in BENCH_7.json):
 //
-//	chainbench -seed 11 -hours 4 -out BENCH_6.json
+//	chainbench -seed 11 -hours 4 -out BENCH_7.json
 //
-// Four measurements over one simulated data set C:
+// Measurements over one simulated data set C:
 //
 //   - index.Build/batch         — the one-shot batch index over the full chain
 //   - index.AppendBlock/replay  — the same chain grown block by block through
@@ -12,6 +12,11 @@
 //   - WindowAuditor.ObserveBlock — maintaining sliding-window audit state
 //   - WindowAuditor.AuditPPE/32  — one windowed re-audit, the per-request cost
 //     of a streaming audit endpoint after an append
+//   - observer.Run/IndexSink    — the live-observer pipeline applied in
+//     process (chain replayed as an event stream into an incremental index)
+//   - observer.Run/HTTPSink     — the same stream shipped over HTTP into an
+//     in-memory chainauditd ingest endpoint (live-ingest throughput), with
+//     per-batch emit-to-ack ship latency percentiles ("observer lag")
 //
 // Throughput numbers (ns/op, allocs) come from testing.Benchmark; append
 // latency percentiles come from an instrumented replay. The report is a
@@ -20,10 +25,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
@@ -33,6 +40,8 @@ import (
 	"chainaudit/internal/core"
 	"chainaudit/internal/dataset"
 	"chainaudit/internal/index"
+	"chainaudit/internal/observer"
+	"chainaudit/internal/serve"
 )
 
 // BenchSchema identifies the report format.
@@ -83,7 +92,7 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 11, "simulation seed")
 	hours := fs.Float64("hours", 4, "simulated span in hours")
 	window := fs.Int("window", 32, "sliding-window size for the re-audit measurement")
-	outPath := fs.String("out", "BENCH_6.json", "report path (- for stdout)")
+	outPath := fs.String("out", "BENCH_7.json", "report path (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -155,7 +164,9 @@ func run(args []string, out io.Writer) error {
 		for i := 0; i < b.N; i++ {
 			w := core.NewWindowAuditor(0)
 			for _, r := range recs {
-				w.ObserveBlock(r)
+				if err := w.ObserveBlock(r); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	})
@@ -164,7 +175,9 @@ func run(args []string, out io.Writer) error {
 	// One windowed re-audit — the post-append cost of a streaming endpoint.
 	w := core.NewWindowAuditor(0)
 	for _, r := range recs {
-		w.ObserveBlock(r)
+		if err := w.ObserveBlock(r); err != nil {
+			return err
+		}
 	}
 	audit := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -175,6 +188,84 @@ func run(args []string, out io.Writer) error {
 		}
 	})
 	rep.Results = append(rep.Results, result(fmt.Sprintf("core.WindowAuditor.AuditPPE/window=%d", *window), audit, 0))
+
+	// The live-observer pipeline applied in process: the chain replayed as
+	// an event stream (block + seen-delta snapshot each) into a fresh
+	// incremental index and window per iteration.
+	ctx := context.Background()
+	inproc := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink := &observer.IndexSink{
+				Index: index.NewIncremental(ds.Registry),
+				Win:   core.NewWindowAuditor(0),
+			}
+			st, err := observer.Run(ctx, observer.NewChainSource(c), sink, observer.Config{BatchBlocks: 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Blocks != c.Len() {
+				b.Fatalf("short run: %d blocks", st.Blocks)
+			}
+		}
+	})
+	rep.Results = append(rep.Results, result("observer.Run/IndexSink", inproc, c.Len()))
+
+	// The same stream shipped over HTTP into an in-memory ingest endpoint —
+	// live-ingest throughput including JSON framing and the service's own
+	// append path. Each iteration targets a fresh streaming data set. The
+	// service needs at least one startup set, so the measured chain doubles
+	// as the CSV-loaded reference.
+	csvDir, err := os.MkdirTemp("", "chainbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(csvDir)
+	csvPath := csvDir + "/chain.csv"
+	cf, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	if err := dataset.WriteChainCSV(cf, c); err != nil {
+		cf.Close()
+		return err
+	}
+	if err := cf.Close(); err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Config{Chains: []serve.ChainSpec{{Name: "main", Path: csvPath}}})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	iter := 0
+	var shipped *observer.Stats
+	httpBench := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			iter++
+			sink := &observer.HTTPSink{URL: ts.URL, Dataset: fmt.Sprintf("bench-%d", iter)}
+			st, err := observer.Run(ctx, observer.NewChainSource(c), sink, observer.Config{BatchBlocks: 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Blocks != c.Len() {
+				b.Fatalf("short run: %d blocks", st.Blocks)
+			}
+			shipped = st
+		}
+	})
+	httpRes := result("observer.Run/HTTPSink", httpBench, c.Len())
+	// Observer lag: per-batch emit-to-ack ship durations from the last run.
+	if shipped != nil && len(shipped.Ship) > 0 {
+		ship := append([]time.Duration(nil), shipped.Ship...)
+		sort.Slice(ship, func(i, j int) bool { return ship[i] < ship[j] })
+		httpRes.P50Ns = percentile(ship, 50)
+		httpRes.P95Ns = percentile(ship, 95)
+		httpRes.P99Ns = percentile(ship, 99)
+	}
+	rep.Results = append(rep.Results, httpRes)
 
 	var dst io.Writer = out
 	if *outPath != "-" {

@@ -30,8 +30,8 @@ func TestReportShape(t *testing.T) {
 	if rep.Dataset.Blocks == 0 || rep.Dataset.Txs == 0 {
 		t.Errorf("dataset = %+v", rep.Dataset)
 	}
-	if len(rep.Results) != 4 {
-		t.Fatalf("results = %d, want 4", len(rep.Results))
+	if len(rep.Results) != 6 {
+		t.Fatalf("results = %d, want 6", len(rep.Results))
 	}
 	names := map[string]bool{}
 	for _, r := range rep.Results {
@@ -40,18 +40,30 @@ func TestReportShape(t *testing.T) {
 			t.Errorf("%s: empty measurement %+v", r.Name, r)
 		}
 	}
-	for _, want := range []string{"index.Build/batch", "index.AppendBlock/replay"} {
+	for _, want := range []string{
+		"index.Build/batch", "index.AppendBlock/replay",
+		"observer.Run/IndexSink", "observer.Run/HTTPSink",
+	} {
 		if !names[want] {
 			t.Errorf("missing result %q (have %v)", want, names)
 		}
 	}
 	for _, r := range rep.Results {
-		if r.Name == "index.AppendBlock/replay" {
+		switch r.Name {
+		case "index.AppendBlock/replay":
 			if r.P50Ns == 0 || r.P99Ns < r.P50Ns {
 				t.Errorf("append percentiles = p50 %d p95 %d p99 %d", r.P50Ns, r.P95Ns, r.P99Ns)
 			}
 			if r.BlocksPerSec <= 0 {
 				t.Errorf("append throughput = %v", r.BlocksPerSec)
+			}
+		case "observer.Run/HTTPSink":
+			// The observer-lag percentiles ride on the HTTP shipping result.
+			if r.P50Ns == 0 || r.P99Ns < r.P50Ns {
+				t.Errorf("ship percentiles = p50 %d p95 %d p99 %d", r.P50Ns, r.P95Ns, r.P99Ns)
+			}
+			if r.BlocksPerSec <= 0 {
+				t.Errorf("live-ingest throughput = %v", r.BlocksPerSec)
 			}
 		}
 	}

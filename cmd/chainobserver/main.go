@@ -1,0 +1,284 @@
+// Command chainobserver drives the live half of the streaming pipeline
+// (DESIGN.md §12): it replays a chain CSV through a two-node p2p network —
+// a relay node gossiping transactions and blocks to a watcher node — and
+// ships what the watcher observes into an audit target through
+// internal/observer.
+//
+//	chainobserver -chain chain.csv [-url http://127.0.0.1:8347] [-dataset live]
+//	              [-batch 16] [-record stream.jsonl] [-chaos spec] [-queue N]
+//	              [-timeout d] [-inprocess] [-retain N] [-window N]
+//
+// By default batches ship over HTTP to a running chainauditd's POST
+// /v1/ingest, with retry, backoff, and idempotent redelivery; -record tees
+// every shipped request to a JSONL stream in exactly the format `streamfeed
+// replay` consumes, so a live run can be replayed afterwards and must audit
+// byte-identically (`make smoke-live` pins that). -inprocess skips HTTP and
+// applies the feed to an in-process incremental index instead, printing the
+// windowed positional audit when done — the embedded-auditor deployment
+// shape. -chaos wires an internal/faults plan into the relay link and the
+// observer's shipping path: dropped and delayed gossip, duplicate
+// deliveries, and watcher churn (with reconnect) all stress the feed while
+// the audit result must stay equal to a clean replay of what was recorded.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/core"
+	"chainaudit/internal/dataset"
+	"chainaudit/internal/faults"
+	"chainaudit/internal/index"
+	"chainaudit/internal/observer"
+	"chainaudit/internal/p2p"
+	"chainaudit/internal/poolid"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "chainobserver:", err)
+		os.Exit(1)
+	}
+}
+
+// feedClock is the injected timestamp source both nodes share: the feeder
+// advances it along the replayed chain's own timeline so first-seen events
+// carry chain time, not host time.
+type feedClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *feedClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *feedClock) set(t time.Time) {
+	c.mu.Lock()
+	if t.After(c.t) {
+		c.t = t
+	}
+	c.mu.Unlock()
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("chainobserver", flag.ContinueOnError)
+	chainPath := fs.String("chain", "", "chain CSV to feed through the p2p pair (required)")
+	url := fs.String("url", "http://127.0.0.1:8347", "chainauditd base URL")
+	name := fs.String("dataset", "live", "streaming data set name to ship into")
+	batch := fs.Int("batch", 16, "blocks per shipped batch")
+	record := fs.String("record", "", "tee every shipped request to this JSONL stream")
+	chaos := fs.String("chaos", "", "fault-injection spec for the relay link and shipping path (see internal/faults)")
+	queue := fs.Int("queue", 4096, "observer event queue depth")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-block propagation deadline")
+	inprocess := fs.Bool("inprocess", false, "apply the feed to an in-process index instead of HTTP")
+	retain := fs.Int("retain", 0, "in-process retention horizon in blocks (0 = unbounded)")
+	window := fs.Int("window", 0, "in-process: audit window to print when done (0 = all retained)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *chainPath == "" {
+		return fmt.Errorf("-chain is required")
+	}
+	if *batch < 1 {
+		*batch = 1
+	}
+
+	f, err := os.Open(*chainPath)
+	if err != nil {
+		return err
+	}
+	c, err := dataset.ReadChainCSV(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if c.Len() == 0 {
+		return fmt.Errorf("chain %s is empty", *chainPath)
+	}
+
+	var plan *faults.Plan
+	if *chaos != "" {
+		if plan, err = faults.ParseSpec(*chaos); err != nil {
+			return err
+		}
+	}
+
+	// The network: relay gossips what "the chain" produces; watcher is the
+	// observation vantage point the audit feed comes from. Admission is
+	// fully permissive — the feed must carry the chain as-is, including the
+	// low-fee inclusions the audits are hunting for.
+	clk := &feedClock{t: c.Blocks()[0].Time}
+	relay := p2p.NewNode("relay", 0)
+	watcher := p2p.NewNode("watcher", 0)
+	defer relay.Close()
+	defer watcher.Close()
+	relay.SetClock(clk.now)
+	watcher.SetClock(clk.now)
+	relay.SetFaults(plan.P2P(1))
+	watcher.SetFaults(plan.P2P(2))
+	src := observer.NewNodeSource(watcher, *queue)
+	defer src.Close()
+	p2p.ConnectPair(relay, watcher)
+
+	// The sink stack, innermost out: HTTP or in-process, optionally teed
+	// through a recorder.
+	var (
+		sink observer.Sink
+		hs   *observer.HTTPSink
+		ix   *index.BlockIndex
+		win  *core.WindowAuditor
+	)
+	if *inprocess {
+		opts := []index.Option{index.WithAppender(dataset.AppendLoose)}
+		if *retain > 0 {
+			opts = append(opts, index.WithRetention(*retain))
+		}
+		ix = index.NewIncremental(poolid.DefaultRegistry(), opts...)
+		win = core.NewWindowAuditor(*retain)
+		sink = &observer.IndexSink{Index: ix, Win: win}
+	} else {
+		hs = &observer.HTTPSink{
+			URL:     *url,
+			Dataset: *name,
+			Client:  &http.Client{Timeout: time.Minute},
+			Faults:  plan.P2P(3),
+		}
+		sink = hs
+	}
+	if *record != "" {
+		rf, err := os.Create(*record)
+		if err != nil {
+			return err
+		}
+		defer rf.Close()
+		bw := bufio.NewWriter(rf)
+		defer bw.Flush()
+		sink = observer.NewRecordSink(bw, *name, sink)
+	}
+
+	// Feed the chain through the relay on its own goroutine while the
+	// observer run drains the watcher's events; closing the source ends the
+	// run with a final flush.
+	feedErr := make(chan error, 1)
+	reconnects := 0
+	go func() {
+		defer src.Close()
+		feedErr <- feed(ctx, c, relay, watcher, clk, *timeout, &reconnects)
+	}()
+
+	stats, runErr := observer.Run(ctx, src, sink, observer.Config{BatchBlocks: *batch})
+	ferr := <-feedErr
+	if runErr != nil {
+		return fmt.Errorf("observer run: %w", runErr)
+	}
+	if ferr != nil {
+		return fmt.Errorf("feed: %w", ferr)
+	}
+
+	fmt.Fprintf(out, "observed %s", stats)
+	if reconnects > 0 {
+		fmt.Fprintf(out, ", %d churn reconnects", reconnects)
+	}
+	fmt.Fprintln(out)
+	if hs != nil {
+		height := int64(-1)
+		if hs.Last.Height != nil {
+			height = *hs.Last.Height
+		}
+		fmt.Fprintf(out, "dataset %s at height %d (index %d)\n", hs.Last.Dataset, height, hs.Last.IndexLen)
+	}
+	if win != nil {
+		fmt.Fprintf(out, "in-process index: %d retained of %d ingested\n", ix.Len(), ix.Ingested())
+		if err := core.WritePPESection(out, win.AuditPPE(*window, core.AuditOptions{})); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// feed replays the chain into the relay node on the chain's own timeline:
+// body transactions gossip first, then the block, then the feeder waits for
+// the watcher to hold the new tip before moving on. A block lost to
+// injected faults falls back to direct submission at the watcher after the
+// propagation deadline — a real deployment's "observer fetched the block
+// from a second source" path. Churn (when injected) restarts the watcher
+// and reconnects it.
+func feed(ctx context.Context, c *chain.Chain, relay, watcher *p2p.Node, clk *feedClock, timeout time.Duration, reconnects *int) error {
+	submitted := 0
+	for _, b := range c.Blocks() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, tx := range b.Body() {
+			clk.set(tx.Time)
+			if err := relay.SubmitTx(tx, tx.Time); err != nil {
+				// Duplicates after churn-driven resubmission are expected; a
+				// rejected fresh transaction is not worth killing the feed for
+				// either — the block itself will still carry it.
+				continue
+			}
+			submitted++
+		}
+		// Let gossip settle so the watcher's seen-log delta for this block
+		// carries the transactions that preceded it; under drop faults some
+		// never arrive, so this is a bounded wait, not a barrier.
+		waitUntil(ctx, timeout/4, func() bool {
+			return len(watcher.SeenLog()) >= submitted
+		})
+		clk.set(b.Time)
+		if err := relay.SubmitBlock(b); err != nil {
+			return fmt.Errorf("relay rejected block %d: %w", b.Height, err)
+		}
+		arrived := waitUntil(ctx, timeout, func() bool {
+			return watcher.Mempool(clk.now()).TipHeight >= b.Height
+		})
+		if !arrived {
+			// The gossip path lost the block; hand it to the watcher directly.
+			if err := watcher.SubmitBlock(b); err != nil && !strings.Contains(err.Error(), "already known") {
+				return fmt.Errorf("watcher rejected block %d: %w", b.Height, err)
+			}
+			if !waitUntil(ctx, timeout, func() bool {
+				return watcher.Mempool(clk.now()).TipHeight >= b.Height
+			}) {
+				return fmt.Errorf("watcher never reached height %d", b.Height)
+			}
+		}
+		if watcher.MaybeChurn() {
+			p2p.ConnectPair(relay, watcher)
+			*reconnects++
+		}
+	}
+	return nil
+}
+
+// waitUntil polls cond until it holds, the deadline passes, or ctx is done.
+func waitUntil(ctx context.Context, d time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	return cond()
+}

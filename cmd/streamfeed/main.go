@@ -102,10 +102,7 @@ func record(args []string, out io.Writer) error {
 			snap.TimeNS = b.Time.UnixNano()
 			snap.TipHeight = b.Height
 			for _, tx := range b.Body() {
-				snap.Txs = append(snap.Txs, struct {
-					ID          string `json:"id"`
-					FirstSeenNS int64  `json:"first_seen_ns"`
-				}{ID: tx.ID.String(), FirstSeenNS: tx.Time.UnixNano()})
+				snap.Txs = append(snap.Txs, serve.SnapshotTx{ID: tx.ID.String(), FirstSeenNS: tx.Time.UnixNano()})
 			}
 		}
 		req.Mempool = []serve.SnapshotFrame{snap}

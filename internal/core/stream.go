@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 
 	"chainaudit/internal/chain"
@@ -9,6 +11,13 @@ import (
 	"chainaudit/internal/poolid"
 	"chainaudit/internal/stats"
 )
+
+// ErrStreamOrder is the sentinel wrapped by ObserveBlock when a block
+// arrives at or below the last observed height. Streams are strictly
+// height-ordered; a duplicate or out-of-order frame is a feed bug the
+// auditor rejects deterministically instead of silently corrupting the
+// window.
+var ErrStreamOrder = errors.New("core: block out of stream order")
 
 // WindowAuditor maintains running audit aggregates over a sliding height
 // window, updating as blocks and mempool snapshots arrive. It is the
@@ -27,8 +36,18 @@ import (
 // RWMutex).
 type WindowAuditor struct {
 	// max bounds the retained window in blocks (0 = retain everything).
-	max    int
-	blocks []windowBlock
+	max int
+
+	// Bounded windows store deltas in ring as a circular buffer of capacity
+	// max with head indexing the oldest entry, so eviction is an O(1)
+	// overwrite that releases the evicted block's lowFee/cands slices —
+	// never a reslice that pins the ever-growing backing array. Unbounded
+	// windows (max == 0) keep head at 0 and grow by appending.
+	ring []windowBlock
+	head int
+
+	lastHeight int64
+	anyBlocks  bool
 
 	snapshots   int
 	lastTip     int64
@@ -58,11 +77,17 @@ func NewWindowAuditor(maxBlocks int) *WindowAuditor {
 }
 
 // ObserveBlock folds one indexed block into the window, evicting the oldest
-// block when the window is full. Records must arrive in height order — the
-// order index.BlockIndex yields them.
-func (w *WindowAuditor) ObserveBlock(rec *index.BlockRecord) {
+// block when the window is full. Records must arrive in strictly increasing
+// height order — the order index.BlockIndex yields them; a duplicate or
+// out-of-order height returns an error wrapping ErrStreamOrder and leaves
+// the window unchanged.
+func (w *WindowAuditor) ObserveBlock(rec *index.BlockRecord) error {
+	h := rec.Block.Height
+	if w.anyBlocks && h <= w.lastHeight {
+		return fmt.Errorf("%w: height %d after %d", ErrStreamOrder, h, w.lastHeight)
+	}
 	wb := windowBlock{
-		height:   rec.Block.Height,
+		height:   h,
 		pool:     rec.Pool,
 		ppe:      rec.PPE,
 		ppeValid: rec.PPEValid,
@@ -73,7 +98,7 @@ func (w *WindowAuditor) ObserveBlock(rec *index.BlockRecord) {
 		}
 		wb.lowFee = append(wb.lowFee, LowFeeConfirmation{
 			TxID:    tx.ID,
-			Height:  rec.Block.Height,
+			Height:  h,
 			Pool:    rec.Pool,
 			FeeRate: rec.FeeRates[i],
 			ZeroFee: tx.Fee == 0,
@@ -84,14 +109,24 @@ func (w *WindowAuditor) ObserveBlock(rec *index.BlockRecord) {
 		for _, id := range info.IDs {
 			s := index.PercentileRank(info.Predicted[id], n) - index.PercentileRank(info.Observed[id], n)
 			if s >= 0 {
-				wb.cands = append(wb.cands, Candidate{TxID: id, Height: rec.Block.Height, SPPE: s})
+				wb.cands = append(wb.cands, Candidate{TxID: id, Height: h, SPPE: s})
 			}
 		}
 	}
-	w.blocks = append(w.blocks, wb)
-	if w.max > 0 && len(w.blocks) > w.max {
-		w.blocks = w.blocks[1:]
+	if w.max > 0 && len(w.ring) == w.max {
+		w.ring[w.head] = wb
+		w.head = (w.head + 1) % w.max
+	} else {
+		w.ring = append(w.ring, wb)
 	}
+	w.lastHeight = h
+	w.anyBlocks = true
+	return nil
+}
+
+// at returns the i-th retained delta in stream order (0 = oldest).
+func (w *WindowAuditor) at(i int) *windowBlock {
+	return &w.ring[(w.head+i)%len(w.ring)]
 }
 
 // ObserveSnapshot folds one mempool snapshot into the stream state. The
@@ -104,7 +139,7 @@ func (w *WindowAuditor) ObserveSnapshot(s *mempool.Snapshot) {
 }
 
 // Len returns the number of blocks currently retained.
-func (w *WindowAuditor) Len() int { return len(w.blocks) }
+func (w *WindowAuditor) Len() int { return len(w.ring) }
 
 // Snapshots returns the number of mempool snapshots observed.
 func (w *WindowAuditor) Snapshots() int { return w.snapshots }
@@ -116,19 +151,21 @@ func (w *WindowAuditor) LastSnapshotTip() (int64, bool) { return w.lastTip, w.la
 // Heights returns the retained height range; ok is false for an empty
 // window.
 func (w *WindowAuditor) Heights() (lo, hi int64, ok bool) {
-	if len(w.blocks) == 0 {
+	n := len(w.ring)
+	if n == 0 {
 		return 0, 0, false
 	}
-	return w.blocks[0].height, w.blocks[len(w.blocks)-1].height, true
+	return w.at(0).height, w.at(n - 1).height, true
 }
 
-// tail returns the last n retained blocks (all of them when n <= 0 or n
-// exceeds the retained count) — the windowed analogue of chain.Suffix.
-func (w *WindowAuditor) tail(n int) []windowBlock {
-	if n <= 0 || n > len(w.blocks) {
-		n = len(w.blocks)
+// tailStart returns the stream-order offset of the first block in the last
+// n retained blocks (all of them when n <= 0 or n exceeds the retained
+// count) — the windowed analogue of chain.Suffix.
+func (w *WindowAuditor) tailStart(n int) int {
+	if n <= 0 || n > len(w.ring) {
+		n = len(w.ring)
 	}
-	return w.blocks[len(w.blocks)-n:]
+	return len(w.ring) - n
 }
 
 // AuditPPE computes the Figure 7 PPE report over the last window blocks
@@ -138,7 +175,8 @@ func (w *WindowAuditor) AuditPPE(window int, opts AuditOptions) PPEReport {
 	minBlocks := opts.minBlocks()
 	var all []float64
 	perPool := make(map[string][]float64)
-	for _, wb := range w.tail(window) {
+	for i := w.tailStart(window); i < len(w.ring); i++ {
+		wb := w.at(i)
 		if !wb.ppeValid {
 			continue
 		}
@@ -159,8 +197,8 @@ func (w *WindowAuditor) AuditPPE(window int, opts AuditOptions) PPEReport {
 // Auditor.AuditLowFee over the corresponding chain suffix.
 func (w *WindowAuditor) AuditLowFee(window int) []LowFeeConfirmation {
 	var out []LowFeeConfirmation
-	for _, wb := range w.tail(window) {
-		out = append(out, wb.lowFee...)
+	for i := w.tailStart(window); i < len(w.ring); i++ {
+		out = append(out, w.at(i).lowFee...)
 	}
 	return out
 }
@@ -173,7 +211,8 @@ func (w *WindowAuditor) AuditLowFee(window int) []LowFeeConfirmation {
 func (w *WindowAuditor) AuditDarkFee(pool string, window int, opts AuditOptions) []Candidate {
 	minSPPE := opts.sppe()
 	var out []Candidate
-	for _, wb := range w.tail(window) {
+	for i := w.tailStart(window); i < len(w.ring); i++ {
+		wb := w.at(i)
 		if wb.pool != pool {
 			continue
 		}

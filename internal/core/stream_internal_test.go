@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/index"
+)
+
+// rec builds a minimal coinbase-only record at the height — enough to drive
+// the ring without a full dataset.
+func recAt(t *testing.T, h int64) *index.BlockRecord {
+	t.Helper()
+	b := &chain.Block{Height: h}
+	cb := &chain.Tx{VSize: 100, CoinbaseTag: "/test/", Time: time.Unix(h, 0)}
+	cb.ComputeID()
+	b.Txs = []*chain.Tx{cb}
+	pos := index.AnalyzeBlock(b)
+	r := &index.BlockRecord{Block: b, Pool: "test", Positions: pos}
+	r.PPE, r.PPEValid = pos.PPE()
+	return r
+}
+
+// TestWindowAuditorRingDoesNotGrow pins the eviction fix: a bounded window
+// fed far more blocks than its capacity keeps a backing array of exactly
+// max entries — the old reslice (blocks = blocks[1:]) pinned an array that
+// grew with every observation.
+func TestWindowAuditorRingDoesNotGrow(t *testing.T) {
+	const max = 8
+	w := NewWindowAuditor(max)
+	for h := int64(1); h <= 10*max; h++ {
+		if err := w.ObserveBlock(recAt(t, h)); err != nil {
+			t.Fatalf("ObserveBlock(%d): %v", h, err)
+		}
+	}
+	if got := len(w.ring); got != max {
+		t.Fatalf("ring length %d, want %d", got, max)
+	}
+	if got := cap(w.ring); got > 2*max {
+		t.Fatalf("ring capacity %d grew past the bound (max %d)", got, max)
+	}
+	lo, hi, ok := w.Heights()
+	if !ok || lo != 10*max-max+1 || hi != 10*max {
+		t.Fatalf("heights [%d, %d] ok=%v, want [%d, %d]", lo, hi, ok, 10*max-max+1, 10*max)
+	}
+	// Stream order survives wraparound.
+	for i := 1; i < w.Len(); i++ {
+		if w.at(i).height != w.at(i-1).height+1 {
+			t.Fatalf("ring out of order at %d: %d after %d", i, w.at(i).height, w.at(i-1).height)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package core_test
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 
@@ -35,7 +36,9 @@ func TestWindowAuditorMatchesBatchSuffix(t *testing.T) {
 		if err != nil {
 			t.Fatalf("AppendBlock(%d): %v", b.Height, err)
 		}
-		win.ObserveBlock(rec)
+		if err := win.ObserveBlock(rec); err != nil {
+			t.Fatalf("ObserveBlock(%d): %v", b.Height, err)
+		}
 	}
 	if win.Len() != c.Len() {
 		t.Fatalf("window retained %d blocks, chain has %d", win.Len(), c.Len())
@@ -115,7 +118,9 @@ func TestWindowAuditorEviction(t *testing.T) {
 	ix := index.Build(c, reg)
 	win := core.NewWindowAuditor(max)
 	for i := 0; i < ix.Len(); i++ {
-		win.ObserveBlock(ix.Record(i))
+		if err := win.ObserveBlock(ix.Record(i)); err != nil {
+			t.Fatalf("ObserveBlock(%d): %v", i, err)
+		}
 	}
 	if win.Len() != max {
 		t.Fatalf("window retained %d blocks, want %d", win.Len(), max)
@@ -136,5 +141,40 @@ func TestWindowAuditorEviction(t *testing.T) {
 	got = render(t, func(w io.Writer) error { return core.WritePPESection(w, win.AuditPPE(999, core.AuditOptions{})) })
 	if got != want {
 		t.Errorf("oversized window query did not clamp to retained blocks")
+	}
+}
+
+// TestWindowAuditorRejectsOutOfOrder pins the ordering guard: a duplicate
+// or out-of-order height is refused deterministically (same error, window
+// untouched) instead of silently corrupting the retained deltas.
+func TestWindowAuditorRejectsOutOfOrder(t *testing.T) {
+	ds := buildA(t)
+	c, reg := ds.Result.Chain, ds.Registry
+	if c.Len() < 3 {
+		t.Skipf("fixture too small: %d blocks", c.Len())
+	}
+	ix := index.Build(c, reg)
+	win := core.NewWindowAuditor(0)
+	for i := 0; i < ix.Len(); i++ {
+		if err := win.ObserveBlock(ix.Record(i)); err != nil {
+			t.Fatalf("ObserveBlock(%d): %v", i, err)
+		}
+	}
+	before := render(t, func(w io.Writer) error { return core.WritePPESection(w, win.AuditPPE(0, core.AuditOptions{})) })
+
+	// A duplicate of the tip and a replay of an older record both fail with
+	// the sentinel.
+	for _, i := range []int{ix.Len() - 1, 0, ix.Len() / 2} {
+		err := win.ObserveBlock(ix.Record(i))
+		if !errors.Is(err, core.ErrStreamOrder) {
+			t.Fatalf("ObserveBlock(record %d again) = %v, want ErrStreamOrder", i, err)
+		}
+	}
+	if win.Len() != ix.Len() {
+		t.Fatalf("rejected frames changed the window: retained %d, want %d", win.Len(), ix.Len())
+	}
+	after := render(t, func(w io.Writer) error { return core.WritePPESection(w, win.AuditPPE(0, core.AuditOptions{})) })
+	if after != before {
+		t.Errorf("rejected frames changed audit output:\n--- before ---\n%s--- after ---\n%s", before, after)
 	}
 }

@@ -126,7 +126,9 @@ func (s *Suite) ExtStreamEquivalence() (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		win.ObserveBlock(rec)
+		if err := win.ObserveBlock(rec); err != nil {
+			return nil, err
+		}
 	}
 	pools := inc.TopPoolsByShare(core.DefaultMinShare)
 	render := func(f func(io.Writer) error) (string, error) {

@@ -168,6 +168,14 @@ type BlockIndex struct {
 	rewardAddr map[string]map[chain.Address]bool
 	owner      map[chain.Address]string
 	selfSets   map[string]map[chain.TxID]bool
+
+	// retain bounds the retained records (0 = keep everything; see
+	// WithRetention). ingested counts every record ever ingested — the
+	// denominator for hash-rate shares, immune to compaction — and dropped
+	// counts the records compacted past the horizon.
+	retain   int
+	ingested int64
+	dropped  int
 }
 
 // Option configures an index.
@@ -195,6 +203,22 @@ func WithExecutor(e *pipeline.Executor) Option {
 // the same chain a CSV round trip produces.
 func WithAppender(f func(*chain.Chain, *chain.Block) error) Option {
 	return func(ix *BlockIndex) { ix.appendFn = f }
+}
+
+// WithRetention bounds the index to the most recent n block records
+// (0 = unbounded). After each append past the horizon the oldest record is
+// compacted away together with the first-seen entries of the transactions
+// it confirmed. Compaction is invisible to everything aggregate or
+// windowed: pool shares keep the full-history denominator (ingested, not
+// retained, blocks), the incremental reward-address/self-interest maps are
+// already folded, and windowed audits over any window ≤ n read only
+// retained records. Full-chain audits and per-record accessors see the
+// retained horizon only; the underlying chain is not compacted.
+func WithRetention(n int) Option {
+	if n < 0 {
+		n = 0
+	}
+	return func(ix *BlockIndex) { ix.retain = n }
 }
 
 func newIndex(c *chain.Chain, reg *poolid.Registry, opts ...Option) *BlockIndex {
@@ -235,6 +259,7 @@ func Build(c *chain.Chain, reg *poolid.Registry, opts ...Option) *BlockIndex {
 	for i := range recs {
 		ix.ingestRecord(recs[i])
 	}
+	ix.compact()
 	ix.refreshShares()
 	return ix
 }
@@ -279,7 +304,10 @@ func (ix *BlockIndex) AppendBlock(b *chain.Block) (*BlockRecord, error) {
 		return nil, err
 	}
 	ix.ingestRecord(buildRecord(b, ix.registry))
+	ix.compact()
 	ix.refreshShares()
+	// The pointer is taken after compaction: the newest record survives any
+	// copy-down, but its slot may have moved.
 	return &ix.records[len(ix.records)-1], nil
 }
 
@@ -289,6 +317,7 @@ func (ix *BlockIndex) AppendBlock(b *chain.Block) (*BlockRecord, error) {
 func (ix *BlockIndex) ingestRecord(rec BlockRecord) {
 	i := len(ix.records)
 	ix.records = append(ix.records, rec)
+	ix.ingested++
 	ix.byPool[rec.Pool] = append(ix.byPool[rec.Pool], i)
 	s := ix.poolCounts[rec.Pool]
 	if s == nil {
@@ -365,15 +394,69 @@ func (ix *BlockIndex) creditAddress(rec *BlockRecord, addr chain.Address, pool s
 	}
 }
 
+// compact drops records older than the retention horizon: their first-seen
+// entries are pruned, byPool indices remapped, and the record slots zeroed
+// so the evicted Positions/FeeRates/CPFP data is released rather than
+// pinned by the backing array. Aggregates (poolCounts, ingested, owner,
+// selfSets) are untouched — they were folded at ingest time — which is what
+// keeps shares and windowed verdicts byte-identical across compaction.
+func (ix *BlockIndex) compact() {
+	if ix.retain <= 0 || len(ix.records) <= ix.retain {
+		return
+	}
+	k := len(ix.records) - ix.retain
+	if len(ix.firstSeen) > 0 {
+		ix.ownFirstSeen(0)
+		for r := 0; r < k; r++ {
+			for _, tx := range ix.records[r].Block.Txs {
+				delete(ix.firstSeen, tx.ID)
+			}
+		}
+	}
+	for pool, idxs := range ix.byPool {
+		kept := idxs[:0]
+		for _, i := range idxs {
+			if i >= k {
+				kept = append(kept, i-k)
+			}
+		}
+		ix.byPool[pool] = kept
+	}
+	n := copy(ix.records, ix.records[k:])
+	tail := ix.records[n:]
+	for i := range tail {
+		tail[i] = BlockRecord{}
+	}
+	ix.records = ix.records[:n]
+	ix.dropped += k
+}
+
+// ownFirstSeen ensures the index owns its first-seen map (copy-on-write: a
+// map attached via WithFirstSeen is shared with the caller until the first
+// mutation). extra sizes the clone for an upcoming merge.
+func (ix *BlockIndex) ownFirstSeen(extra int) {
+	if ix.ownSeen {
+		return
+	}
+	cp := make(map[chain.TxID]time.Time, len(ix.firstSeen)+extra)
+	for id, t := range ix.firstSeen {
+		cp[id] = t
+	}
+	ix.firstSeen = cp
+	ix.ownSeen = true
+}
+
 // refreshShares rematerializes the sorted per-pool share slice from the
 // running tallies: block count descending, ties by name — the same ordering
-// poolid.EstimateShares produces.
+// poolid.EstimateShares produces. The hash-rate denominator is the count of
+// blocks ever ingested, not retained, so retention compaction never moves a
+// share.
 func (ix *BlockIndex) refreshShares() {
 	ix.shares = ix.shares[:0]
 	for _, s := range ix.poolCounts {
 		cp := *s
-		if len(ix.records) > 0 {
-			cp.HashRate = float64(cp.Blocks) / float64(len(ix.records))
+		if ix.ingested > 0 {
+			cp.HashRate = float64(cp.Blocks) / float64(ix.ingested)
 		}
 		ix.shares = append(ix.shares, cp)
 	}
@@ -393,14 +476,7 @@ func (ix *BlockIndex) ObserveFirstSeen(seen map[chain.TxID]time.Time) {
 	if len(seen) == 0 {
 		return
 	}
-	if !ix.ownSeen {
-		cp := make(map[chain.TxID]time.Time, len(ix.firstSeen)+len(seen))
-		for id, t := range ix.firstSeen {
-			cp[id] = t
-		}
-		ix.firstSeen = cp
-		ix.ownSeen = true
-	}
+	ix.ownFirstSeen(len(seen))
 	for id, t := range seen {
 		if prev, ok := ix.firstSeen[id]; !ok || t.Before(prev) {
 			ix.firstSeen[id] = t
@@ -414,8 +490,19 @@ func (ix *BlockIndex) Chain() *chain.Chain { return ix.chain }
 // Registry returns the attribution registry the index was built with.
 func (ix *BlockIndex) Registry() *poolid.Registry { return ix.registry }
 
-// Len returns the number of indexed blocks.
+// Len returns the number of retained block records.
 func (ix *BlockIndex) Len() int { return len(ix.records) }
+
+// Retention returns the configured retention horizon in blocks (0 =
+// unbounded).
+func (ix *BlockIndex) Retention() int { return ix.retain }
+
+// Ingested returns the number of blocks ever ingested, including records
+// compacted past the retention horizon — the hash-rate denominator.
+func (ix *BlockIndex) Ingested() int64 { return ix.ingested }
+
+// Dropped returns the number of records compacted away so far.
+func (ix *BlockIndex) Dropped() int { return ix.dropped }
 
 // Record returns the i-th block's record (height order). The record is
 // shared and must not be modified.

@@ -1,0 +1,243 @@
+package observer
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/core"
+	"chainaudit/internal/faults"
+	"chainaudit/internal/index"
+	"chainaudit/internal/mempool"
+	"chainaudit/internal/serve"
+)
+
+// IndexSink applies batches to an in-process incremental index and window
+// auditor, mirroring serve.handleIngest's apply order exactly (blocks first,
+// then snapshots; snapshot counts from the frame; zero first-seen times fall
+// back to the snapshot time) so an in-process run and an HTTP run over the
+// same event stream land on identical audit state.
+type IndexSink struct {
+	Index *index.BlockIndex
+	Win   *core.WindowAuditor
+}
+
+// Apply appends the batch; the first unappendable or out-of-order block
+// fails the batch, like the service's 409.
+func (s *IndexSink) Apply(ctx context.Context, b *Batch) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, blk := range b.Blocks {
+		rec, err := s.Index.AppendBlock(blk)
+		if err != nil {
+			return err
+		}
+		if s.Win != nil {
+			if err := s.Win.ObserveBlock(rec); err != nil {
+				return err
+			}
+		}
+	}
+	for _, sn := range b.Snapshots {
+		seen := make(map[chain.TxID]time.Time, len(sn.Seen))
+		for _, ev := range sn.Seen {
+			at := ev.At
+			if at.IsZero() {
+				at = sn.Time
+			}
+			seen[ev.TxID] = at
+		}
+		s.Index.ObserveFirstSeen(seen)
+		if s.Win != nil {
+			s.Win.ObserveSnapshot(&mempool.Snapshot{
+				Time:      sn.Time,
+				Count:     len(sn.Seen),
+				TipHeight: sn.TipHeight,
+			})
+		}
+	}
+	return nil
+}
+
+// HTTPSink ships batches to a running chainauditd's POST /v1/ingest with
+// retry and exponential backoff. Transport failures reconnect and retry;
+// semantic rejections (400/409) are permanent — except the idempotent case
+// where the service already holds every block in the batch (a duplicate
+// delivery after a retry or reconnect), which counts as success.
+//
+// An optional faults injector rehearses a flaky observer link: dropped
+// attempts become transport failures, delays hold the request back, and
+// duplicates ship the batch twice (the second delivery exercising the
+// idempotent path).
+type HTTPSink struct {
+	URL     string // chainauditd base URL
+	Dataset string
+	Client  *http.Client
+	// MaxRetries bounds retry attempts after the first (default 4).
+	MaxRetries int
+	// Backoff is the initial retry delay (default 100ms), doubling per
+	// attempt and capped at 2s.
+	Backoff time.Duration
+	Faults  *faults.P2PInjector
+
+	// Last is the most recent accepted ingest response, for driver reports.
+	Last serve.IngestResponse
+}
+
+func (s *HTTPSink) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return http.DefaultClient
+}
+
+func (s *HTTPSink) retries() int {
+	if s.MaxRetries > 0 {
+		return s.MaxRetries
+	}
+	return 4
+}
+
+func (s *HTTPSink) backoff(attempt int) time.Duration {
+	d := s.Backoff
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= 2*time.Second {
+			return 2 * time.Second
+		}
+	}
+	return d
+}
+
+// Apply ships one batch, retrying transport failures until the retry budget
+// is spent.
+func (s *HTTPSink) Apply(ctx context.Context, b *Batch) error {
+	req := b.Request(s.Dataset)
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return err
+	}
+	endpoint := strings.TrimSuffix(s.URL, "/") + "/v1/ingest"
+	var lastErr error
+	for attempt := 0; attempt <= s.retries(); attempt++ {
+		if attempt > 0 {
+			mRetries.Inc()
+			select {
+			case <-time.After(s.backoff(attempt - 1)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		act := s.Faults.Message()
+		if act.Delay > 0 {
+			select {
+			case <-time.After(act.Delay):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if act.Drop {
+			// The link ate the request: indistinguishable from a transport
+			// failure on our side, so it burns a retry and a reconnect.
+			mReconnects.Inc()
+			lastErr = fmt.Errorf("observer: injected drop shipping batch at height %d", b.maxHeight())
+			continue
+		}
+		resp, err := s.post(ctx, endpoint, body, b)
+		if err != nil {
+			var fatal *fatalIngestError
+			if errors.As(err, &fatal) {
+				return fatal.err
+			}
+			mReconnects.Inc()
+			lastErr = err
+			continue
+		}
+		s.Last = *resp
+		if act.Duplicate {
+			// Deliver again; the service already holds these blocks, so the
+			// duplicate must come back idempotent-accepted or the stream
+			// protocol regressed.
+			if _, err := s.post(ctx, endpoint, body, b); err != nil {
+				return fmt.Errorf("observer: duplicate delivery not idempotent: %w", err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("observer: batch at height %d failed after %d attempts: %w", b.maxHeight(), s.retries()+1, lastErr)
+}
+
+// fatalIngestError marks a semantic rejection that retrying cannot fix.
+type fatalIngestError struct{ err error }
+
+func (e *fatalIngestError) Error() string { return e.err.Error() }
+func (e *fatalIngestError) Unwrap() error { return e.err }
+
+// post sends one delivery and interprets the service's verdict. A non-OK
+// status whose response watermark already covers the batch is the
+// idempotent duplicate-delivery case and succeeds.
+func (s *HTTPSink) post(ctx context.Context, endpoint string, body []byte, b *Batch) (*serve.IngestResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(body))
+	if err != nil {
+		return nil, &fatalIngestError{err}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := s.client().Do(hreq)
+	if err != nil {
+		return nil, err // transport: retryable
+	}
+	defer hresp.Body.Close()
+	var resp serve.IngestResponse
+	raw, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, fmt.Errorf("observer: bad ingest response (%d): %s", hresp.StatusCode, raw)
+	}
+	if hresp.StatusCode == http.StatusOK {
+		return &resp, nil
+	}
+	if resp.Height != nil && *resp.Height >= b.maxHeight() && b.maxHeight() >= 0 {
+		return &resp, nil // already applied: duplicate delivery, not a failure
+	}
+	if hresp.StatusCode >= 500 {
+		return nil, fmt.Errorf("observer: ingest unavailable (%d)", hresp.StatusCode) // server trouble: retryable
+	}
+	return nil, &fatalIngestError{fmt.Errorf("observer: ingest rejected (%d): %s", hresp.StatusCode, resp.Error)}
+}
+
+// RecordSink tees every batch's ingest request to a JSONL stream — the
+// exact format streamfeed replay consumes — before forwarding it to the
+// next sink. Recording a live run and replaying the recording must produce
+// identical audit state; smoke-live holds the repo to that.
+type RecordSink struct {
+	enc     *json.Encoder
+	next    Sink
+	dataset string
+}
+
+// NewRecordSink tees requests for dataset onto w, then forwards to next.
+func NewRecordSink(w io.Writer, dataset string, next Sink) *RecordSink {
+	return &RecordSink{enc: json.NewEncoder(w), next: next, dataset: dataset}
+}
+
+// Apply writes the batch's request line, then forwards the batch.
+func (s *RecordSink) Apply(ctx context.Context, b *Batch) error {
+	req := b.Request(s.dataset)
+	if err := s.enc.Encode(&req); err != nil {
+		return err
+	}
+	return s.next.Apply(ctx, b)
+}

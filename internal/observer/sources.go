@@ -1,0 +1,151 @@
+package observer
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/p2p"
+)
+
+// NodeSource subscribes to a p2p node's accepted blocks through its block
+// hook and turns each into an Event carrying the block plus a mempool
+// snapshot of the seen-log delta since the previous block — the
+// first-contact times the node learned while that block was forming.
+//
+// The hook runs on the node's accepting goroutine, so events pass through a
+// bounded queue; if the observer falls more than the queue depth behind, the
+// source fails loudly (ErrOverrun) instead of silently losing blocks —
+// a lossy observer would quietly skew the audit it feeds.
+type NodeSource struct {
+	node *p2p.Node
+	ch   chan Event
+	done chan struct{}
+
+	mu      sync.Mutex
+	cursor  int // seen-log position already shipped
+	overrun bool
+	closed  bool
+}
+
+// ErrOverrun reports that the node outran the observer's queue.
+var ErrOverrun = fmt.Errorf("observer: node outran the event queue")
+
+// NewNodeSource hooks the source into node. depth bounds the event queue
+// (default 1024). Call Close when done; the node must outlive the source.
+func NewNodeSource(node *p2p.Node, depth int) *NodeSource {
+	if depth <= 0 {
+		depth = 1024
+	}
+	s := &NodeSource{
+		node: node,
+		ch:   make(chan Event, depth),
+		done: make(chan struct{}),
+	}
+	node.SetBlockHook(s.onBlock)
+	return s
+}
+
+// onBlock runs on the node's accepting goroutine, outside the node lock.
+func (s *NodeSource) onBlock(blk *chain.Block) {
+	s.mu.Lock()
+	if s.closed || s.overrun {
+		s.mu.Unlock()
+		return
+	}
+	seen, cursor := s.node.SeenLogSince(s.cursor)
+	s.cursor = cursor
+	ev := Event{
+		Block: blk,
+		Snapshot: &Snapshot{
+			Time:      blk.Time,
+			TipHeight: blk.Height,
+			Seen:      seen,
+		},
+	}
+	select {
+	case s.ch <- ev:
+		s.mu.Unlock()
+	default:
+		s.overrun = true
+		s.mu.Unlock()
+		mDropped.Inc()
+	}
+}
+
+// Next returns the next queued event; after Close drains the queue it
+// returns io.EOF. An overrun surfaces as ErrOverrun once the queue empties.
+func (s *NodeSource) Next(ctx context.Context) (Event, error) {
+	for {
+		mBacklog.Set(float64(len(s.ch)))
+		select {
+		case ev := <-s.ch:
+			return ev, nil
+		default:
+		}
+		s.mu.Lock()
+		overrun, closed := s.overrun, s.closed
+		s.mu.Unlock()
+		if overrun {
+			return Event{}, ErrOverrun
+		}
+		if closed {
+			return Event{}, io.EOF
+		}
+		select {
+		case ev := <-s.ch:
+			return ev, nil
+		case <-s.done:
+			// Loop: drain whatever the hook enqueued before Close detached it.
+		case <-ctx.Done():
+			return Event{}, ctx.Err()
+		}
+	}
+}
+
+// Close detaches the hook from the node. Queued events remain readable;
+// Next returns io.EOF once they are drained.
+func (s *NodeSource) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.node.SetBlockHook(nil)
+	close(s.done)
+}
+
+// ChainSource replays a built chain as an observation stream: one event per
+// block, each carrying a snapshot of the body transactions' own times as
+// first-contact observations — the same shape streamfeed record emits and
+// the deterministic stand-in NodeSource's live feed is audited against.
+type ChainSource struct {
+	blocks []*chain.Block
+	i      int
+}
+
+// NewChainSource replays c's blocks in order.
+func NewChainSource(c *chain.Chain) *ChainSource {
+	return &ChainSource{blocks: c.Blocks()}
+}
+
+// Next returns the next block event, or io.EOF past the end.
+func (s *ChainSource) Next(ctx context.Context) (Event, error) {
+	if err := ctx.Err(); err != nil {
+		return Event{}, err
+	}
+	if s.i >= len(s.blocks) {
+		return Event{}, io.EOF
+	}
+	b := s.blocks[s.i]
+	s.i++
+	sn := &Snapshot{Time: b.Time, TipHeight: b.Height}
+	for _, tx := range b.Body() {
+		sn.Seen = append(sn.Seen, p2p.SeenEvent{TxID: tx.ID, At: tx.Time, Tip: b.Height})
+	}
+	return Event{Block: b, Snapshot: sn}, nil
+}

@@ -30,6 +30,10 @@ type Node struct {
 	peerSeq int64 // connection counter; orders peers deterministically
 	seenLog []SeenEvent
 	closed  bool
+
+	// blockHook, when set, fires after every accepted block — local submits
+	// and gossip alike — outside the node lock (see SetBlockHook).
+	blockHook func(*chain.Block)
 }
 
 // SeenEvent records the node's first contact with a transaction, the raw
@@ -141,6 +145,32 @@ func (n *Node) SeenLog() []SeenEvent {
 	return append([]SeenEvent(nil), n.seenLog...)
 }
 
+// SeenLogSince returns a copy of the first-contact log entries from index
+// start onward plus the new cursor — the incremental pull a live observer
+// uses to carry only the delta since its previous snapshot.
+func (n *Node) SeenLogSince(start int) ([]SeenEvent, int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if start < 0 {
+		start = 0
+	}
+	if start > len(n.seenLog) {
+		start = len(n.seenLog)
+	}
+	return append([]SeenEvent(nil), n.seenLog[start:]...), len(n.seenLog)
+}
+
+// SetBlockHook installs a callback fired after every block the node
+// accepts, whether submitted locally or learned from gossip. The hook runs
+// outside the node lock on the accepting goroutine, after the block is
+// stored and the mempool pruned — internal/observer subscribes here. Set it
+// before Connect; nil removes it.
+func (n *Node) SetBlockHook(f func(*chain.Block)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blockHook = f
+}
+
 // PeerCount returns the number of live peers.
 func (n *Node) PeerCount() int {
 	n.mu.Lock()
@@ -247,8 +277,8 @@ func (n *Node) acceptBlock(blk *chain.Block) error {
 		return err
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if _, known := n.blocks[blk.Height]; known {
+		n.mu.Unlock()
 		return fmt.Errorf("p2p: block %d already known", blk.Height)
 	}
 	n.blocks[blk.Height] = blk
@@ -258,6 +288,14 @@ func (n *Node) acceptBlock(blk *chain.Block) error {
 	n.pool.RemoveConfirmed(blk)
 	for _, tx := range blk.Txs {
 		n.txs[tx.ID] = tx
+	}
+	hook := n.blockHook
+	n.mu.Unlock()
+	// The hook runs outside the lock so it may call back into the node
+	// (SeenLogSince, Mempool). Accepts are serialized through n.mu, and the
+	// feed drivers submit sequentially, so hooks observe accept order.
+	if hook != nil {
+		hook(blk)
 	}
 	return nil
 }

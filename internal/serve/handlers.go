@@ -190,6 +190,11 @@ type healthDataset struct {
 	// height and when it was applied (per the injected clock). Absent for
 	// startup-loaded sets and streams that have not appended yet.
 	Watermark *ingestWatermark `json:"watermark,omitempty"`
+	// Retain is the streaming set's retention horizon in blocks; 0 (and
+	// absent) means unbounded. Ingested counts every block ever applied,
+	// including those compacted past the horizon.
+	Retain   int   `json:"retain,omitempty"`
+	Ingested int64 `json:"ingested,omitempty"`
 }
 
 type ingestWatermark struct {
@@ -218,6 +223,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		if set.stream != nil {
 			hd.IndexLen = set.stream.ix.Len()
+			hd.Retain = set.stream.ix.Retention()
+			hd.Ingested = set.stream.ix.Ingested()
 		}
 		if h, last, ok := set.watermark(); ok {
 			hd.Watermark = &ingestWatermark{Height: h, LastAppend: last}
@@ -476,7 +483,11 @@ var auditRunners = map[string]func(set *auditSet, req *auditReq) (*payload, erro
 // batch audit of the same blocks.
 var windowRunners = map[string]func(set *auditSet, req *auditReq) (*payload, error){
 	"ppe": func(set *auditSet, req *auditReq) (*payload, error) {
-		rep := set.window().AuditPPE(req.window, req.opts)
+		win, err := set.window()
+		if err != nil {
+			return nil, err
+		}
+		rep := win.AuditPPE(req.window, req.opts)
 		p := &payload{Notes: []string{fmt.Sprintf("PPE overall: %s", rep.Overall)}}
 		if err := p.addTables(core.PPETable(rep)); err != nil {
 			return nil, err
@@ -484,7 +495,11 @@ var windowRunners = map[string]func(set *auditSet, req *auditReq) (*payload, err
 		return p, renderInto(p, func(w io.Writer) error { return core.WritePPESection(w, rep) })
 	},
 	"lowfee": func(set *auditSet, req *auditReq) (*payload, error) {
-		lows := set.window().AuditLowFee(req.window)
+		win, err := set.window()
+		if err != nil {
+			return nil, err
+		}
+		lows := win.AuditLowFee(req.window)
 		p := &payload{}
 		if len(lows) == 0 {
 			p.Notes = []string{"norm III: no sub-minimum confirmations"}
@@ -494,7 +509,11 @@ var windowRunners = map[string]func(set *auditSet, req *auditReq) (*payload, err
 		return p, renderInto(p, func(w io.Writer) error { return core.WriteLowFeeSection(w, lows) })
 	},
 	"darkfee": func(set *auditSet, req *auditReq) (*payload, error) {
-		cands := set.window().AuditDarkFee(req.pool, req.window, req.opts)
+		win, err := set.window()
+		if err != nil {
+			return nil, err
+		}
+		cands := win.AuditDarkFee(req.pool, req.window, req.opts)
 		p := &payload{Notes: []string{fmt.Sprintf("%d candidates", len(cands))}}
 		if len(cands) > 0 {
 			if err := p.addTables(core.DarkFeeTable(req.pool, req.sppeShow, cands)); err != nil {

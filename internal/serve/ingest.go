@@ -67,12 +67,16 @@ type BlockFrame struct {
 // SnapshotFrame is one mempool observation: the observer's first-seen times
 // for pending transactions plus the tip the observer saw.
 type SnapshotFrame struct {
-	TimeNS    int64 `json:"time_ns"`
-	TipHeight int64 `json:"tip_height"`
-	Txs       []struct {
-		ID          string `json:"id"`
-		FirstSeenNS int64  `json:"first_seen_ns"`
-	} `json:"txs"`
+	TimeNS    int64        `json:"time_ns"`
+	TipHeight int64        `json:"tip_height"`
+	Txs       []SnapshotTx `json:"txs"`
+}
+
+// SnapshotTx is one pending transaction inside a snapshot frame. A zero
+// FirstSeenNS falls back to the frame's own TimeNS on ingest.
+type SnapshotTx struct {
+	ID          string `json:"id"`
+	FirstSeenNS int64  `json:"first_seen_ns"`
 }
 
 // IngestRequest is the POST /v1/ingest body: a batch of block and mempool
@@ -184,24 +188,33 @@ func buildFrameBlock(f *BlockFrame) (*chain.Block, error) {
 // newStreamSet creates an empty streaming data set. Frames carry the same
 // single-edge transactions the CSVs do, so the chain grows through
 // dataset.AppendLoose — a replayed stream lands on the identical chain a
-// CSV round trip produces.
-func newStreamSet(name string) *auditSet {
-	ix := index.NewIncremental(poolid.DefaultRegistry(), index.WithAppender(dataset.AppendLoose))
+// CSV round trip produces. A positive retain bounds the incremental index
+// and window state to the most recent retain blocks.
+func newStreamSet(name string, retain int) *auditSet {
+	opts := []index.Option{index.WithAppender(dataset.AppendLoose)}
+	if retain > 0 {
+		opts = append(opts, index.WithRetention(retain))
+	}
+	ix := index.NewIncremental(poolid.DefaultRegistry(), opts...)
 	return &auditSet{
 		name:        name,
 		fingerprint: obs.ConfigHash("stream", name, "empty"),
 		aud:         core.NewIndexedAuditor(ix),
 		stream: &streamState{
 			ix:  ix,
-			win: core.NewWindowAuditor(0),
+			win: core.NewWindowAuditor(retain),
 		},
 	}
 }
 
-// lookupStreamSet resolves (or creates) the streaming data set an ingest
-// request targets. Ingest into a startup-loaded set is rejected: those are
-// the immutable batch references the stream is audited against.
-func (s *Server) lookupStreamSet(name string) (*auditSet, error) {
+// lookupStreamSet resolves the streaming data set an ingest request
+// targets, creating it only when create is set. Callers validate the
+// request's frames before asking for creation, so a malformed request to a
+// fresh name never leaves an empty data set behind (or claims the default
+// slot). Ingest into a startup-loaded set is rejected: those are the
+// immutable batch references the stream is audited against. A nil, nil
+// return means the set does not exist and creation was not requested.
+func (s *Server) lookupStreamSet(name string, create bool) (*auditSet, error) {
 	s.setsMu.Lock()
 	defer s.setsMu.Unlock()
 	if set, ok := s.sets[name]; ok {
@@ -210,7 +223,10 @@ func (s *Server) lookupStreamSet(name string) (*auditSet, error) {
 		}
 		return set, nil
 	}
-	set := newStreamSet(name)
+	if !create {
+		return nil, nil
+	}
+	set := newStreamSet(name, s.cfg.StreamRetain)
 	s.sets[name] = set
 	s.order = append(s.order, name)
 	if s.defName == "" {
@@ -226,7 +242,9 @@ func (s *Server) lookupStreamSet(name string) (*auditSet, error) {
 // double spend, missing coinbase) stops the batch with 409, and everything
 // applied before it stays. Each applied block updates the incremental
 // index, the sliding-window audit state, the ingest watermark, and rotates
-// the set's fingerprint (retiring its result-cache entries).
+// the set's fingerprint (retiring its result-cache entries); applied
+// snapshot frames rotate the fingerprint too, since first-seen times are
+// audit-visible state.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	mIngestRequests.Inc()
 	t := startTimer()
@@ -240,15 +258,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, IngestResponse{API: API, Error: "ingest needs a dataset name", ElapsedMS: t.ms()})
 		return
 	}
-	set, err := s.lookupStreamSet(req.Dataset)
+	set, err := s.lookupStreamSet(req.Dataset, false)
 	if err != nil {
 		mIngestRejects.Inc()
 		writeJSON(w, http.StatusConflict, IngestResponse{API: API, Dataset: req.Dataset, Error: err.Error(), ElapsedMS: t.ms()})
 		return
 	}
 
-	// Frames are parsed before taking the set's write lock, so malformed
-	// input never blocks concurrent audits.
+	// Frames are parsed before creating a fresh data set and before taking
+	// the set's write lock: malformed input neither registers an empty set
+	// nor blocks concurrent audits.
 	blocks := make([]*chain.Block, 0, len(req.Blocks))
 	for i := range req.Blocks {
 		b, err := buildFrameBlock(&req.Blocks[i])
@@ -257,6 +276,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		blocks = append(blocks, b)
+	}
+	if set == nil {
+		if set, err = s.lookupStreamSet(req.Dataset, true); err != nil {
+			mIngestRejects.Inc()
+			writeJSON(w, http.StatusConflict, IngestResponse{API: API, Dataset: req.Dataset, Error: err.Error(), ElapsedMS: t.ms()})
+			return
+		}
 	}
 
 	set.mu.Lock()
@@ -272,7 +298,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		mIngestAppend.Observe(bt.elapsed())
-		st.win.ObserveBlock(rec)
+		// The index just accepted the block, so the window cannot see it out
+		// of order; a failure here means the append invariant broke and the
+		// batch stops exactly like an unappendable block.
+		if err := st.win.ObserveBlock(rec); err != nil {
+			mIngestRejects.Inc()
+			resp.Error = err.Error()
+			break
+		}
 		st.appends++
 		st.lastHeight = b.Height
 		st.lastAppend = s.now()
@@ -304,6 +337,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 				Count:     len(sf.Txs),
 				TipHeight: sf.TipHeight,
 			})
+			// Snapshots change audit-visible state (first-seen times feed the
+			// dark-fee/violation paths), so they rotate the fingerprint just
+			// like appends do — otherwise cached verdicts would survive new
+			// observer data.
+			set.fingerprint = obs.ConfigHash(set.fingerprint,
+				fmt.Sprintf("snap t=%d", sf.TimeNS),
+				fmt.Sprintf("tip=%d n=%d", sf.TipHeight, len(sf.Txs)))
 			st.snapshots++
 			mIngestSnapshots.Inc()
 			resp.Snapshots++

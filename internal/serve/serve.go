@@ -69,6 +69,12 @@ type Config struct {
 	// lag metrics (nil = time.Now). Tests inject a fixed clock; result bytes
 	// never depend on it.
 	Clock func() time.Time
+	// StreamRetain bounds each streaming data set's incremental index and
+	// window state to the most recent N blocks (0 = unbounded). Aggregate
+	// pool shares and windowed audits over any window ≤ N are unaffected by
+	// the compaction (see DESIGN.md §12); full-chain audits shrink to the
+	// retained horizon.
+	StreamRetain int
 }
 
 // auditSet is one loaded data set: a shared auditor plus the provenance the
@@ -89,11 +95,12 @@ type auditSet struct {
 	// stream holds live-ingest state; nil for startup-loaded sets.
 	stream *streamState
 
-	// winOnce/winAud lazily build the sliding-window auditor for
+	// winOnce/winAud/winErr lazily build the sliding-window auditor for
 	// startup-loaded sets by replaying the batch index — so windowed audits
 	// on static and streaming data go through the identical code path.
 	winOnce sync.Once
 	winAud  *core.WindowAuditor
+	winErr  error
 }
 
 // streamState is the live-ingest side of a streaming data set.
@@ -108,20 +115,25 @@ type streamState struct {
 
 // window returns the set's sliding-window auditor. Streaming sets maintain
 // it on ingest; static sets replay their batch index into one on first use.
-// Callers hold mu (read or write).
-func (set *auditSet) window() *core.WindowAuditor {
+// The replay error is retained and re-reported (index records are strictly
+// height-ordered, so it only fires if that invariant breaks). Callers hold
+// mu (read or write).
+func (set *auditSet) window() (*core.WindowAuditor, error) {
 	if set.stream != nil {
-		return set.stream.win
+		return set.stream.win, nil
 	}
 	set.winOnce.Do(func() {
 		w := core.NewWindowAuditor(0)
 		ix := set.aud.Index()
 		for i := 0; i < ix.Len(); i++ {
-			w.ObserveBlock(ix.Record(i))
+			if err := w.ObserveBlock(ix.Record(i)); err != nil {
+				set.winErr = fmt.Errorf("window replay of %q: %w", set.name, err)
+				return
+			}
 		}
 		set.winAud = w
 	})
-	return set.winAud
+	return set.winAud, set.winErr
 }
 
 // watermark reports a streaming set's ingest progress; ok is false for

@@ -26,6 +26,12 @@ import (
 // reference the stream must reproduce).
 func streamFixture(t *testing.T) (*Server, *chain.Chain, *time.Time) {
 	t.Helper()
+	return streamFixtureCfg(t, nil)
+}
+
+// streamFixtureCfg is streamFixture with a config hook (e.g. StreamRetain).
+func streamFixtureCfg(t *testing.T, mutate func(*Config)) (*Server, *chain.Chain, *time.Time) {
+	t.Helper()
 	ds, err := dataset.Cached(dataset.BuilderC, dataset.Options{Seed: 11, Duration: 4 * time.Hour})
 	if err != nil {
 		t.Fatal(err)
@@ -51,10 +57,14 @@ func streamFixture(t *testing.T) (*Server, *chain.Chain, *time.Time) {
 		t.Fatal(err)
 	}
 	now := time.Unix(1_700_000_000, 0)
-	s, err := New(Config{
+	cfg := Config{
 		Chains: []ChainSpec{{Name: "main", Path: path}},
 		Clock:  func() time.Time { return now },
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,10 +113,7 @@ func TestIngestReplayMatchesBatch(t *testing.T) {
 			snap.TimeNS = b.Time.UnixNano()
 			snap.TipHeight = b.Height
 			for _, tx := range b.Body() {
-				snap.Txs = append(snap.Txs, struct {
-					ID          string `json:"id"`
-					FirstSeenNS int64  `json:"first_seen_ns"`
-				}{ID: tx.ID.String(), FirstSeenNS: tx.Time.UnixNano()})
+				snap.Txs = append(snap.Txs, SnapshotTx{ID: tx.ID.String(), FirstSeenNS: tx.Time.UnixNano()})
 			}
 		}
 		req.Mempool = []SnapshotFrame{snap}
@@ -311,5 +318,213 @@ func TestIngestErrors(t *testing.T) {
 	}
 	if rr := do(t, h, "POST", "/v1/audits/ppe?dataset=live&window=-3"); rr.Code != http.StatusBadRequest {
 		t.Errorf("negative window = %d", rr.Code)
+	}
+}
+
+// TestIngestSnapshotRotatesFingerprint is the regression test for the
+// stale-cache bug: a snapshot-only ingest (no blocks) changes
+// first-seen-dependent audit state, so it must rotate the fingerprint and
+// retire cached results exactly as an append does.
+func TestIngestSnapshotRotatesFingerprint(t *testing.T) {
+	s, c, _ := streamFixture(t)
+	h := s.Handler()
+	blocks := c.Blocks()
+
+	seed := IngestRequest{Dataset: "live", Blocks: []BlockFrame{FrameBlock(blocks[0])}}
+	rr := postJSON(t, h, "/v1/ingest", seed)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("seed ingest = %d: %s", rr.Code, rr.Body.String())
+	}
+	fp0 := decode[IngestResponse](t, rr).Fingerprint
+
+	// Prime the result cache for the streamed set.
+	do(t, h, "POST", "/v1/audits/ppe?dataset=live")
+	if !decode[Envelope](t, do(t, h, "POST", "/v1/audits/ppe?dataset=live")).Cached {
+		t.Fatal("repeat audit not cached — fixture broken")
+	}
+
+	// Snapshot-only ingest: new observer data, zero blocks.
+	var tx *chain.Tx
+	for _, b := range blocks[1:] {
+		if body := b.Body(); len(body) > 0 {
+			tx = body[0]
+			break
+		}
+	}
+	if tx == nil {
+		t.Skip("fixture has no body transactions")
+	}
+	snapOnly := IngestRequest{Dataset: "live", Mempool: []SnapshotFrame{{
+		TimeNS:    blocks[0].Time.UnixNano(),
+		TipHeight: blocks[0].Height,
+		Txs:       []SnapshotTx{{ID: tx.ID.String(), FirstSeenNS: tx.Time.UnixNano()}},
+	}}}
+	rr = postJSON(t, h, "/v1/ingest", snapOnly)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("snapshot ingest = %d: %s", rr.Code, rr.Body.String())
+	}
+	resp := decode[IngestResponse](t, rr)
+	if resp.Snapshots != 1 || resp.Appended != 0 {
+		t.Fatalf("snapshot ingest response = %+v", resp)
+	}
+	if resp.Fingerprint == fp0 {
+		t.Fatal("fingerprint did not rotate on snapshot-only ingest")
+	}
+	env := decode[Envelope](t, do(t, h, "POST", "/v1/audits/ppe?dataset=live"))
+	if env.Cached {
+		t.Error("audit after snapshot ingest served from stale cache")
+	}
+	if env.Fingerprint != resp.Fingerprint {
+		t.Errorf("audit fingerprint %q != ingest fingerprint %q", env.Fingerprint, resp.Fingerprint)
+	}
+}
+
+// TestIngestMalformedCreatesNoDataset is the regression test for the
+// dataset-creation side effect: a malformed request to a fresh name must
+// not register an empty streaming set (or claim the default slot).
+func TestIngestMalformedCreatesNoDataset(t *testing.T) {
+	s, c, _ := streamFixture(t)
+	h := s.Handler()
+	blocks := c.Blocks()
+
+	bad := IngestRequest{Dataset: "ghost", Blocks: []BlockFrame{{
+		Height: blocks[0].Height, TimeNS: blocks[0].Time.UnixNano(),
+		Txs: []TxFrame{{ID: "nothex", Tag: "/P/"}},
+	}}}
+	if rr := postJSON(t, h, "/v1/ingest", bad); rr.Code != http.StatusBadRequest {
+		t.Fatalf("malformed ingest = %d", rr.Code)
+	}
+	for _, name := range s.DatasetNames() {
+		if name == "ghost" {
+			t.Fatal("malformed ingest registered dataset \"ghost\"")
+		}
+	}
+	if rr := do(t, h, "POST", "/v1/audits/ppe?dataset=ghost"); rr.Code != http.StatusNotFound {
+		t.Errorf("audit on ghost dataset = %d, want 404", rr.Code)
+	}
+	// A well-formed request to the same name still creates the set.
+	good := IngestRequest{Dataset: "ghost", Blocks: []BlockFrame{FrameBlock(blocks[0])}}
+	if rr := postJSON(t, h, "/v1/ingest", good); rr.Code != http.StatusOK {
+		t.Fatalf("well-formed ingest = %d", rr.Code)
+	}
+	found := false
+	for _, name := range s.DatasetNames() {
+		found = found || name == "ghost"
+	}
+	if !found {
+		t.Error("well-formed ingest did not register the dataset")
+	}
+}
+
+// TestIngestPartialBatchFingerprint pins failure-path consistency: a batch
+// that dies mid-way leaves the fingerprint of exactly the applied prefix —
+// identical to a server that only ever saw the prefix — and skips the
+// batch's snapshots entirely.
+func TestIngestPartialBatchFingerprint(t *testing.T) {
+	sA, c, _ := streamFixture(t)
+	sB, _, _ := streamFixture(t)
+	blocks := c.Blocks()
+	if len(blocks) < 3 {
+		t.Fatal("fixture too small")
+	}
+	snap := SnapshotFrame{TimeNS: blocks[0].Time.UnixNano(), TipHeight: blocks[0].Height}
+
+	// Server A: [b0, b2] — the gap kills the batch after b0; the snapshot
+	// must not apply.
+	gap := IngestRequest{Dataset: "live",
+		Blocks:  []BlockFrame{FrameBlock(blocks[0]), FrameBlock(blocks[2])},
+		Mempool: []SnapshotFrame{snap},
+	}
+	rrA := postJSON(t, sA.Handler(), "/v1/ingest", gap)
+	if rrA.Code != http.StatusConflict {
+		t.Fatalf("gap batch = %d: %s", rrA.Code, rrA.Body.String())
+	}
+	respA := decode[IngestResponse](t, rrA)
+	if respA.Appended != 1 || respA.Snapshots != 0 {
+		t.Fatalf("gap batch response = %+v", respA)
+	}
+
+	// Server B: [b0] alone.
+	ok := IngestRequest{Dataset: "live", Blocks: []BlockFrame{FrameBlock(blocks[0])}}
+	respB := decode[IngestResponse](t, postJSON(t, sB.Handler(), "/v1/ingest", ok))
+	if respA.Fingerprint != respB.Fingerprint {
+		t.Errorf("partial-batch fingerprint %q != clean-prefix fingerprint %q", respA.Fingerprint, respB.Fingerprint)
+	}
+
+	// Both continue identically from the shared prefix.
+	next := IngestRequest{Dataset: "live", Blocks: []BlockFrame{FrameBlock(blocks[1])}}
+	fpA := decode[IngestResponse](t, postJSON(t, sA.Handler(), "/v1/ingest", next)).Fingerprint
+	fpB := decode[IngestResponse](t, postJSON(t, sB.Handler(), "/v1/ingest", next)).Fingerprint
+	if fpA != fpB {
+		t.Errorf("post-recovery fingerprints diverged: %q vs %q", fpA, fpB)
+	}
+}
+
+// TestIngestRetention drives a retention-bounded server: the streaming
+// index caps at the horizon while windowed audits over windows ≤ horizon
+// stay byte-identical to the unbounded batch reference.
+func TestIngestRetention(t *testing.T) {
+	const retain = 8
+	s, c, _ := streamFixtureCfg(t, func(cfg *Config) { cfg.StreamRetain = retain })
+	h := s.Handler()
+	blocks := c.Blocks()
+	if len(blocks) <= retain+2 {
+		t.Skipf("fixture too small: %d blocks", len(blocks))
+	}
+
+	for _, b := range blocks {
+		req := IngestRequest{Dataset: "live", Blocks: []BlockFrame{FrameBlock(b)}}
+		if rr := postJSON(t, h, "/v1/ingest", req); rr.Code != http.StatusOK {
+			t.Fatalf("ingest height %d = %d: %s", b.Height, rr.Code, rr.Body.String())
+		}
+	}
+
+	type health struct {
+		Datasets []struct {
+			Name     string `json:"name"`
+			IndexLen int    `json:"index_len"`
+			Retain   int    `json:"retain"`
+			Ingested int64  `json:"ingested"`
+		} `json:"datasets"`
+	}
+	hz := decode[health](t, do(t, h, "GET", "/v1/healthz"))
+	seen := false
+	for _, d := range hz.Datasets {
+		if d.Name != "live" {
+			continue
+		}
+		seen = true
+		if d.IndexLen != retain {
+			t.Errorf("index_len = %d, want horizon %d", d.IndexLen, retain)
+		}
+		if d.Retain != retain || d.Ingested != int64(len(blocks)) {
+			t.Errorf("healthz retain=%d ingested=%d, want %d/%d", d.Retain, d.Ingested, retain, len(blocks))
+		}
+	}
+	if !seen {
+		t.Fatal("live dataset missing from healthz")
+	}
+
+	// Windowed audits ≤ horizon: byte-identical to the batch CSV set.
+	pool := ""
+	if set, err := s.lookupSet("main"); err == nil {
+		if pools := set.aud.Index().TopPoolsByShare(core.DefaultMinShare); len(pools) > 0 {
+			pool = pools[0]
+		}
+	}
+	for _, win := range []int{1, retain / 2, retain} {
+		for _, k := range []struct{ name, extra string }{
+			{"ppe", ""}, {"lowfee", ""}, {"darkfee", "&pool=" + pool},
+		} {
+			if k.name == "darkfee" && pool == "" {
+				continue
+			}
+			target := "/v1/audits/" + k.name + "?dataset=%s&format=text" + k.extra + fmt.Sprintf("&window=%d", win)
+			want := textBody(t, h, fmt.Sprintf(target, "main"))
+			got := textBody(t, h, fmt.Sprintf(target, "live"))
+			if got != want {
+				t.Errorf("window %d: retained %s diverged from batch:\n--- batch ---\n%s--- retained ---\n%s", win, k.name, want, got)
+			}
+		}
 	}
 }
