@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-key reproduce lint lint-fixtures smoke-metrics smoke-chaos smoke-serve smoke-stream smoke-live clean
+.PHONY: check build vet test race bench bench-key reproduce lint lint-fixtures smoke-metrics smoke-chaos smoke-serve smoke-stream smoke-live smoke-crash clean
 
 # check is the tier-1 gate: vet, build, the analyzer suite (plus the guard
 # that keeps its fixtures honest), the full test suite under the race
-# detector, and the metrics, chaos, service, stream-replay, and live-feed
-# smoke tests.
-check: vet build lint lint-fixtures race smoke-metrics smoke-chaos smoke-serve smoke-stream smoke-live
+# detector, and the metrics, chaos, service, stream-replay, live-feed, and
+# crash-recovery smoke tests.
+check: vet build lint lint-fixtures race smoke-metrics smoke-chaos smoke-serve smoke-stream smoke-live smoke-crash
 
 # lint runs the determinism & audit-integrity analyzer suite (DESIGN.md §9)
 # over every module package. Any unsuppressed finding fails the gate.
@@ -170,6 +170,75 @@ smoke-live:
 		{ echo "smoke-live: $$q diverged between live feed and replayed recording"; exit 1; }; \
 		cmp /tmp/chainaudit-live-feed.txt /tmp/chainaudit-live-batch.txt || \
 		{ echo "smoke-live: $$q diverged between live feed and batch reference"; exit 1; }; \
+	done
+
+# smoke-crash pins the durability headline invariant (DESIGN.md §13) over
+# real processes and a real SIGKILL: boot chainauditd with a WAL directory,
+# run a full live observer feed into a reference data set (teeing the exact
+# frames it ships), replay a mid-stream prefix of that recording into a
+# second set, kill -9 the daemon, restart it over the same directory, and
+# resume the observer against the recovered watermark. The resumed set, the
+# WAL-recovered reference set, and the CSV-loaded batch set must serve
+# byte-identical audits — full chain and sliding window — and the resumed
+# set's snapshot and block counts must equal the uninterrupted one's, which
+# pins every snapshot frame (zero lost, zero duplicated).
+smoke-crash:
+	$(GO) build -o /tmp/chainauditd ./cmd/chainauditd
+	$(GO) build -o /tmp/chainobserver ./cmd/chainobserver
+	$(GO) build -o /tmp/streamfeed ./cmd/streamfeed
+	$(GO) run ./cmd/gendata -set C -seed 9 -hours 5 -out /tmp/chainaudit-crash-chain.csv > /dev/null
+	rm -rf /tmp/chainaudit-crash-wal /tmp/chainaudit-crash-addr /tmp/chainaudit-crash-addr2
+	mkdir -p /tmp/chainaudit-crash-wal
+	/tmp/chainauditd -addr 127.0.0.1:0 -ready-file /tmp/chainaudit-crash-addr \
+		-chain main=/tmp/chainaudit-crash-chain.csv -stream-dir /tmp/chainaudit-crash-wal \
+		-stream-checkpoint 4 2> /tmp/chainaudit-crash-log.txt & \
+	DPID=$$!; DPID2=; trap 'kill $$DPID $$DPID2 2>/dev/null' EXIT; \
+	tries=0; until [ -s /tmp/chainaudit-crash-addr ]; do \
+		tries=$$((tries+1)); \
+		if [ $$tries -gt 1200 ]; then echo "chainauditd never became ready"; cat /tmp/chainaudit-crash-log.txt; exit 1; fi; \
+		if ! kill -0 $$DPID 2>/dev/null; then echo "chainauditd died"; cat /tmp/chainaudit-crash-log.txt; exit 1; fi; \
+		sleep 0.1; \
+	done; \
+	ADDR=$$(cat /tmp/chainaudit-crash-addr) && \
+	/tmp/chainobserver -chain /tmp/chainaudit-crash-chain.csv -url "http://$$ADDR" \
+		-dataset ref -record /tmp/chainaudit-crash.jsonl -batch 4 && \
+	head -n 3 /tmp/chainaudit-crash.jsonl > /tmp/chainaudit-crash-part1.jsonl && \
+	/tmp/streamfeed replay -in /tmp/chainaudit-crash-part1.jsonl -url "http://$$ADDR" -dataset live && \
+	kill -9 $$DPID && \
+	/tmp/chainauditd -addr 127.0.0.1:0 -ready-file /tmp/chainaudit-crash-addr2 \
+		-chain main=/tmp/chainaudit-crash-chain.csv -stream-dir /tmp/chainaudit-crash-wal \
+		-stream-checkpoint 4 2> /tmp/chainaudit-crash-log2.txt & \
+	DPID2=$$!; \
+	tries=0; until [ -s /tmp/chainaudit-crash-addr2 ]; do \
+		tries=$$((tries+1)); \
+		if [ $$tries -gt 1200 ]; then echo "chainauditd never recovered"; cat /tmp/chainaudit-crash-log2.txt; exit 1; fi; \
+		if ! kill -0 $$DPID2 2>/dev/null; then echo "chainauditd died on recovery"; cat /tmp/chainaudit-crash-log2.txt; exit 1; fi; \
+		sleep 0.1; \
+	done; \
+	ADDR2=$$(cat /tmp/chainaudit-crash-addr2) && \
+	curl -sf "http://$$ADDR2/v1/healthz" | grep -q '"recovery"' && \
+	/tmp/chainobserver -chain /tmp/chainaudit-crash-chain.csv -url "http://$$ADDR2" \
+		-dataset live -batch 4 -resume > /tmp/chainaudit-crash-resume.txt && \
+	grep -q 'resuming dataset live above recovered height' /tmp/chainaudit-crash-resume.txt && \
+	curl -sf "http://$$ADDR2/v1/healthz" | sed 's/},{/}\n{/g' > /tmp/chainaudit-crash-health.txt && \
+	SNAP_LIVE=$$(grep '"name":"live"' /tmp/chainaudit-crash-health.txt | sed -n 's/.*"snapshots":\([0-9]*\).*/\1/p') && \
+	SNAP_REF=$$(grep '"name":"ref"' /tmp/chainaudit-crash-health.txt | sed -n 's/.*"snapshots":\([0-9]*\).*/\1/p') && \
+	if [ -z "$$SNAP_LIVE" ] || [ "$$SNAP_LIVE" != "$$SNAP_REF" ]; then \
+		echo "smoke-crash: resumed snapshots '$$SNAP_LIVE' != uninterrupted '$$SNAP_REF' (frames lost or duplicated)"; exit 1; \
+	fi; \
+	LEN_LIVE=$$(grep '"name":"live"' /tmp/chainaudit-crash-health.txt | sed -n 's/.*"index_len":\([0-9]*\).*/\1/p') && \
+	LEN_REF=$$(grep '"name":"ref"' /tmp/chainaudit-crash-health.txt | sed -n 's/.*"index_len":\([0-9]*\).*/\1/p') && \
+	if [ -z "$$LEN_LIVE" ] || [ "$$LEN_LIVE" != "$$LEN_REF" ]; then \
+		echo "smoke-crash: resumed index length '$$LEN_LIVE' != uninterrupted '$$LEN_REF'"; exit 1; \
+	fi; \
+	for q in 'ppe?format=text' 'lowfee?format=text' 'ppe?format=text&window=20' 'lowfee?format=text&window=20'; do \
+		curl -sf -X POST "http://$$ADDR2/v1/audits/$$q&dataset=live" > /tmp/chainaudit-crash-live.txt && \
+		curl -sf -X POST "http://$$ADDR2/v1/audits/$$q&dataset=ref" > /tmp/chainaudit-crash-ref.txt && \
+		curl -sf -X POST "http://$$ADDR2/v1/audits/$$q&dataset=main" > /tmp/chainaudit-crash-batch.txt && \
+		cmp /tmp/chainaudit-crash-live.txt /tmp/chainaudit-crash-ref.txt || \
+		{ echo "smoke-crash: $$q diverged between resumed feed and uninterrupted feed"; exit 1; }; \
+		cmp /tmp/chainaudit-crash-live.txt /tmp/chainaudit-crash-batch.txt || \
+		{ echo "smoke-crash: $$q diverged between resumed feed and batch reference"; exit 1; }; \
 	done
 
 clean:

@@ -3,14 +3,25 @@
 //
 //	chainauditd [-addr host:port] [-sim] [-seed N] [-scale X] [-chaos spec]
 //	            [-chain name=path ...] [-watchdog d] [-retries n]
-//	            [-stream-retain N] [-ready-file f]
+//	            [-stream-retain N] [-stream-dir d] [-stream-fsync policy]
+//	            [-stream-checkpoint N] [-max-ingest-bytes N] [-ready-file f]
 //
 // Data sets load once at startup: -chain name=path loads a chain CSV (as
 // produced by cmd/gendata) under the given name, repeatably; -sim builds
 // the simulated suite data sets A, B, and C and enables the experiment
-// endpoints. With no -chain flags, -sim is implied. Additional streaming
+// endpoints. With no -chain flags, -sim is implied — unless -stream-dir
+// alone is given, in which case the daemon boots empty and recovers
+// whatever streaming sets the directory holds. Additional streaming
 // data sets are created at runtime by POST /v1/ingest (cmd/streamfeed
-// replays recorded streams). Endpoints:
+// replays recorded streams).
+//
+// -stream-dir makes streaming sets crash-safe (DESIGN.md §13): every
+// accepted ingest batch is appended to a per-set write-ahead log before it
+// is acknowledged, and on restart the daemon replays checkpoint + WAL so a
+// kill -9 mid-stream loses nothing that was acked. -stream-fsync picks the
+// durability/throughput trade (always | batch | off, default batch);
+// -stream-checkpoint compacts each WAL after that many appended lines.
+// -max-ingest-bytes caps a single ingest body (413 above it). Endpoints:
 //
 //	GET  /v1/healthz              liveness + data sets (index length, ingest watermark)
 //	GET  /v1/metrics              obs registry snapshot (incl. serve.ingest.*)
@@ -90,25 +101,36 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	watchdog := fs.Duration("watchdog", 2*time.Minute, "per-request watchdog timeout (0 = none)")
 	retries := fs.Int("retries", 0, "per-request retries on failure")
 	streamRetain := fs.Int("stream-retain", 0, "retention horizon for streaming data sets in blocks (0 = unbounded)")
+	streamDir := fs.String("stream-dir", "", "write-ahead log directory for streaming data sets (crash-safe ingest + recovery on boot)")
+	streamFsync := fs.String("stream-fsync", "", "WAL fsync policy: always | batch | off (default batch)")
+	streamCkpt := fs.Int("stream-checkpoint", 0, "compact each WAL after this many appended lines (0 = default)")
+	maxIngest := fs.Int64("max-ingest-bytes", 0, "cap on a single ingest request body in bytes (0 = default)")
 	readyFile := fs.String("ready-file", "", "write the bound address to this file once listening")
 	var chains chainList
 	fs.Var(&chains, "chain", "chain CSV to serve as name=path (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if len(chains) == 0 {
+	if *streamDir == "" && (*streamFsync != "" || *streamCkpt != 0) {
+		return fmt.Errorf("-stream-fsync and -stream-checkpoint require -stream-dir")
+	}
+	if len(chains) == 0 && *streamDir == "" {
 		*sim = true
 	}
 
 	cfg := serve.Config{
-		Seed:         *seed,
-		Scale:        *scale,
-		Chaos:        *chaos,
-		Chains:       chains,
-		Sim:          *sim,
-		Watchdog:     *watchdog,
-		Retries:      *retries,
-		StreamRetain: *streamRetain,
+		Seed:            *seed,
+		Scale:           *scale,
+		Chaos:           *chaos,
+		Chains:          chains,
+		Sim:             *sim,
+		Watchdog:        *watchdog,
+		Retries:         *retries,
+		StreamRetain:    *streamRetain,
+		StreamDir:       *streamDir,
+		StreamFsync:     *streamFsync,
+		CheckpointEvery: *streamCkpt,
+		MaxIngestBytes:  *maxIngest,
 	}
 	fmt.Fprintf(logw, "chainauditd: loading data sets (sim=%t chains=%d)...\n", *sim, len(chains))
 	start := time.Now()
@@ -139,8 +161,15 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		fmt.Fprintln(logw, "chainauditd: shutting down")
-		return hs.Shutdown(sctx)
+		serr := hs.Shutdown(sctx)
+		// Graceful exit checkpoints and closes every durable streaming set so
+		// the next boot replays a compact log instead of the full WAL.
+		if cerr := srv.Close(); serr == nil {
+			serr = cerr
+		}
+		return serr
 	case err := <-errc:
+		srv.Close()
 		if errors.Is(err, http.ErrServerClosed) {
 			return nil
 		}

@@ -6,19 +6,24 @@
 //
 //	chainobserver -chain chain.csv [-url http://127.0.0.1:8347] [-dataset live]
 //	              [-batch 16] [-record stream.jsonl] [-chaos spec] [-queue N]
-//	              [-timeout d] [-inprocess] [-retain N] [-window N]
+//	              [-timeout d] [-retries n] [-backoff d] [-seed N] [-resume]
+//	              [-inprocess] [-retain N] [-window N]
 //
 // By default batches ship over HTTP to a running chainauditd's POST
-// /v1/ingest, with retry, backoff, and idempotent redelivery; -record tees
-// every shipped request to a JSONL stream in exactly the format `streamfeed
-// replay` consumes, so a live run can be replayed afterwards and must audit
-// byte-identically (`make smoke-live` pins that). -inprocess skips HTTP and
-// applies the feed to an in-process incremental index instead, printing the
-// windowed positional audit when done — the embedded-auditor deployment
-// shape. -chaos wires an internal/faults plan into the relay link and the
-// observer's shipping path: dropped and delayed gossip, duplicate
-// deliveries, and watcher churn (with reconnect) all stress the feed while
-// the audit result must stay equal to a clean replay of what was recorded.
+// /v1/ingest, with retry, seeded-jitter backoff, and idempotent
+// redelivery; -record tees every shipped request to a JSONL stream in
+// exactly the format `streamfeed replay` consumes, so a live run can be
+// replayed afterwards and must audit byte-identically (`make smoke-live`
+// pins that). -resume queries the service's recovered ingest watermark
+// before feeding and skips batches it already holds — the restart half of
+// the durable-streaming loop (`make smoke-crash` pins that end to end).
+// -inprocess skips HTTP and applies the feed to an in-process incremental
+// index instead, printing the windowed positional audit when done — the
+// embedded-auditor deployment shape. -chaos wires an internal/faults plan
+// into the relay link and the observer's shipping path: dropped and delayed
+// gossip, duplicate deliveries, and watcher churn (with reconnect) all
+// stress the feed while the audit result must stay equal to a clean replay
+// of what was recorded.
 package main
 
 import (
@@ -86,6 +91,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	chaos := fs.String("chaos", "", "fault-injection spec for the relay link and shipping path (see internal/faults)")
 	queue := fs.Int("queue", 4096, "observer event queue depth")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-block propagation deadline")
+	retries := fs.Int("retries", 0, "HTTP delivery attempts per batch (0 = sink default)")
+	backoff := fs.Duration("backoff", 0, "initial HTTP retry backoff, doubling with seeded jitter (0 = sink default)")
+	seed := fs.Uint64("seed", 0, "backoff jitter seed (0 = sink default)")
+	resume := fs.Bool("resume", false, "sync the service's ingest watermark before feeding and skip covered batches")
 	inprocess := fs.Bool("inprocess", false, "apply the feed to an in-process index instead of HTTP")
 	retain := fs.Int("retain", 0, "in-process retention horizon in blocks (0 = unbounded)")
 	window := fs.Int("window", 0, "in-process: audit window to print when done (0 = all retained)")
@@ -154,10 +163,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		sink = &observer.IndexSink{Index: ix, Win: win}
 	} else {
 		hs = &observer.HTTPSink{
-			URL:     *url,
-			Dataset: *name,
-			Client:  &http.Client{Timeout: time.Minute},
-			Faults:  plan.P2P(3),
+			URL:        *url,
+			Dataset:    *name,
+			Client:     &http.Client{Timeout: time.Minute},
+			MaxRetries: *retries,
+			Backoff:    *backoff,
+			Seed:       *seed,
+			Faults:     plan.P2P(3),
+		}
+		if *resume {
+			wm, ok, err := hs.SyncWatermark(ctx)
+			if err != nil {
+				return fmt.Errorf("resume: %w", err)
+			}
+			if ok {
+				fmt.Fprintf(out, "resuming dataset %s above recovered height %d\n", *name, wm)
+			} else {
+				fmt.Fprintf(out, "resuming dataset %s from scratch (no recovered watermark)\n", *name)
+			}
 		}
 		sink = hs
 	}
@@ -197,11 +220,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out)
 	if hs != nil {
-		height := int64(-1)
-		if hs.Last.Height != nil {
-			height = *hs.Last.Height
+		if hs.Last.Dataset == "" {
+			// Every batch was skipped against the synced watermark: the sink
+			// never shipped, so there is no ingest response to report.
+			fmt.Fprintf(out, "dataset %s already covered by the service's watermark\n", *name)
+		} else {
+			height := int64(-1)
+			if hs.Last.Height != nil {
+				height = *hs.Last.Height
+			}
+			fmt.Fprintf(out, "dataset %s at height %d (index %d)\n", hs.Last.Dataset, height, hs.Last.IndexLen)
 		}
-		fmt.Fprintf(out, "dataset %s at height %d (index %d)\n", hs.Last.Dataset, height, hs.Last.IndexLen)
 	}
 	if win != nil {
 		fmt.Fprintf(out, "in-process index: %d retained of %d ingested\n", ix.Len(), ix.Ingested())

@@ -138,6 +138,16 @@ func (w *WindowAuditor) ObserveSnapshot(s *mempool.Snapshot) {
 	w.lastTipSeen = true
 }
 
+// RestoreSnapshotStats reinstates snapshot bookkeeping recovered from a
+// checkpoint: the observed-snapshot count and the tip height the most recent
+// snapshot reported. Block state is not restored here — recovery rebuilds it
+// by re-observing the checkpointed records in height order.
+func (w *WindowAuditor) RestoreSnapshotStats(count int, lastTip int64, tipSeen bool) {
+	w.snapshots = count
+	w.lastTip = lastTip
+	w.lastTipSeen = tipSeen
+}
+
 // Len returns the number of blocks currently retained.
 func (w *WindowAuditor) Len() int { return len(w.ring) }
 

@@ -16,7 +16,10 @@
 //     consumed by internal/sim;
 //   - Plan.Records — per-row corruption/truncation of exported dataset
 //     records, consumed by internal/dataset's CSV writer and exercised
-//     against its quarantining reader.
+//     against its quarantining reader;
+//   - Plan.WAL — per-append crash/torn-write decisions for the streaming
+//     write-ahead log, consumed by internal/serve to rehearse auditor
+//     restarts and recovery's truncate-and-warn path.
 //
 // Every injector method is safe on a nil receiver and returns "no fault",
 // so consumers wire the hooks unconditionally; a nil or all-zero Plan
@@ -49,6 +52,8 @@ var (
 	cBlackoutW  = obs.Default.Counter("faults.sim.blackout_window")
 	cRecCorrupt = obs.Default.Counter("faults.dataset.corrupt_record")
 	cRecTrunc   = obs.Default.Counter("faults.dataset.truncate_record")
+	cWALTear    = obs.Default.Counter("faults.wal.tear")
+	cWALCrash   = obs.Default.Counter("faults.wal.crash")
 )
 
 // Rates are the fault-injection knobs. All probability knobs are per-event
@@ -86,13 +91,23 @@ type Rates struct {
 	// TruncateRecord is the per-row probability an exported dataset record
 	// is cut short.
 	TruncateRecord float64
+	// WALTear is the per-append probability a write-ahead-log append is torn:
+	// the process "dies" mid-write, leaving only a prefix of the line on
+	// disk. The WAL layer reports a crash and refuses further appends until
+	// restart, so recovery's truncate-and-warn path is exercised.
+	WALTear float64
+	// WALCrash is the per-append probability the process "dies" just before
+	// the append reaches the log at all: the in-flight batch is lost entirely
+	// and must be re-shipped by the observer after restart.
+	WALCrash float64
 }
 
 // Zero reports whether every fault class is disabled.
 func (r Rates) Zero() bool {
 	return r.P2PDrop == 0 && r.P2PDuplicate == 0 && r.P2PDelay == 0 &&
 		r.Churn == 0 && r.PoolOutage == 0 && r.ObserverMiss == 0 &&
-		r.Blackout == 0 && r.CorruptRecord == 0 && r.TruncateRecord == 0
+		r.Blackout == 0 && r.CorruptRecord == 0 && r.TruncateRecord == 0 &&
+		r.WALTear == 0 && r.WALCrash == 0
 }
 
 func (r Rates) validate() error {
@@ -103,6 +118,7 @@ func (r Rates) validate() error {
 		{"p2p.drop", r.P2PDrop}, {"p2p.dup", r.P2PDuplicate}, {"p2p.delay", r.P2PDelay},
 		{"churn", r.Churn}, {"pool.outage", r.PoolOutage}, {"obs.miss", r.ObserverMiss},
 		{"snap.blackout", r.Blackout}, {"rec.corrupt", r.CorruptRecord}, {"rec.truncate", r.TruncateRecord},
+		{"wal.tear", r.WALTear}, {"wal.crash", r.WALCrash},
 	}
 	for _, p := range probs {
 		if p.v < 0 || p.v > 1 {
@@ -183,6 +199,8 @@ func (p *Plan) Spec() string {
 	addDur("snap.window", r.BlackoutWindow)
 	add("rec.corrupt", r.CorruptRecord)
 	add("rec.truncate", r.TruncateRecord)
+	add("wal.tear", r.WALTear)
+	add("wal.crash", r.WALCrash)
 	return strings.Join(parts, ",")
 }
 
@@ -199,8 +217,9 @@ func (p *Plan) Fingerprint() string {
 // ParseSpec parses a "-chaos" style spec: comma-separated key=value pairs.
 // Keys: seed, p2p.drop, p2p.dup, p2p.delay, p2p.delaymax, churn,
 // pool.outage, obs.miss, snap.blackout, snap.window, rec.corrupt,
-// rec.truncate. Probabilities are floats in [0,1]; delaymax/window are Go
-// durations. A bare "seed=N" is a valid (zero-rate) plan.
+// rec.truncate, wal.tear, wal.crash. Probabilities are floats in [0,1];
+// delaymax/window are Go durations. A bare "seed=N" is a valid (zero-rate)
+// plan.
 func ParseSpec(spec string) (*Plan, error) {
 	var (
 		seed uint64
@@ -258,6 +277,10 @@ func ParseSpec(spec string) (*Plan, error) {
 			r.CorruptRecord = f
 		case "rec.truncate":
 			r.TruncateRecord = f
+		case "wal.tear":
+			r.WALTear = f
+		case "wal.crash":
+			r.WALCrash = f
 		default:
 			return nil, fmt.Errorf("faults: unknown spec key %q", k)
 		}
@@ -480,5 +503,58 @@ func (rf *RecordFaults) RowFault(row int) RecordFault {
 		return FaultTruncate
 	default:
 		return FaultNone
+	}
+}
+
+// WALAction is one write-ahead-log append's injected fate. At most one of
+// Tear/Crash is set; both simulate the process dying at the append, so the
+// WAL refuses further writes until "restart" (a new writer on the same file).
+type WALAction struct {
+	// Tear: the append dies mid-write, persisting only a KeepFrac prefix of
+	// the line. Recovery must truncate the torn tail and warn.
+	Tear bool
+	// Crash: the append dies before any byte reaches the log; the batch is
+	// lost entirely and must be re-shipped after restart.
+	Crash bool
+	// KeepFrac is the fraction of the line that survives a torn append,
+	// in [0, 1). Meaningful only when Tear is set.
+	KeepFrac float64
+}
+
+// WALInjector decides per-append WAL faults. Decisions draw from a single
+// sequential stream per injector; the serve layer calls Append under the
+// per-set mutex, so no internal locking is needed beyond that.
+type WALInjector struct {
+	r   Rates
+	mu  sync.Mutex
+	rng *stats.RNG
+}
+
+// WAL derives a write-ahead-log fault injector; label distinguishes sets so
+// each log draws an independent stream. Returns nil for an inactive plan.
+func (p *Plan) WAL(label uint64) *WALInjector {
+	if !p.Active() {
+		return nil
+	}
+	return &WALInjector{r: p.Rates, rng: stats.NewRNG(mix(p.Seed, 0x3a1^label))}
+}
+
+// Append decides one WAL append's fate. Nil-safe: no fault.
+func (inj *WALInjector) Append() WALAction {
+	if inj == nil || (inj.r.WALTear <= 0 && inj.r.WALCrash <= 0) {
+		return WALAction{}
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	u := inj.rng.Float64()
+	switch {
+	case u < inj.r.WALCrash:
+		cWALCrash.Inc()
+		return WALAction{Crash: true}
+	case u < inj.r.WALCrash+inj.r.WALTear:
+		cWALTear.Inc()
+		return WALAction{Tear: true, KeepFrac: inj.rng.Float64()}
+	default:
+		return WALAction{}
 	}
 }

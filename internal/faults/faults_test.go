@@ -6,7 +6,7 @@ import (
 )
 
 func TestParseSpecRoundTrip(t *testing.T) {
-	spec := "seed=7,p2p.drop=0.05,p2p.dup=0.02,p2p.delay=0.1,p2p.delaymax=3s,churn=0.01,pool.outage=0.08,obs.miss=0.15,snap.blackout=0.2,snap.window=5m0s,rec.corrupt=0.02,rec.truncate=0.01"
+	spec := "seed=7,p2p.drop=0.05,p2p.dup=0.02,p2p.delay=0.1,p2p.delaymax=3s,churn=0.01,pool.outage=0.08,obs.miss=0.15,snap.blackout=0.2,snap.window=5m0s,rec.corrupt=0.02,rec.truncate=0.01,wal.tear=0.03,wal.crash=0.02"
 	p, err := ParseSpec(spec)
 	if err != nil {
 		t.Fatalf("ParseSpec: %v", err)
@@ -37,6 +37,7 @@ func TestParseSpecErrors(t *testing.T) {
 		"p2p.delaymax=nope", // bad duration
 		"p2p.delaymax=-1s",  // negative duration
 		"rec.corrupt=zero",  // bad float
+		"wal.tear=2",        // out of range
 	} {
 		if _, err := ParseSpec(spec); err == nil {
 			t.Errorf("ParseSpec(%q): want error, got nil", spec)
@@ -66,6 +67,9 @@ func TestInactivePlansAreNoOps(t *testing.T) {
 		if inj := p.Records(1); inj != nil {
 			t.Errorf("%s plan: Records() != nil", name)
 		}
+		if inj := p.WAL(1); inj != nil {
+			t.Errorf("%s plan: WAL() != nil", name)
+		}
 	}
 	// Nil injectors must answer "no fault" for every hook.
 	var p2p *P2PInjector
@@ -85,6 +89,10 @@ func TestInactivePlansAreNoOps(t *testing.T) {
 	var rf *RecordFaults
 	if f := rf.RowFault(3); f != FaultNone {
 		t.Errorf("nil RecordFaults.RowFault() = %v", f)
+	}
+	var wal *WALInjector
+	if act := wal.Append(); act != (WALAction{}) {
+		t.Errorf("nil WALInjector.Append() = %+v", act)
 	}
 }
 
@@ -184,6 +192,47 @@ func TestSimInjectorBlackouts(t *testing.T) {
 		if identical {
 			t.Fatal("different observers drew identical blackout windows")
 		}
+	}
+}
+
+func TestWALInjectorDeterministic(t *testing.T) {
+	p, err := ParseSpec("seed=21,wal.tear=0.2,wal.crash=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := p.WAL(3), p.WAL(3)
+	var tears, crashes int
+	for i := 0; i < 1000; i++ {
+		av, bv := a.Append(), b.Append()
+		if av != bv {
+			t.Fatalf("append %d: %+v vs %+v", i, av, bv)
+		}
+		if av.Tear && av.Crash {
+			t.Fatalf("append %d: both Tear and Crash set", i)
+		}
+		if av.Tear {
+			tears++
+			if av.KeepFrac < 0 || av.KeepFrac >= 1 {
+				t.Fatalf("append %d: KeepFrac %v outside [0,1)", i, av.KeepFrac)
+			}
+		}
+		if av.Crash {
+			crashes++
+		}
+	}
+	if tears == 0 || crashes == 0 {
+		t.Fatalf("1000 appends at tear=0.2/crash=0.1 drew tears=%d crashes=%d", tears, crashes)
+	}
+	// Different set labels draw different streams.
+	c, d := p.WAL(4), p.WAL(3)
+	same := 0
+	for i := 0; i < 500; i++ {
+		if c.Append() == d.Append() {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Fatal("different WAL labels produced identical fault streams")
 	}
 }
 

@@ -575,6 +575,17 @@ func (ix *BlockIndex) FirstSeen(id chain.TxID) (time.Time, bool) {
 	return t, ok
 }
 
+// FirstSeenTimes returns every attached observer arrival time (nil when the
+// index carries no arrival data). The map is shared and read-only; on an
+// incremental index it is valid until the next append or merge.
+func (ix *BlockIndex) FirstSeenTimes() map[chain.TxID]time.Time { return ix.firstSeen }
+
+// WalletOwners returns the pool ownership of every identified reward wallet
+// — the incremental map behind SelfInterestSets membership. The map is
+// shared and read-only; on an incremental index it is valid until the next
+// append.
+func (ix *BlockIndex) WalletOwners() map[chain.Address]string { return ix.owner }
+
 // RewardAddresses returns the distinct coinbase reward addresses each pool
 // used across the chain (Figure 8a), maintained incrementally as blocks are
 // ingested. The maps are shared and read-only; on an incremental index they

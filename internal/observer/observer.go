@@ -43,6 +43,13 @@ var (
 	mRetries    = obs.Default.Counter("observer.retries")
 	mReconnects = obs.Default.Counter("observer.reconnects")
 	mDropped    = obs.Default.Counter("observer.dropped")
+	// mResends counts snapshot-preserving re-sends after a covered rejection:
+	// the service already held the delivery's leading blocks, so the sink
+	// trimmed them and shipped the rest (mempool frames included) again.
+	mResends = obs.Default.Counter("observer.resends")
+	// mSkipped counts batches skipped entirely because a synced watermark
+	// showed the service already holds them (resume after server restart).
+	mSkipped = obs.Default.Counter("observer.skipped_covered")
 	// mLag is emit-to-ack shipping lag: the time from pulling a batch's first
 	// event off the source to the sink acknowledging the batch, in
 	// milliseconds. It deliberately measures the observer's own pipeline, not

@@ -144,7 +144,7 @@ func TestRunDropsOutOfOrder(t *testing.T) {
 		{Block: b1, Snapshot: &observer.Snapshot{Time: baseTime, TipHeight: b1.Height}},
 		{Block: b2},
 		{Block: b2, Snapshot: &observer.Snapshot{Time: baseTime.Add(time.Second), TipHeight: b2.Height}}, // gossip redelivery
-		{Block: b1},               // stale
+		{Block: b1}, // stale
 		{Block: b3},
 	}
 	src := &scriptSource{events: events}

@@ -17,6 +17,7 @@ import (
 	"chainaudit/internal/index"
 	"chainaudit/internal/mempool"
 	"chainaudit/internal/serve"
+	"chainaudit/internal/stats"
 )
 
 // IndexSink applies batches to an in-process incremental index and window
@@ -68,35 +69,61 @@ func (s *IndexSink) Apply(ctx context.Context, b *Batch) error {
 }
 
 // HTTPSink ships batches to a running chainauditd's POST /v1/ingest with
-// retry and exponential backoff. Transport failures reconnect and retry;
-// semantic rejections (400/409) are permanent — except the idempotent case
-// where the service already holds every block in the batch (a duplicate
-// delivery after a retry or reconnect), which counts as success.
+// retry and jittered exponential backoff. Transport failures reconnect and
+// retry; semantic rejections (400/409) are permanent — except when the
+// response watermark shows the service already holds some or all of the
+// batch's blocks (a duplicate delivery after a retry, reconnect, or server
+// restart). Covered blocks are trimmed and the remainder — always including
+// the batch's mempool snapshot frames, which a rejecting delivery skips —
+// is re-sent, so a duplicate block delivery never loses snapshots.
+//
+// After a chainauditd restart, SyncWatermark primes the sink with the
+// service's recovered ingest height so fully covered batches are skipped
+// without a round trip.
 //
 // An optional faults injector rehearses a flaky observer link: dropped
 // attempts become transport failures, delays hold the request back, and
 // duplicates ship the batch twice (the second delivery exercising the
-// idempotent path).
+// covered-trim path).
 type HTTPSink struct {
 	URL     string // chainauditd base URL
 	Dataset string
-	Client  *http.Client
+	// Client overrides the HTTP client; nil uses a private client with a
+	// 30s timeout (never http.DefaultClient, which hangs forever on a
+	// wedged server).
+	Client *http.Client
 	// MaxRetries bounds retry attempts after the first (default 4).
 	MaxRetries int
 	// Backoff is the initial retry delay (default 100ms), doubling per
-	// attempt and capped at 2s.
+	// attempt and capped at 2s. Each wait is equal-jittered: half fixed,
+	// half drawn from a deterministic seeded stream, so herds of observers
+	// hammering a restarted server desynchronize reproducibly.
 	Backoff time.Duration
-	Faults  *faults.P2PInjector
+	// Seed seeds the backoff jitter stream (default 1). Same seed, same
+	// jitter sequence — retry timing stays replayable under test.
+	Seed   uint64
+	Faults *faults.P2PInjector
 
 	// Last is the most recent accepted ingest response, for driver reports.
 	Last serve.IngestResponse
+
+	// covered is the highest block height the service has durably
+	// acknowledged (from SyncWatermark or response watermarks); blocks at or
+	// below it are already applied server-side.
+	covered   int64
+	coveredOK bool
+	fallback  *http.Client
+	jitter    *stats.RNG
 }
 
 func (s *HTTPSink) client() *http.Client {
 	if s.Client != nil {
 		return s.Client
 	}
-	return http.DefaultClient
+	if s.fallback == nil {
+		s.fallback = &http.Client{Timeout: 30 * time.Second}
+	}
+	return s.fallback
 }
 
 func (s *HTTPSink) retries() int {
@@ -114,15 +141,78 @@ func (s *HTTPSink) backoff(attempt int) time.Duration {
 	for i := 0; i < attempt; i++ {
 		d *= 2
 		if d >= 2*time.Second {
-			return 2 * time.Second
+			d = 2 * time.Second
+			break
 		}
 	}
-	return d
+	if s.jitter == nil {
+		seed := s.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		s.jitter = stats.NewRNG(seed)
+	}
+	half := d / 2
+	return half + time.Duration(s.jitter.Float64()*float64(half))
+}
+
+// SyncWatermark asks the service (GET /v1/healthz) for the dataset's
+// current ingest watermark — after a chainauditd restart, the height its WAL
+// recovery reached — and primes the sink to skip batches the service already
+// holds. It reports the height and whether the dataset exposed one; a
+// missing dataset or watermark is not an error (the sink just resumes
+// without a skip horizon).
+func (s *HTTPSink) SyncWatermark(ctx context.Context) (int64, bool, error) {
+	endpoint := strings.TrimSuffix(s.URL, "/") + "/v1/healthz"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	hresp, err := s.client().Do(hreq)
+	if err != nil {
+		return 0, false, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return 0, false, fmt.Errorf("observer: healthz returned %d", hresp.StatusCode)
+	}
+	var resp struct {
+		Datasets []struct {
+			Name      string `json:"name"`
+			Watermark *struct {
+				Height int64 `json:"height"`
+			} `json:"watermark"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return 0, false, err
+	}
+	for _, d := range resp.Datasets {
+		if d.Name == s.Dataset && d.Watermark != nil {
+			s.extendCovered(d.Watermark.Height)
+			return d.Watermark.Height, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// extendCovered ratchets the durable watermark forward.
+func (s *HTTPSink) extendCovered(h int64) {
+	if !s.coveredOK || h > s.covered {
+		s.covered, s.coveredOK = h, true
+	}
 }
 
 // Apply ships one batch, retrying transport failures until the retry budget
-// is spent.
+// is spent and trimming blocks the service already holds.
 func (s *HTTPSink) Apply(ctx context.Context, b *Batch) error {
+	if h := b.maxHeight(); h >= 0 && s.coveredOK && h <= s.covered {
+		// Ingest applied the whole request — snapshots included — before
+		// acknowledging, so a batch below the synced watermark is durable
+		// server-side in full and needs no delivery at all.
+		mSkipped.Inc()
+		return nil
+	}
 	req := b.Request(s.Dataset)
 	body, err := json.Marshal(&req)
 	if err != nil {
@@ -154,8 +244,28 @@ func (s *HTTPSink) Apply(ctx context.Context, b *Batch) error {
 			lastErr = fmt.Errorf("observer: injected drop shipping batch at height %d", b.maxHeight())
 			continue
 		}
-		resp, err := s.post(ctx, endpoint, body, b)
+		resp, err := s.post(ctx, endpoint, body, &req)
 		if err != nil {
+			var cov *coveredError
+			if errors.As(err, &cov) {
+				// The service already holds a prefix (or all) of the blocks
+				// but skipped the request's snapshot frames when it rejected.
+				// Trim the covered blocks and re-send the remainder so the
+				// snapshots still land; the re-send does not burn a retry
+				// (trims are bounded by the block count).
+				s.extendCovered(cov.height)
+				trimBlocks(&req, cov.height)
+				if len(req.Blocks) == 0 && len(req.Mempool) == 0 {
+					s.Last = *cov.resp
+					return nil // nothing left to deliver: covered in full
+				}
+				if body, err = json.Marshal(&req); err != nil {
+					return err
+				}
+				mResends.Inc()
+				attempt--
+				continue
+			}
 			var fatal *fatalIngestError
 			if errors.As(err, &fatal) {
 				return fatal.err
@@ -165,17 +275,48 @@ func (s *HTTPSink) Apply(ctx context.Context, b *Batch) error {
 			continue
 		}
 		s.Last = *resp
+		if resp.Height != nil {
+			s.extendCovered(*resp.Height)
+		}
 		if act.Duplicate {
 			// Deliver again; the service already holds these blocks, so the
-			// duplicate must come back idempotent-accepted or the stream
-			// protocol regressed.
-			if _, err := s.post(ctx, endpoint, body, b); err != nil {
-				return fmt.Errorf("observer: duplicate delivery not idempotent: %w", err)
+			// duplicate must come back idempotent-accepted — either an OK or
+			// a covered rejection — or the stream protocol regressed.
+			if _, err := s.post(ctx, endpoint, body, &req); err != nil {
+				var cov *coveredError
+				if !errors.As(err, &cov) {
+					return fmt.Errorf("observer: duplicate delivery not idempotent: %w", err)
+				}
 			}
 		}
 		return nil
 	}
 	return fmt.Errorf("observer: batch at height %d failed after %d attempts: %w", b.maxHeight(), s.retries()+1, lastErr)
+}
+
+// trimBlocks drops every block frame at or below the covered height.
+func trimBlocks(req *serve.IngestRequest, covered int64) {
+	kept := req.Blocks[:0]
+	for _, bf := range req.Blocks {
+		if bf.Height > covered {
+			kept = append(kept, bf)
+		}
+	}
+	req.Blocks = kept
+}
+
+// sentHeights reports the lowest and highest block heights in the request,
+// or ok=false for a snapshot-only request.
+func sentHeights(req *serve.IngestRequest) (lo, hi int64, ok bool) {
+	for i, bf := range req.Blocks {
+		if i == 0 || bf.Height < lo {
+			lo = bf.Height
+		}
+		if i == 0 || bf.Height > hi {
+			hi = bf.Height
+		}
+	}
+	return lo, hi, len(req.Blocks) > 0
 }
 
 // fatalIngestError marks a semantic rejection that retrying cannot fix.
@@ -184,10 +325,23 @@ type fatalIngestError struct{ err error }
 func (e *fatalIngestError) Error() string { return e.err.Error() }
 func (e *fatalIngestError) Unwrap() error { return e.err }
 
-// post sends one delivery and interprets the service's verdict. A non-OK
-// status whose response watermark already covers the batch is the
-// idempotent duplicate-delivery case and succeeds.
-func (s *HTTPSink) post(ctx context.Context, endpoint string, body []byte, b *Batch) (*serve.IngestResponse, error) {
+// coveredError reports a rejected delivery whose response watermark shows
+// the service already holds the request's leading blocks — duplicate
+// delivery, not data loss. The caller trims and re-sends the rest.
+type coveredError struct {
+	height int64
+	resp   *serve.IngestResponse
+}
+
+func (e *coveredError) Error() string {
+	return fmt.Sprintf("observer: service already holds blocks through height %d", e.height)
+}
+
+// post sends one delivery and interprets the service's verdict: OK is
+// applied, a rejection whose watermark covers at least the first sent block
+// is a coveredError (duplicate delivery — trim and re-send), 5xx is
+// retryable, and anything else is fatal.
+func (s *HTTPSink) post(ctx context.Context, endpoint string, body []byte, req *serve.IngestRequest) (*serve.IngestResponse, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(body))
 	if err != nil {
 		return nil, &fatalIngestError{err}
@@ -209,8 +363,8 @@ func (s *HTTPSink) post(ctx context.Context, endpoint string, body []byte, b *Ba
 	if hresp.StatusCode == http.StatusOK {
 		return &resp, nil
 	}
-	if resp.Height != nil && *resp.Height >= b.maxHeight() && b.maxHeight() >= 0 {
-		return &resp, nil // already applied: duplicate delivery, not a failure
+	if lo, _, ok := sentHeights(req); ok && resp.Height != nil && *resp.Height >= lo {
+		return nil, &coveredError{height: *resp.Height, resp: &resp}
 	}
 	if hresp.StatusCode >= 500 {
 		return nil, fmt.Errorf("observer: ingest unavailable (%d)", hresp.StatusCode) // server trouble: retryable

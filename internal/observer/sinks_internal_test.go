@@ -1,0 +1,65 @@
+package observer
+
+// White-box HTTPSink tests for the client and backoff knobs: the default
+// client must carry a timeout (a wedged server must not hang the feed
+// forever), and backoff jitter must be deterministic in the seed.
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestHTTPSinkDefaultClientTimeout(t *testing.T) {
+	s := &HTTPSink{}
+	c := s.client()
+	if c.Timeout != 30*time.Second {
+		t.Errorf("default client timeout = %v, want 30s", c.Timeout)
+	}
+	if s.client() != c {
+		t.Error("default client not reused across calls")
+	}
+	own := &http.Client{Timeout: time.Minute}
+	custom := &HTTPSink{Client: own}
+	if custom.client() != own {
+		t.Error("explicit client not honored")
+	}
+}
+
+func TestHTTPSinkBackoffJitterDeterministic(t *testing.T) {
+	series := func(seed uint64) []time.Duration {
+		s := &HTTPSink{Seed: seed}
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = s.backoff(i)
+		}
+		return out
+	}
+	a, b, c := series(7), series(7), series(8)
+	diverged := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: same seed gave %v then %v", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			diverged = true
+		}
+		// Equal jitter: half the capped exponential base is fixed, the rest
+		// drawn from the seeded stream.
+		base := 100 * time.Millisecond << i
+		if base > 2*time.Second {
+			base = 2 * time.Second
+		}
+		if a[i] < base/2 || a[i] > base {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", i, a[i], base/2, base)
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical jitter series")
+	}
+	// The zero seed still jitters (defaults to a fixed stream).
+	z := &HTTPSink{}
+	if d := z.backoff(0); d < 50*time.Millisecond || d > 100*time.Millisecond {
+		t.Errorf("zero-seed backoff = %v, want within [50ms, 100ms]", d)
+	}
+}

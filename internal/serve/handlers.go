@@ -195,6 +195,13 @@ type healthDataset struct {
 	// including those compacted past the horizon.
 	Retain   int   `json:"retain,omitempty"`
 	Ingested int64 `json:"ingested,omitempty"`
+	// Snapshots counts the mempool snapshot frames the set has observed
+	// (checkpoint-restored counts included) — the durability gate's
+	// zero-lost-snapshots evidence.
+	Snapshots int64 `json:"snapshots,omitempty"`
+	// Recovery describes the boot-time WAL recovery that rebuilt this set;
+	// absent for sets created live or served without durable streaming.
+	Recovery *recoveryInfo `json:"recovery,omitempty"`
 }
 
 type ingestWatermark struct {
@@ -225,6 +232,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			hd.IndexLen = set.stream.ix.Len()
 			hd.Retain = set.stream.ix.Retention()
 			hd.Ingested = set.stream.ix.Ingested()
+			hd.Snapshots = set.stream.snapshots
+			hd.Recovery = set.recovery
 		}
 		if h, last, ok := set.watermark(); ok {
 			hd.Watermark = &ingestWatermark{Height: h, LastAppend: last}

@@ -3,7 +3,9 @@ package serve
 import (
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"time"
 
@@ -227,6 +229,13 @@ func (s *Server) lookupStreamSet(name string, create bool) (*auditSet, error) {
 		return nil, nil
 	}
 	set := newStreamSet(name, s.cfg.StreamRetain)
+	if s.cfg.StreamDir != "" {
+		w, err := s.openWAL(name)
+		if err != nil {
+			return nil, err
+		}
+		set.wal = w
+	}
 	s.sets[name] = set
 	s.order = append(s.order, name)
 	if s.defName == "" {
@@ -240,22 +249,44 @@ func (s *Server) lookupStreamSet(name string, create bool) (*auditSet, error) {
 // handleIngest applies a batch of frames to a streaming data set. Appends
 // are ordered and fail fast: the first unappendable block (gap, duplicate,
 // double spend, missing coinbase) stops the batch with 409, and everything
-// applied before it stays. Each applied block updates the incremental
-// index, the sliding-window audit state, the ingest watermark, and rotates
-// the set's fingerprint (retiring its result-cache entries); applied
-// snapshot frames rotate the fingerprint too, since first-seen times are
+// applied before it stays. With durable streaming enabled, the parsed batch
+// is appended to the set's write-ahead log before it is applied — a WAL
+// failure answers 503 without applying anything, so an acknowledged batch
+// is always recoverable. Each applied block updates the incremental index,
+// the sliding-window audit state, the ingest watermark, and rotates the
+// set's fingerprint (retiring its result-cache entries); applied snapshot
+// frames rotate the fingerprint too, since first-seen times are
 // audit-visible state.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	mIngestRequests.Inc()
 	t := startTimer()
+	limit := s.cfg.MaxIngestBytes
+	if limit <= 0 {
+		limit = defaultMaxIngestBytes
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	var req IngestRequest
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, IngestResponse{API: API, Error: fmt.Sprintf("bad ingest body: %v", err), ElapsedMS: t.ms()})
+		mIngestRejects.Inc()
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+			err = fmt.Errorf("body exceeds %d bytes", mbe.Limit)
+		}
+		writeJSON(w, status, IngestResponse{API: API, Error: fmt.Sprintf("bad ingest body: %v", err), ElapsedMS: t.ms()})
 		return
 	}
 	if req.Dataset == "" {
+		mIngestRejects.Inc()
 		writeJSON(w, http.StatusBadRequest, IngestResponse{API: API, Error: "ingest needs a dataset name", ElapsedMS: t.ms()})
+		return
+	}
+	if s.cfg.StreamDir != "" && !validStreamName(req.Dataset) {
+		mIngestRejects.Inc()
+		writeJSON(w, http.StatusBadRequest, IngestResponse{API: API, Dataset: req.Dataset,
+			Error: "dataset name unusable for durable streaming (allowed: letters, digits, '.', '_', '-'; no leading '.')", ElapsedMS: t.ms()})
 		return
 	}
 	set, err := s.lookupStreamSet(req.Dataset, false)
@@ -272,6 +303,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for i := range req.Blocks {
 		b, err := buildFrameBlock(&req.Blocks[i])
 		if err != nil {
+			mIngestRejects.Inc()
 			writeJSON(w, http.StatusBadRequest, IngestResponse{API: API, Dataset: req.Dataset, Error: err.Error(), ElapsedMS: t.ms()})
 			return
 		}
@@ -288,6 +320,43 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	set.mu.Lock()
 	defer set.mu.Unlock()
 	resp := IngestResponse{API: API, Dataset: req.Dataset}
+	if set.wal != nil {
+		if err := set.wal.appendRequest(&req); err != nil {
+			// Write-ahead failed: nothing was applied, so the feeder can
+			// safely re-ship the whole batch after the service recovers.
+			mErrors.Inc()
+			resp.Error = err.Error()
+			resp.Fingerprint = set.fingerprint
+			resp.IndexLen = set.stream.ix.Len()
+			if set.stream.appends > 0 {
+				h := set.stream.lastHeight
+				resp.Height = &h
+			}
+			resp.ElapsedMS = t.ms()
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+			return
+		}
+	}
+	s.applyFrames(set, &req, blocks, &resp)
+	if set.wal != nil && !set.wal.broken && set.wal.due() {
+		if err := s.checkpointSet(set); err != nil {
+			log.Printf("serve: checkpoint %s: %v", set.name, err)
+		}
+	}
+	resp.ElapsedMS = t.ms()
+	status := http.StatusOK
+	if resp.Error != "" {
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, resp)
+}
+
+// applyFrames applies one parsed ingest batch to a streaming set — the
+// shared apply path of live ingest and WAL recovery, which is what makes a
+// recovered set byte-identical to one that never restarted. Caller holds
+// set.mu (or has exclusive access during boot) and has already logged the
+// batch when durability is on.
+func (s *Server) applyFrames(set *auditSet, req *IngestRequest, blocks []*chain.Block, resp *IngestResponse) {
 	st := set.stream
 	for _, b := range blocks {
 		bt := startTimer()
@@ -355,10 +424,4 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		h := st.lastHeight
 		resp.Height = &h
 	}
-	resp.ElapsedMS = t.ms()
-	status := http.StatusOK
-	if resp.Error != "" {
-		status = http.StatusConflict
-	}
-	writeJSON(w, status, resp)
 }

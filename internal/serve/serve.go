@@ -75,6 +75,23 @@ type Config struct {
 	// the compaction (see DESIGN.md §12); full-chain audits shrink to the
 	// retained horizon.
 	StreamRetain int
+	// StreamDir enables durable streaming: every accepted ingest batch is
+	// appended to a per-set write-ahead log under this directory before the
+	// response is written, and on boot every set found there is recovered by
+	// replaying its checkpoint plus the WAL suffix through the ingest apply
+	// path (see DESIGN.md §13). Empty disables durability (in-memory
+	// streaming sets, the pre-durability behavior).
+	StreamDir string
+	// StreamFsync selects the WAL durability policy: "always" (fsync every
+	// append), "batch" (fsync every few appends and at checkpoints, the
+	// default), or "off" (never fsync; the OS decides).
+	StreamFsync string
+	// CheckpointEvery compacts each set's WAL into a checkpoint after N
+	// appended batches (0 = default 256).
+	CheckpointEvery int
+	// MaxIngestBytes bounds one ingest request body; oversize requests are
+	// rejected with 413 (0 = default 8 MiB).
+	MaxIngestBytes int64
 }
 
 // auditSet is one loaded data set: a shared auditor plus the provenance the
@@ -94,6 +111,11 @@ type auditSet struct {
 
 	// stream holds live-ingest state; nil for startup-loaded sets.
 	stream *streamState
+	// wal is the set's write-ahead log; nil unless Config.StreamDir is set.
+	// recovery describes the boot-time recovery that rebuilt the set; nil
+	// for sets created live.
+	wal      *setWAL
+	recovery *recoveryInfo
 
 	// winOnce/winAud/winErr lazily build the sliding-window auditor for
 	// startup-loaded sets by replaying the batch index — so windowed audits
@@ -163,6 +185,8 @@ type Server struct {
 	cache   *resultCache
 	mux     *http.ServeMux
 	start   time.Time
+	// fsync is the parsed Config.StreamFsync policy (durable streaming only).
+	fsync fsyncPolicy
 }
 
 // now reads the configured clock (observability only — watermarks and lag
@@ -181,14 +205,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1
 	}
-	if !cfg.Sim && len(cfg.Chains) == 0 {
-		return nil, fmt.Errorf("serve: no data sets configured (need Sim or Chains)")
+	if !cfg.Sim && len(cfg.Chains) == 0 && cfg.StreamDir == "" {
+		return nil, fmt.Errorf("serve: no data sets configured (need Sim, Chains, or StreamDir)")
 	}
 	s := &Server{
 		cfg:   cfg,
 		sets:  make(map[string]*auditSet),
 		cache: newResultCache(),
 		start: time.Now(),
+	}
+	if cfg.StreamDir != "" {
+		policy, err := parseFsyncPolicy(cfg.StreamFsync)
+		if err != nil {
+			return nil, err
+		}
+		s.fsync = policy
 	}
 	if cfg.Chaos != "" {
 		plan, err := faults.ParseSpec(cfg.Chaos)
@@ -214,6 +245,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	for _, spec := range cfg.Chains {
 		if err := s.addChainCSV(spec); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.StreamDir != "" {
+		if err := s.recoverStreams(); err != nil {
 			return nil, err
 		}
 	}
