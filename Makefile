@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-key reproduce lint lint-fixtures smoke-metrics smoke-chaos smoke-serve smoke-stream smoke-live smoke-crash clean
+.PHONY: check build vet test race bench bench-key reproduce lint lint-fixtures smoke-metrics smoke-chaos smoke-serve smoke-stream smoke-live smoke-crash smoke-multi clean
 
 # check is the tier-1 gate: vet, build, the analyzer suite (plus the guard
 # that keeps its fixtures honest), the full test suite under the race
-# detector, and the metrics, chaos, service, stream-replay, live-feed, and
-# crash-recovery smoke tests.
-check: vet build lint lint-fixtures race smoke-metrics smoke-chaos smoke-serve smoke-stream smoke-live smoke-crash
+# detector, and the metrics, chaos, service, stream-replay, live-feed,
+# crash-recovery, and multi-source smoke tests.
+check: vet build lint lint-fixtures race smoke-metrics smoke-chaos smoke-serve smoke-stream smoke-live smoke-crash smoke-multi
 
 # lint runs the determinism & audit-integrity analyzer suite (DESIGN.md §9)
 # over every module package. Any unsuppressed finding fails the gate.
@@ -40,13 +40,16 @@ race:
 	$(GO) test -race ./...
 
 # bench runs every experiment benchmark, then refreshes the machine-readable
-# streaming-path report (BENCH_7.json, chainaudit.bench/v1 schema: batch vs
-# incremental index, window maintenance, and live observer ingest with ship
-# latency percentiles); bench-key just the two the shared-index refactor is
-# measured by (see EXPERIMENTS.md).
+# streaming-path report (BENCH_8.json, chainaudit.bench/v1 schema: batch vs
+# incremental index, window maintenance, live observer ingest with ship
+# latency percentiles, and attributed multi-source observation with the
+# divergence-audit counters); bench-key just the two the shared-index
+# refactor is measured by. BENCH_N.json files are a perf trajectory, one per
+# PR that moved the streaming path — older ones stay checked in
+# (see EXPERIMENTS.md).
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
-	$(GO) run ./cmd/chainbench -out BENCH_7.json
+	$(GO) run ./cmd/chainbench -out BENCH_8.json
 
 bench-key:
 	$(GO) test -bench='BenchmarkFig07PPE|BenchmarkTable2SelfInterest' -benchtime=3x -run=^$$ .
@@ -240,6 +243,28 @@ smoke-crash:
 		cmp /tmp/chainaudit-crash-live.txt /tmp/chainaudit-crash-batch.txt || \
 		{ echo "smoke-crash: $$q diverged between resumed feed and batch reference"; exit 1; }; \
 	done
+
+# smoke-multi pins the multi-source observation invariants in process: two
+# concurrent observers with different chaos specs — one behind a planted 30s
+# lag — feed one shared set. The merged index and PPE audit must be
+# byte-identical to a single-source baseline over the same chain (the merged
+# min-time view is lag-invariant because the clean source always sees first),
+# and the divergence audit must flag exactly the planted laggard.
+smoke-multi:
+	$(GO) build -o /tmp/chainobserver ./cmd/chainobserver
+	$(GO) run ./cmd/gendata -set C -seed 9 -hours 5 -out /tmp/chainaudit-multi-chain.csv > /dev/null
+	/tmp/chainobserver -chain /tmp/chainaudit-multi-chain.csv -inprocess -batch 16 \
+		> /tmp/chainaudit-multi-single.txt
+	/tmp/chainobserver -chain /tmp/chainaudit-multi-chain.csv -inprocess -batch 16 \
+		-sources 2 -source-lag s2=30s -source-chaos 's2=seed=5,p2p.dup=0.2' \
+		> /tmp/chainaudit-multi-double.txt
+	sed -n '/^in-process index:/,/^$$/p' /tmp/chainaudit-multi-single.txt > /tmp/chainaudit-multi-single-audit.txt
+	sed -n '/^in-process index:/,/^$$/p' /tmp/chainaudit-multi-double.txt > /tmp/chainaudit-multi-double-audit.txt
+	cmp /tmp/chainaudit-multi-single-audit.txt /tmp/chainaudit-multi-double-audit.txt || \
+		{ echo "smoke-multi: merged audit diverged from single-source baseline"; exit 1; }
+	grep -q 'flagged: s2$$' /tmp/chainaudit-multi-double.txt || \
+		{ echo "smoke-multi: divergence did not flag exactly the planted laggard:"; \
+		  grep '^divergence:' /tmp/chainaudit-multi-double.txt; exit 1; }
 
 clean:
 	$(GO) clean ./...

@@ -28,13 +28,24 @@
 //	GET  /v1/experiments          the experiment registry (ids, titles, params)
 //	POST /v1/experiments/{name}   run one experiment (?format=json|text|csv)
 //	POST /v1/audits/{kind}        ppe | selfinterest | lowfee | scam | darkfee
+//	                              | divergence
 //	                              (?dataset= ?minshare= ?sppe= ?windows=
 //	                               ?address= ?pool= ?timeout_ms= ?format=
 //	                               ?window=N — sliding-window variant of
 //	                               ppe/lowfee/darkfee over the last N blocks,
 //	                               0 = all retained)
+//	POST /v1/audit/divergence     cross-observer first-seen divergence over
+//	                              the per-source ledger (?dataset=
+//	                               ?threshold_ms= ?minshared=; DESIGN.md §14)
 //	POST /v1/ingest               append block/mempool frames to a streaming
 //	                              data set (JSON body: dataset, blocks, mempool)
+//	POST /v2/ingest               same schema plus source attribution: a
+//	                              request-level "source" and/or per-frame
+//	                              overrides feed the per-source first-seen
+//	                              ledger; /v1 bodies stay valid and anonymous
+//
+// Errors from every endpoint share one JSON envelope
+// (chainaudit.error/v1: api, code, error, plus context fields).
 //
 // Responses are value-identical to the batch CLIs (cmd/reproduce,
 // cmd/chainaudit); text-format bodies are byte-identical to the matching

@@ -1,8 +1,8 @@
 // Command chainbench measures the cost of the batch-vs-incremental index
 // refactor and the streaming audit path, emitting a machine-readable report
-// (the checked-in BENCH_7.json):
+// (the checked-in BENCH_8.json):
 //
-//	chainbench -seed 11 -hours 4 -out BENCH_7.json
+//	chainbench -seed 11 -hours 4 -out BENCH_8.json
 //
 // Measurements over one simulated data set C:
 //
@@ -17,6 +17,11 @@
 //   - observer.Run/HTTPSink     — the same stream shipped over HTTP into an
 //     in-memory chainauditd ingest endpoint (live-ingest throughput), with
 //     per-batch emit-to-ack ship latency percentiles ("observer lag")
+//   - observer.Run/IndexSink/attributed — the in-process pipeline under a
+//     source ID, which adds per-source first-seen ledger maintenance
+//   - core.DivergenceAudit/sources=2 — the cross-observer divergence audit
+//     over a two-source ledger (the per-request cost of /v1/audit/divergence),
+//     with the ledger's attribution counters recorded in the report
 //
 // Throughput numbers (ns/op, allocs) come from testing.Benchmark; append
 // latency percentiles come from an instrumented replay. The report is a
@@ -37,6 +42,7 @@ import (
 	"testing"
 	"time"
 
+	"chainaudit/internal/chain"
 	"chainaudit/internal/core"
 	"chainaudit/internal/dataset"
 	"chainaudit/internal/index"
@@ -49,12 +55,24 @@ const BenchSchema = "chainaudit.bench/v1"
 
 // Report is the emitted document.
 type Report struct {
-	Schema  string   `json:"schema"`
-	Go      string   `json:"go"`
-	OS      string   `json:"os"`
-	Arch    string   `json:"arch"`
-	Dataset Dataset  `json:"dataset"`
-	Results []Result `json:"results"`
+	Schema      string       `json:"schema"`
+	Go          string       `json:"go"`
+	OS          string       `json:"os"`
+	Arch        string       `json:"arch"`
+	Dataset     Dataset      `json:"dataset"`
+	Results     []Result     `json:"results"`
+	Attribution *Attribution `json:"attribution,omitempty"`
+}
+
+// Attribution records the source-attribution counters from the two-source
+// divergence measurement: what the per-source ledger held and what the
+// audit flagged. Unlike the timing numbers these are deterministic for a
+// given seed — the planted 3s laggard must always be the one flagged.
+type Attribution struct {
+	Sources   []string `json:"sources"`
+	LedgerTxs int      `json:"ledger_txs"`
+	SharedTxs int      `json:"shared_txs"`
+	Flagged   []string `json:"flagged"`
 }
 
 // Dataset records what was measured over.
@@ -92,7 +110,7 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 11, "simulation seed")
 	hours := fs.Float64("hours", 4, "simulated span in hours")
 	window := fs.Int("window", 32, "sliding-window size for the re-audit measurement")
-	outPath := fs.String("out", "BENCH_7.json", "report path (- for stdout)")
+	outPath := fs.String("out", "BENCH_8.json", "report path (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -210,6 +228,65 @@ func run(args []string, out io.Writer) error {
 		}
 	})
 	rep.Results = append(rep.Results, result("observer.Run/IndexSink", inproc, c.Len()))
+
+	// The same pipeline under a source ID: every snapshot's seen events also
+	// land in the per-source first-seen ledger, the cost the v2 ingest path
+	// adds over v1.
+	attrib := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink := &observer.IndexSink{
+				Index:  index.NewIncremental(ds.Registry),
+				Win:    core.NewWindowAuditor(0),
+				Source: "s1",
+			}
+			st, err := observer.Run(ctx, observer.NewChainSource(c), sink, observer.Config{BatchBlocks: 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Blocks != c.Len() {
+				b.Fatalf("short run: %d blocks", st.Blocks)
+			}
+		}
+	})
+	rep.Results = append(rep.Results, result("observer.Run/IndexSink/attributed", attrib, c.Len()))
+
+	// The divergence audit over a two-source ledger: s1 fed by the attributed
+	// pipeline, s2 replayed with a planted 3s systematic delay. The timing is
+	// the per-request cost of /v1/audit/divergence; the attribution counters
+	// (and the flagged laggard) are recorded in the report.
+	ixAttr := index.NewIncremental(ds.Registry)
+	attrSink := &observer.IndexSink{Index: ixAttr, Win: core.NewWindowAuditor(0), Source: "s1"}
+	if _, err := observer.Run(ctx, observer.NewChainSource(c), attrSink, observer.Config{BatchBlocks: 16}); err != nil {
+		return err
+	}
+	for _, blk := range blocks {
+		seen := make(map[chain.TxID]time.Time, len(blk.Body()))
+		for _, tx := range blk.Body() {
+			seen[tx.ID] = tx.Time.Add(3 * time.Second)
+		}
+		ixAttr.ObserveFirstSeenFrom("s2", seen)
+	}
+	ledger := ixAttr.SourceSeenTimes()
+	divBench := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if rep := core.DivergenceAudit(ledger, core.DivergenceOptions{}); len(rep.Sources) != 2 {
+				b.Fatalf("divergence saw %d sources", len(rep.Sources))
+			}
+		}
+	})
+	rep.Results = append(rep.Results, result("core.DivergenceAudit/sources=2", divBench, 0))
+	div := core.DivergenceAudit(ledger, core.DivergenceOptions{})
+	rep.Attribution = &Attribution{
+		Sources:   ixAttr.Sources(),
+		LedgerTxs: len(ledger),
+		SharedTxs: div.SharedTxs,
+		Flagged:   div.FlaggedSources(),
+	}
+	if len(rep.Attribution.Flagged) != 1 || rep.Attribution.Flagged[0] != "s2" {
+		return fmt.Errorf("divergence flagged %v, want exactly [s2]", rep.Attribution.Flagged)
+	}
 
 	// The same stream shipped over HTTP into an in-memory ingest endpoint —
 	// live-ingest throughput including JSON framing and the service's own

@@ -30,8 +30,8 @@ func TestReportShape(t *testing.T) {
 	if rep.Dataset.Blocks == 0 || rep.Dataset.Txs == 0 {
 		t.Errorf("dataset = %+v", rep.Dataset)
 	}
-	if len(rep.Results) != 6 {
-		t.Fatalf("results = %d, want 6", len(rep.Results))
+	if len(rep.Results) != 8 {
+		t.Fatalf("results = %d, want 8", len(rep.Results))
 	}
 	names := map[string]bool{}
 	for _, r := range rep.Results {
@@ -43,10 +43,26 @@ func TestReportShape(t *testing.T) {
 	for _, want := range []string{
 		"index.Build/batch", "index.AppendBlock/replay",
 		"observer.Run/IndexSink", "observer.Run/HTTPSink",
+		"observer.Run/IndexSink/attributed", "core.DivergenceAudit/sources=2",
 	} {
 		if !names[want] {
 			t.Errorf("missing result %q (have %v)", want, names)
 		}
+	}
+	// The attribution counters are deterministic in the seed: two sources,
+	// every tx shared, and exactly the planted laggard s2 flagged.
+	if rep.Attribution == nil {
+		t.Fatal("report has no attribution block")
+	}
+	a := rep.Attribution
+	if len(a.Sources) != 2 || a.Sources[0] != "s1" || a.Sources[1] != "s2" {
+		t.Errorf("attribution sources = %v, want [s1 s2]", a.Sources)
+	}
+	if a.LedgerTxs == 0 || a.SharedTxs != a.LedgerTxs {
+		t.Errorf("attribution ledger = %d shared = %d", a.LedgerTxs, a.SharedTxs)
+	}
+	if len(a.Flagged) != 1 || a.Flagged[0] != "s2" {
+		t.Errorf("attribution flagged = %v, want [s2]", a.Flagged)
 	}
 	for _, r := range rep.Results {
 		switch r.Name {

@@ -8,6 +8,8 @@
 //	              [-batch 16] [-record stream.jsonl] [-chaos spec] [-queue N]
 //	              [-timeout d] [-retries n] [-backoff d] [-seed N] [-resume]
 //	              [-inprocess] [-retain N] [-window N]
+//	              [-sources N] [-source-lag id=dur] [-source-chaos id=spec]
+//	              [-source-seed id=N] [-source-minfee id=rate]
 //
 // By default batches ship over HTTP to a running chainauditd's POST
 // /v1/ingest, with retry, seeded-jitter backoff, and idempotent
@@ -24,6 +26,19 @@
 // gossip, duplicate deliveries, and watcher churn (with reconnect) all
 // stress the feed while the audit result must stay equal to a clean replay
 // of what was recorded.
+//
+// -sources N (N > 1) runs N independent observation pipelines — each its
+// own relay/watcher pair, clock, and fault plan — all feeding one streaming
+// set under distinct source IDs s1..sN (DESIGN.md §14). Over HTTP each
+// source ships through POST /v2/ingest with its ID as the request's source
+// attribution; in-process all sources share one index behind a
+// covered-height trim (the in-process mirror of the service's idempotent
+// redelivery), and the run ends with the cross-source divergence audit next
+// to the positional audit. The repeatable -source-* flags override one
+// source's knobs by ID: -source-lag plants a deterministic observation lag
+// (the divergence audit's ground truth), -source-chaos replaces the global
+// -chaos spec for that source, -source-seed and -source-minfee tune its
+// backoff jitter and admission threshold.
 package main
 
 import (
@@ -35,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -98,6 +114,55 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	inprocess := fs.Bool("inprocess", false, "apply the feed to an in-process index instead of HTTP")
 	retain := fs.Int("retain", 0, "in-process retention horizon in blocks (0 = unbounded)")
 	window := fs.Int("window", 0, "in-process: audit window to print when done (0 = all retained)")
+	sources := fs.Int("sources", 1, "number of concurrent observation sources (IDs s1..sN; >1 ships with v2 source attribution)")
+	srcLag := map[string]time.Duration{}
+	fs.Func("source-lag", "per-source observation lag as id=duration (e.g. s2=30s; repeatable)", func(v string) error {
+		id, val, err := splitSourceFlag(v)
+		if err != nil {
+			return err
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return err
+		}
+		srcLag[id] = d
+		return nil
+	})
+	srcChaos := map[string]string{}
+	fs.Func("source-chaos", "per-source fault spec as id=spec, overriding -chaos for that source (repeatable)", func(v string) error {
+		id, val, err := splitSourceFlag(v)
+		if err != nil {
+			return err
+		}
+		srcChaos[id] = val
+		return nil
+	})
+	srcSeed := map[string]uint64{}
+	fs.Func("source-seed", "per-source backoff jitter seed as id=N (repeatable)", func(v string) error {
+		id, val, err := splitSourceFlag(v)
+		if err != nil {
+			return err
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return err
+		}
+		srcSeed[id] = n
+		return nil
+	})
+	srcMinFee := map[string]chain.SatPerVByte{}
+	fs.Func("source-minfee", "per-source watcher admission threshold as id=rate in sat/vB (repeatable)", func(v string) error {
+		id, val, err := splitSourceFlag(v)
+		if err != nil {
+			return err
+		}
+		rate, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return err
+		}
+		srcMinFee[id] = chain.SatPerVByte(rate)
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,6 +171,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *batch < 1 {
 		*batch = 1
+	}
+	if *sources < 1 {
+		return fmt.Errorf("-sources must be at least 1")
+	}
+	if *sources == 1 && (len(srcLag)+len(srcChaos)+len(srcSeed)+len(srcMinFee)) > 0 {
+		return fmt.Errorf("per-source flags require -sources > 1")
+	}
+	if *sources > 1 {
+		if *record != "" {
+			return fmt.Errorf("-record is single-source only: record each source in its own run")
+		}
+		for _, m := range []map[string]bool{sourceIDs(srcLag), sourceIDs(srcChaos), sourceIDs(srcSeed), sourceIDs(srcMinFee)} {
+			for id := range m {
+				if !validSourceID(id, *sources) {
+					return fmt.Errorf("unknown source %q: IDs are s1..s%d", id, *sources)
+				}
+			}
+		}
 	}
 
 	f, err := os.Open(*chainPath)
@@ -119,6 +202,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if c.Len() == 0 {
 		return fmt.Errorf("chain %s is empty", *chainPath)
+	}
+
+	if *sources > 1 {
+		return runMulti(ctx, out, c, multiConfig{
+			sources:   *sources,
+			url:       *url,
+			dataset:   *name,
+			batch:     *batch,
+			chaos:     *chaos,
+			queue:     *queue,
+			timeout:   *timeout,
+			retries:   *retries,
+			backoff:   *backoff,
+			seed:      *seed,
+			resume:    *resume,
+			inprocess: *inprocess,
+			retain:    *retain,
+			window:    *window,
+			lag:       srcLag,
+			chaosBy:   srcChaos,
+			seedBy:    srcSeed,
+			minFeeBy:  srcMinFee,
+		})
 	}
 
 	var plan *faults.Plan
@@ -291,6 +397,251 @@ func feed(ctx context.Context, c *chain.Chain, relay, watcher *p2p.Node, clk *fe
 		if watcher.MaybeChurn() {
 			p2p.ConnectPair(relay, watcher)
 			*reconnects++
+		}
+	}
+	return nil
+}
+
+// splitSourceFlag parses one repeatable per-source flag value ("id=value").
+func splitSourceFlag(v string) (id, val string, err error) {
+	id, val, ok := strings.Cut(v, "=")
+	if !ok || id == "" || val == "" {
+		return "", "", fmt.Errorf("want id=value, got %q", v)
+	}
+	return id, val, nil
+}
+
+// sourceIDs collects a per-source override map's keys for ID validation.
+func sourceIDs[V any](m map[string]V) map[string]bool {
+	ids := make(map[string]bool, len(m))
+	for id := range m {
+		ids[id] = true
+	}
+	return ids
+}
+
+// validSourceID reports whether id names one of the n sources (s1..sN).
+func validSourceID(id string, n int) bool {
+	if len(id) < 2 || id[0] != 's' {
+		return false
+	}
+	i, err := strconv.Atoi(id[1:])
+	return err == nil && i >= 1 && i <= n
+}
+
+// multiConfig carries the shared knobs plus the per-source overrides into
+// runMulti.
+type multiConfig struct {
+	sources   int
+	url       string
+	dataset   string
+	batch     int
+	chaos     string
+	queue     int
+	timeout   time.Duration
+	retries   int
+	backoff   time.Duration
+	seed      uint64
+	resume    bool
+	inprocess bool
+	retain    int
+	window    int
+	lag       map[string]time.Duration
+	chaosBy   map[string]string
+	seedBy    map[string]uint64
+	minFeeBy  map[string]chain.SatPerVByte
+}
+
+// sharedCover is the covered-height watermark all in-process source sinks
+// ratchet under one lock: every source replays the same chain, so block
+// frames arrive up to N times, and only the first delivery of each height
+// may append. This is the in-process mirror of the HTTP path's idempotent
+// covered-rejection trim — safe because each source delivers blocks in
+// increasing order, so a source's next un-trimmed block is never more than
+// one above the shared watermark.
+type sharedCover struct {
+	mu      sync.Mutex
+	covered int64
+}
+
+// sharedIndexSink serializes one source's batches into the shared index:
+// under the shared lock it trims blocks a sibling already appended, applies
+// the remainder (snapshots always — each source's first-seen observations
+// land in the per-source ledger under its own attribution), and advances
+// the watermark.
+type sharedIndexSink struct {
+	cover *sharedCover
+	sink  *observer.IndexSink
+}
+
+func (s *sharedIndexSink) Apply(ctx context.Context, b *observer.Batch) error {
+	s.cover.mu.Lock()
+	defer s.cover.mu.Unlock()
+	trimmed := *b
+	trimmed.Blocks = nil
+	top := s.cover.covered
+	for _, blk := range b.Blocks {
+		if blk.Height > s.cover.covered {
+			trimmed.Blocks = append(trimmed.Blocks, blk)
+			if blk.Height > top {
+				top = blk.Height
+			}
+		}
+	}
+	if err := s.sink.Apply(ctx, &trimmed); err != nil {
+		return err
+	}
+	s.cover.covered = top
+	return nil
+}
+
+// sourceResult is one pipeline's outcome, reported in ID order.
+type sourceResult struct {
+	id         string
+	stats      *observer.Stats
+	reconnects int
+	hs         *observer.HTTPSink
+	err        error
+}
+
+// runMulti drives cfg.sources concurrent observation pipelines over the
+// same chain, each a full relay/watcher pair with its own clock, fault
+// plan, and sink, all feeding one streaming set under distinct source IDs.
+func runMulti(ctx context.Context, out io.Writer, c *chain.Chain, cfg multiConfig) error {
+	var (
+		ix    *index.BlockIndex
+		win   *core.WindowAuditor
+		cover *sharedCover
+	)
+	if cfg.inprocess {
+		opts := []index.Option{index.WithAppender(dataset.AppendLoose)}
+		if cfg.retain > 0 {
+			opts = append(opts, index.WithRetention(cfg.retain))
+		}
+		ix = index.NewIncremental(poolid.DefaultRegistry(), opts...)
+		win = core.NewWindowAuditor(cfg.retain)
+		cover = &sharedCover{covered: -1}
+	}
+
+	results := make([]sourceResult, cfg.sources)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.sources; i++ {
+		id := fmt.Sprintf("s%d", i+1)
+		results[i] = sourceResult{id: id}
+
+		spec := cfg.chaos
+		if s, ok := cfg.chaosBy[id]; ok {
+			spec = s
+		}
+		var plan *faults.Plan
+		if spec != "" {
+			p, err := faults.ParseSpec(spec)
+			if err != nil {
+				return fmt.Errorf("source %s: %w", id, err)
+			}
+			plan = p
+		}
+
+		clk := &feedClock{t: c.Blocks()[0].Time}
+		relay := p2p.NewNode(id+"-relay", 0)
+		watcher := p2p.NewNode(id+"-watcher", cfg.minFeeBy[id])
+		defer relay.Close()
+		defer watcher.Close()
+		relay.SetClock(clk.now)
+		watcher.SetClock(clk.now)
+		relay.SetFaults(plan.P2P(1))
+		watcher.SetFaults(plan.P2P(2))
+		ns := observer.NewNodeSource(watcher, cfg.queue)
+		defer ns.Close()
+		p2p.ConnectPair(relay, watcher)
+
+		var src observer.Source = ns
+		if lag := cfg.lag[id]; lag != 0 {
+			src = &observer.LagSource{Src: ns, Lag: lag}
+		}
+
+		var sink observer.Sink
+		if cfg.inprocess {
+			sink = &sharedIndexSink{cover: cover, sink: &observer.IndexSink{Index: ix, Win: win, Source: id}}
+		} else {
+			seed := cfg.seedBy[id]
+			if seed == 0 {
+				seed = cfg.seed
+			}
+			hs := &observer.HTTPSink{
+				URL:        cfg.url,
+				Dataset:    cfg.dataset,
+				Source:     id,
+				Client:     &http.Client{Timeout: time.Minute},
+				MaxRetries: cfg.retries,
+				Backoff:    cfg.backoff,
+				Seed:       seed,
+				Faults:     plan.P2P(3),
+			}
+			if cfg.resume {
+				wm, ok, err := hs.SyncWatermark(ctx)
+				if err != nil {
+					return fmt.Errorf("source %s resume: %w", id, err)
+				}
+				if ok {
+					fmt.Fprintf(out, "source %s resuming dataset %s above recovered height %d\n", id, cfg.dataset, wm)
+				} else {
+					fmt.Fprintf(out, "source %s resuming dataset %s from scratch (no recovered watermark)\n", id, cfg.dataset)
+				}
+			}
+			results[i].hs = hs
+			sink = hs
+		}
+
+		wg.Add(1)
+		go func(r *sourceResult, relay, watcher *p2p.Node, ns *observer.NodeSource, src observer.Source, sink observer.Sink, clk *feedClock) {
+			defer wg.Done()
+			feedErr := make(chan error, 1)
+			go func() {
+				defer ns.Close()
+				feedErr <- feed(ctx, c, relay, watcher, clk, cfg.timeout, &r.reconnects)
+			}()
+			stats, runErr := observer.Run(ctx, src, sink, observer.Config{BatchBlocks: cfg.batch})
+			ferr := <-feedErr
+			r.stats = stats
+			if runErr != nil {
+				r.err = fmt.Errorf("observer run: %w", runErr)
+			} else if ferr != nil {
+				r.err = fmt.Errorf("feed: %w", ferr)
+			}
+		}(&results[i], relay, watcher, ns, src, sink, clk)
+	}
+	wg.Wait()
+
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return fmt.Errorf("source %s: %w", r.id, r.err)
+		}
+		fmt.Fprintf(out, "source %s: observed %s", r.id, r.stats)
+		if r.reconnects > 0 {
+			fmt.Fprintf(out, ", %d churn reconnects", r.reconnects)
+		}
+		fmt.Fprintln(out)
+		if r.hs != nil {
+			if r.hs.Last.Dataset == "" {
+				fmt.Fprintf(out, "source %s: dataset %s already covered by the service's watermark\n", r.id, cfg.dataset)
+			} else {
+				height := int64(-1)
+				if r.hs.Last.Height != nil {
+					height = *r.hs.Last.Height
+				}
+				fmt.Fprintf(out, "source %s: dataset %s at height %d (index %d)\n", r.id, r.hs.Last.Dataset, height, r.hs.Last.IndexLen)
+			}
+		}
+	}
+	if win != nil {
+		fmt.Fprintf(out, "in-process index: %d retained of %d ingested\n", ix.Len(), ix.Ingested())
+		if err := core.WritePPESection(out, win.AuditPPE(cfg.window, core.AuditOptions{})); err != nil {
+			return err
+		}
+		if err := core.WriteDivergenceSection(out, core.DivergenceAudit(ix.SourceSeenTimes(), core.DivergenceOptions{})); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -33,16 +33,17 @@ func main() {
 	aud := core.NewIndexedAuditor(index.Build(c, ds.Registry))
 
 	// Norm II: how closely does intra-block order track the fee-rate norm?
-	rep := aud.PPEReport(3)
+	rep := aud.AuditPPE(core.AuditOptions{MinBlocks: 3})
 	fmt.Printf("position prediction error: %s\n", rep.Overall)
 	fmt.Println("(the paper's data set C: mean 2.65%, 80% of blocks under 4.03%)")
 	fmt.Println()
 
 	// Norms I+II, per pool and transaction owner: who accelerates whom?
-	findings, _, err := aud.SelfInterestAudit(0.04)
+	si, err := aud.AuditSelfInterest(core.AuditOptions{MinShare: 0.04})
 	if err != nil {
 		log.Fatal(err)
 	}
+	findings := si.Findings
 	t := report.NewTable("significant differential prioritization (p < 0.001)",
 		"owner", "prioritized by", "x", "y", "p_accel", "sppe")
 	for _, f := range findings {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"context"
 	"sort"
 	"sync"
 
@@ -16,9 +15,10 @@ import (
 // index.BlockIndex, built lazily on first use (or supplied prebuilt via
 // NewIndexedAuditor), so the chain is attributed and position-analyzed
 // exactly once no matter how many audits run. The Audit* methods taking an
-// AuditOptions struct (options.go) are the canonical API; the positional
-// variants below them are deprecated wrappers kept for source
-// compatibility.
+// AuditOptions struct (options.go) are the canonical API; the historical
+// positional wrappers (PPEReport(minBlocks), SelfInterestAudit(minShare),
+// ScamAudit(set, minShare), package-level SelfInterestGrid) were deprecated
+// when AuditOptions landed and have since been removed.
 type Auditor struct {
 	Chain    *chain.Chain
 	Registry *poolid.Registry
@@ -69,18 +69,6 @@ func (r PPEReport) SortedPools() []string {
 	return pools
 }
 
-// PPEReport computes Figure 7's statistics: the distribution of per-block
-// position prediction error, overall and per pool.
-//
-// Deprecated: use AuditPPE with AuditOptions{MinBlocks: minBlocks}.
-func (a *Auditor) PPEReport(minBlocks int) PPEReport {
-	opts := AuditOptions{MinBlocks: minBlocks}
-	if minBlocks <= 0 {
-		opts.MinBlocks = -1 // historical semantics: 0 meant "no minimum"
-	}
-	return a.AuditPPE(opts)
-}
-
 // SelfInterestFinding is one row of the Table 2 pipeline: derive each
 // pool's self-interest transaction set from its reward wallets, then test
 // every (testing pool, transaction owner) combination among pools with at
@@ -97,40 +85,3 @@ type SelfInterestFinding struct {
 	QAccel float64
 }
 
-// SelfInterestGrid tests every (owner, testing pool) combination of the
-// given transaction sets against the index's pools with at least minShare
-// of blocks.
-//
-// Deprecated: use SelfInterestGridCtx, which adds cancellation.
-func SelfInterestGrid(ix *index.BlockIndex, sets map[string]map[chain.TxID]bool, minShare float64) ([]SelfInterestFinding, error) {
-	return SelfInterestGridCtx(context.Background(), ix, sets, minShare)
-}
-
-// SelfInterestAudit audits differential prioritization of pools' own
-// transactions (§5.2).
-//
-// Deprecated: use AuditSelfInterest with AuditOptions{MinShare: minShare},
-// which returns the same findings and grid in one report value.
-func (a *Auditor) SelfInterestAudit(minShare float64) (findings []SelfInterestFinding, all []SelfInterestFinding, err error) {
-	opts := AuditOptions{MinShare: minShare}
-	if minShare <= 0 {
-		opts.MinShare = -1 // historical semantics: 0 meant "no minimum"
-	}
-	rep, err := a.AuditSelfInterest(opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	return rep.Findings, rep.All, nil
-}
-
-// ScamAudit runs the Table 3 pipeline over a transaction set (e.g. all
-// payments to a scam wallet).
-//
-// Deprecated: use AuditScam with AuditOptions{MinShare: minShare}.
-func (a *Auditor) ScamAudit(set map[chain.TxID]bool, minShare float64) ([]DifferentialResult, error) {
-	opts := AuditOptions{MinShare: minShare}
-	if minShare <= 0 {
-		opts.MinShare = -1
-	}
-	return a.AuditScam(set, opts)
-}

@@ -253,7 +253,7 @@ func TestAuditorFacade(t *testing.T) {
 		}
 	}
 	a := NewAuditor(c)
-	rep := a.PPEReport(1)
+	rep := a.AuditPPE(AuditOptions{MinBlocks: 1})
 	if rep.Overall.N != 40 {
 		t.Errorf("PPE overall N = %d", rep.Overall.N)
 	}
@@ -261,15 +261,14 @@ func TestAuditorFacade(t *testing.T) {
 		t.Errorf("PerPool = %v", rep.PerPool)
 	}
 	// No self-interest txs planted: audit runs clean.
-	findings, all, err := a.SelfInterestAudit(0.05)
+	si, err := a.AuditSelfInterest(AuditOptions{MinShare: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(findings) != 0 {
-		t.Errorf("clean chain produced findings: %+v", findings)
+	if len(si.Findings) != 0 {
+		t.Errorf("clean chain produced findings: %+v", si.Findings)
 	}
-	_ = all
-	if _, err := a.ScamAudit(map[chain.TxID]bool{}, 0.05); err == nil {
+	if _, err := a.AuditScam(map[chain.TxID]bool{}, AuditOptions{MinShare: 0.05}); err == nil {
 		t.Error("empty scam set accepted")
 	}
 	_ = poolid.Unknown

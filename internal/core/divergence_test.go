@@ -1,0 +1,115 @@
+package core_test
+
+// Divergence-audit tests: flagging semantics over planted ledgers, option
+// resolution, and determinism — the same ledger audited twice (including
+// concurrently, for the -race gate) must produce identical reports
+// regardless of map iteration order.
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"chainaudit/internal/chain"
+	"chainaudit/internal/core"
+)
+
+// divLedger builds a synthetic ledger of n transactions: "a" sees each at
+// its base time, "b" with a small cycling sub-threshold skew (nonzero
+// median), "lag" delayed by lag.
+func divLedger(n int, lag time.Duration) map[chain.TxID]map[string]time.Time {
+	base := time.Unix(1_700_000_000, 0)
+	ledger := make(map[chain.TxID]map[string]time.Time, n)
+	for i := 0; i < n; i++ {
+		var id chain.TxID
+		copy(id[:], fmt.Sprintf("div-%08d", i))
+		t := base.Add(time.Duration(i) * time.Second)
+		skew := time.Duration(i%4) * 25 * time.Millisecond
+		ledger[id] = map[string]time.Time{
+			"a":   t,
+			"b":   t.Add(skew),
+			"lag": t.Add(lag),
+		}
+	}
+	return ledger
+}
+
+func TestDivergenceFlagsPlantedLaggardOnly(t *testing.T) {
+	rep := core.DivergenceAudit(divLedger(40, 5*time.Second), core.DivergenceOptions{})
+	if got := rep.FlaggedSources(); len(got) != 1 || got[0] != "lag" {
+		t.Fatalf("flagged %v, want [lag]", got)
+	}
+	if rep.SharedTxs != 40 {
+		t.Errorf("SharedTxs = %d, want 40", rep.SharedTxs)
+	}
+	if len(rep.Pairs) != 3 {
+		t.Fatalf("pairs = %d, want 3", len(rep.Pairs))
+	}
+	for _, s := range rep.Sources {
+		if s.Source == "lag" {
+			if s.MedianOffset != 5*time.Second || s.Leads != 0 {
+				t.Errorf("laggard row = %+v", s)
+			}
+		} else if s.Flagged {
+			t.Errorf("clean source %s flagged: %+v", s.Source, s)
+		}
+	}
+}
+
+func TestDivergenceOptionResolution(t *testing.T) {
+	ledger := divLedger(4, 5*time.Second) // below the default MinShared of 5
+	if got := core.DivergenceAudit(ledger, core.DivergenceOptions{}).FlaggedSources(); got != nil {
+		t.Errorf("under-shared laggard flagged: %v", got)
+	}
+	// Lowering MinShared flags it; a negative threshold means "flag any lag".
+	rep := core.DivergenceAudit(ledger, core.DivergenceOptions{MinShared: 2})
+	if got := rep.FlaggedSources(); len(got) != 1 || got[0] != "lag" {
+		t.Errorf("MinShared=2 flagged %v", got)
+	}
+	rep = core.DivergenceAudit(divLedger(40, 100*time.Millisecond), core.DivergenceOptions{Threshold: -1})
+	flagged := map[string]bool{}
+	for _, s := range rep.FlaggedSources() {
+		flagged[s] = true
+	}
+	if !flagged["lag"] || !flagged["b"] {
+		t.Errorf("no-threshold run flagged %v, want lag and b", rep.FlaggedSources())
+	}
+	if flagged["a"] {
+		t.Error("no-threshold run flagged the always-earliest source")
+	}
+	// Threshold above the planted lag clears everything.
+	rep = core.DivergenceAudit(divLedger(40, 5*time.Second), core.DivergenceOptions{Threshold: 10 * time.Second})
+	if got := rep.FlaggedSources(); got != nil {
+		t.Errorf("above-lag threshold flagged %v", got)
+	}
+	// An empty or single-source ledger yields an empty report, not a panic.
+	if rep := core.DivergenceAudit(nil, core.DivergenceOptions{}); len(rep.Sources) != 0 || rep.SharedTxs != 0 {
+		t.Errorf("nil ledger report = %+v", rep)
+	}
+}
+
+// TestDivergenceDeterministic runs the same audit many times, several
+// concurrently, and demands bit-identical reports: the audit iterates maps,
+// so any order dependence would show up as run-to-run drift (and the
+// concurrent runs put the shared-ledger reads under the race detector).
+func TestDivergenceDeterministic(t *testing.T) {
+	ledger := divLedger(64, 3*time.Second)
+	want := core.DivergenceAudit(ledger, core.DivergenceOptions{})
+	var wg sync.WaitGroup
+	got := make([]*core.DivergenceReport, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = core.DivergenceAudit(ledger, core.DivergenceOptions{})
+		}(i)
+	}
+	wg.Wait()
+	for i, rep := range got {
+		if !reflect.DeepEqual(rep, want) {
+			t.Fatalf("run %d diverged:\ngot  %+v\nwant %+v", i, rep, want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ package core_test
 // must never drift from the paper's serial methodology.
 
 import (
+	"context"
 	"sort"
 	"testing"
 	"time"
@@ -77,7 +78,7 @@ func TestPPEReportMatchesSerialAndSorts(t *testing.T) {
 	ds := buildA(t)
 	c, reg := ds.Result.Chain, ds.Registry
 	aud := core.NewIndexedAuditor(index.Build(c, reg))
-	rep := aud.PPEReport(1)
+	rep := aud.AuditPPE(core.AuditOptions{MinBlocks: 1})
 
 	// Serial reference: per-block PPE grouped by attribution.
 	var all []float64
@@ -117,7 +118,7 @@ func TestSelfInterestGridMatchesSerialReference(t *testing.T) {
 	c, reg := ds.Result.Chain, ds.Registry
 	ix := index.Build(c, reg)
 
-	all, err := core.SelfInterestGrid(ix, ix.SelfInterestSets(), 0.04)
+	all, err := core.SelfInterestGridCtx(context.Background(), ix, ix.SelfInterestSets(), 0.04)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestSelfInterestGridMatchesSerialReference(t *testing.T) {
 	}
 
 	// Determinism: a second run is identical.
-	again, err := core.SelfInterestGrid(ix, ix.SelfInterestSets(), 0.04)
+	again, err := core.SelfInterestGridCtx(context.Background(), ix, ix.SelfInterestSets(), 0.04)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestScamAuditDeterministicAndSerialEquivalent(t *testing.T) {
 		t.Fatal("no non-empty self-interest set")
 	}
 	aud := core.NewIndexedAuditor(ix)
-	rows, err := aud.ScamAudit(sets[chosen], 0.04)
+	rows, err := aud.AuditScam(sets[chosen], core.AuditOptions{MinShare: 0.04})
 	if err != nil {
 		t.Fatal(err)
 	}

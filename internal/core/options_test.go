@@ -1,9 +1,10 @@
 package core_test
 
-// Equivalence tests pinning the AuditOptions API to the positional
-// signatures it replaced: for any dataset, the new Audit* methods must
-// return exactly what the deprecated wrappers (and the *OnIndex functions
-// underneath them) return, and a cancelled context must abort cleanly.
+// Equivalence tests pinning the AuditOptions API to the *OnIndex functions
+// underneath it (the ground truth the retired positional wrappers used to
+// proxy): zero-valued options must reproduce the package defaults exactly,
+// negative thresholds must mean "no threshold", and a cancelled context
+// must abort cleanly.
 
 import (
 	"context"
@@ -29,9 +30,10 @@ func auditorC(t testing.TB) *core.Auditor {
 	return &core.Auditor{Chain: ds.Result.Chain, Registry: ds.Registry}
 }
 
-func TestAuditPPEMatchesDeprecatedSignature(t *testing.T) {
+func TestAuditPPEDefaultSemantics(t *testing.T) {
 	aud := auditorC(t)
-	want := aud.PPEReport(5)
+	// Zero-valued options resolve to the package defaults.
+	want := aud.AuditPPE(core.AuditOptions{MinBlocks: core.DefaultMinBlocks})
 	got := aud.AuditPPE(core.AuditOptions{})
 	if !eqSummary(want.Overall, got.Overall) {
 		t.Errorf("overall summary diverged: %+v vs %+v", want.Overall, got.Overall)
@@ -44,33 +46,28 @@ func TestAuditPPEMatchesDeprecatedSignature(t *testing.T) {
 			t.Errorf("pool %s summary diverged", pool)
 		}
 	}
-	// Historical minBlocks=0 semantics: every pool gets a row.
-	loose := aud.PPEReport(0)
-	looseNew := aud.AuditPPE(core.AuditOptions{MinBlocks: -1})
-	if len(loose.PerPool) != len(looseNew.PerPool) {
-		t.Errorf("no-minimum per-pool count: %d vs %d", len(loose.PerPool), len(looseNew.PerPool))
-	}
+	// A negative MinBlocks means "no minimum": every pool gets a row.
+	loose := aud.AuditPPE(core.AuditOptions{MinBlocks: -1})
 	if len(loose.PerPool) < len(want.PerPool) {
 		t.Errorf("no-minimum report has fewer pools (%d) than thresholded (%d)",
 			len(loose.PerPool), len(want.PerPool))
 	}
 }
 
-func TestAuditSelfInterestMatchesDeprecatedSignature(t *testing.T) {
+func TestAuditSelfInterestMatchesGrid(t *testing.T) {
 	aud := auditorC(t)
-	wantFindings, wantAll, err := aud.SelfInterestAudit(0.04)
-	if err != nil {
-		t.Fatal(err)
-	}
 	rep, err := aud.AuditSelfInterest(core.AuditOptions{MinShare: 0.04})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(wantFindings, rep.Findings) {
-		t.Errorf("findings diverged:\nold %+v\nnew %+v", wantFindings, rep.Findings)
+	// Ground truth: the grid function the retired wrapper used to proxy.
+	wantAll, err := core.SelfInterestGridCtx(context.Background(),
+		aud.Index(), aud.Index().SelfInterestSets(), 0.04)
+	if err != nil {
+		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(wantAll, rep.All) {
-		t.Errorf("grid diverged (old %d rows, new %d rows)", len(wantAll), len(rep.All))
+		t.Errorf("grid diverged (grid fn %d rows, audit %d rows)", len(wantAll), len(rep.All))
 	}
 	if len(rep.All) == 0 {
 		t.Fatal("degenerate dataset: empty self-interest grid")
@@ -102,7 +99,7 @@ func TestAuditSelfInterestWindowedMatchesCLILoop(t *testing.T) {
 	}
 }
 
-func TestAuditScamMatchesDeprecatedSignature(t *testing.T) {
+func TestAuditScamDefaultSemantics(t *testing.T) {
 	aud := auditorC(t)
 	// Use the largest self-interest set as a stand-in transaction set.
 	set := aud.Index().SelfInterestSets()
@@ -115,8 +112,8 @@ func TestAuditScamMatchesDeprecatedSignature(t *testing.T) {
 	if biggest == "" {
 		t.Fatal("no self-interest sets in dataset")
 	}
-	want, wantErr := aud.ScamAudit(set[biggest], 0.04)
-	got, gotErr := aud.AuditScam(set[biggest], core.AuditOptions{MinShare: 0.04})
+	want, wantErr := aud.AuditScam(set[biggest], core.AuditOptions{MinShare: core.DefaultMinShare})
+	got, gotErr := aud.AuditScam(set[biggest], core.AuditOptions{})
 	if (wantErr == nil) != (gotErr == nil) {
 		t.Fatalf("error mismatch: %v vs %v", wantErr, gotErr)
 	}

@@ -8,6 +8,8 @@ package core
 import (
 	"fmt"
 	"io"
+	"strings"
+	"time"
 
 	"chainaudit/internal/report"
 )
@@ -156,4 +158,69 @@ func WriteDarkFeeSection(w io.Writer, pool string, minSPPE float64, cands []Cand
 		return DarkFeeTable(pool, minSPPE, cands).Render(w)
 	}
 	return nil
+}
+
+// durMS renders a duration in fractional milliseconds — the divergence
+// tables' unit, stable across formats (JSON numbers, text columns).
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// DivergenceTable builds the per-source divergence table: each source's
+// arrival offsets behind the earliest vantage and its lag verdict.
+func DivergenceTable(rep *DivergenceReport) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Cross-source divergence (median offset > %gms over >= %d shared)",
+			durMS(rep.Threshold), rep.MinShared),
+		"source", "observed", "shared", "leads", "median_ms", "p90_ms", "max_ms", "verdict")
+	for _, s := range rep.Sources {
+		verdict := "ok"
+		if s.Flagged {
+			verdict = "LAGS"
+		}
+		t.AddRow(s.Source, s.Observed, s.Shared, s.Leads,
+			durMS(s.MedianOffset), durMS(s.P90Offset), durMS(s.MaxOffset), verdict)
+	}
+	return t
+}
+
+// DivergencePairTable builds the pairwise agreement matrix: signed median
+// first-seen delta and absolute spread per source pair.
+func DivergencePairTable(rep *DivergenceReport) *report.Table {
+	t := report.NewTable("Pairwise first-seen deltas (median of a-b)",
+		"a", "b", "shared", "median_delta_ms", "p90_abs_ms")
+	for _, p := range rep.Pairs {
+		t.AddRow(p.A, p.B, p.Shared, durMS(p.MedianDelta), durMS(p.P90AbsDelta))
+	}
+	return t
+}
+
+// WriteDivergenceSection writes the divergence audit section: the summary
+// line (source and multi-source transaction counts, flagged sources), the
+// per-source table, the pairwise matrix when at least two sources share
+// transactions, and a trailing blank separator.
+func WriteDivergenceSection(w io.Writer, rep *DivergenceReport) error {
+	if len(rep.Sources) == 0 {
+		if _, err := fmt.Fprintln(w, "divergence audit: no attributed observation sources"); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	flagged := "none"
+	if f := rep.FlaggedSources(); len(f) > 0 {
+		flagged = strings.Join(f, ",")
+	}
+	if _, err := fmt.Fprintf(w, "divergence: %d sources, %d multi-source transactions, flagged: %s\n",
+		len(rep.Sources), rep.SharedTxs, flagged); err != nil {
+		return err
+	}
+	if err := DivergenceTable(rep).Render(w); err != nil {
+		return err
+	}
+	if len(rep.Pairs) > 0 {
+		if err := DivergencePairTable(rep).Render(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
 }

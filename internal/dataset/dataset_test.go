@@ -201,7 +201,7 @@ func TestScamWindowNeutral(t *testing.T) {
 		set[id] = true
 	}
 	aud := &core.Auditor{Chain: win, Registry: dsC.Registry}
-	rows, err := aud.ScamAudit(set, 0.05)
+	rows, err := aud.AuditScam(set, core.AuditOptions{MinShare: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -312,4 +312,11 @@ func init() {
 		}
 		return sink.Emit(t)
 	}})
+	Register(Descriptor{ID: "divergence", Title: "Divergence: cross-observer lag detection power", Run: func(s *Suite, sink Sink) error {
+		rep, err := s.ExtDivergenceDetection()
+		if err != nil {
+			return err
+		}
+		return renderDivergence(rep, sink)
+	}})
 }

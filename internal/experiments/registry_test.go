@@ -16,7 +16,7 @@ func TestRegistryMatchesHistoricalAllOrder(t *testing.T) {
 		"fig1", "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"table2", "table3", "table4", "table5", "norm3",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"extensions", "ablations", "streameq",
+		"extensions", "ablations", "streameq", "divergence",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -158,6 +158,16 @@ type BlockIndex struct {
 	// a map attached by the caller is cloned before the first merge).
 	firstSeen map[chain.TxID]time.Time
 	ownSeen   bool
+	// sourceSeen keeps the per-source arrival ledger alongside the merged
+	// min-time view: for each transaction, when each attributed observation
+	// source first reported it. Anonymous arrivals (ObserveFirstSeen, or
+	// ObserveFirstSeenFrom with SourceAnonymous) merge into firstSeen only —
+	// an unattributed feed has no vantage identity to compare, so it never
+	// grows a ledger entry. sources is the cumulative set of attributed
+	// source IDs ever observed; both survive retention compaction for
+	// unconfirmed transactions exactly as firstSeen does.
+	sourceSeen map[chain.TxID]map[string]time.Time
+	sources    map[string]bool
 	exec      *pipeline.Executor
 	appendFn  func(*chain.Chain, *chain.Block) error
 
@@ -405,11 +415,12 @@ func (ix *BlockIndex) compact() {
 		return
 	}
 	k := len(ix.records) - ix.retain
-	if len(ix.firstSeen) > 0 {
+	if len(ix.firstSeen) > 0 || len(ix.sourceSeen) > 0 {
 		ix.ownFirstSeen(0)
 		for r := 0; r < k; r++ {
 			for _, tx := range ix.records[r].Block.Txs {
 				delete(ix.firstSeen, tx.ID)
+				delete(ix.sourceSeen, tx.ID)
 			}
 		}
 	}
@@ -468,18 +479,56 @@ func (ix *BlockIndex) refreshShares() {
 	})
 }
 
+// SourceAnonymous is the reserved source ID legacy (v1) feeds are attributed
+// to: observations carrying it merge into the merged min-time view but are
+// not ledgered per source — a feed that never identified its vantage point
+// cannot participate in cross-source divergence comparison.
+const SourceAnonymous = "_anon"
+
 // ObserveFirstSeen merges observer arrival times into the index (streaming
 // mempool snapshots). The earliest sighting of a transaction wins. A map
 // attached via WithFirstSeen is cloned before the first merge, so the
-// caller's map is never mutated.
+// caller's map is never mutated. Arrivals observed this way are anonymous —
+// equivalent to ObserveFirstSeenFrom(SourceAnonymous, seen).
 func (ix *BlockIndex) ObserveFirstSeen(seen map[chain.TxID]time.Time) {
+	ix.ObserveFirstSeenFrom(SourceAnonymous, seen)
+}
+
+// ObserveFirstSeenFrom merges observer arrival times attributed to one
+// observation source. The merged min-time view (FirstSeen) always takes the
+// earliest sighting across every source; in addition, for any source other
+// than SourceAnonymous, the per-source ledger records the earliest time that
+// particular source reported each transaction — the raw material of the
+// cross-source divergence audit. An empty source is treated as anonymous.
+func (ix *BlockIndex) ObserveFirstSeenFrom(source string, seen map[chain.TxID]time.Time) {
 	if len(seen) == 0 {
 		return
 	}
 	ix.ownFirstSeen(len(seen))
+	attributed := source != "" && source != SourceAnonymous
+	if attributed {
+		if ix.sourceSeen == nil {
+			ix.sourceSeen = make(map[chain.TxID]map[string]time.Time, len(seen))
+		}
+		if ix.sources == nil {
+			ix.sources = make(map[string]bool)
+		}
+		ix.sources[source] = true
+	}
 	for id, t := range seen {
 		if prev, ok := ix.firstSeen[id]; !ok || t.Before(prev) {
 			ix.firstSeen[id] = t
+		}
+		if !attributed {
+			continue
+		}
+		bySrc := ix.sourceSeen[id]
+		if bySrc == nil {
+			bySrc = make(map[string]time.Time, 1)
+			ix.sourceSeen[id] = bySrc
+		}
+		if prev, ok := bySrc[source]; !ok || t.Before(prev) {
+			bySrc[source] = t
 		}
 	}
 }
@@ -579,6 +628,38 @@ func (ix *BlockIndex) FirstSeen(id chain.TxID) (time.Time, bool) {
 // index carries no arrival data). The map is shared and read-only; on an
 // incremental index it is valid until the next append or merge.
 func (ix *BlockIndex) FirstSeenTimes() map[chain.TxID]time.Time { return ix.firstSeen }
+
+// SourceFirstSeen returns the per-source arrival times recorded for the
+// transaction: when each attributed observation source first reported it.
+// nil when no attributed source has seen it. The map is shared and
+// read-only; on an incremental index it is valid until the next append or
+// merge.
+func (ix *BlockIndex) SourceFirstSeen(id chain.TxID) map[string]time.Time {
+	return ix.sourceSeen[id]
+}
+
+// SourceSeenTimes returns the whole per-source arrival ledger (nil when no
+// attributed observations were merged). Outer key: transaction; inner key:
+// source ID. Shared and read-only; on an incremental index it is valid
+// until the next append or merge.
+func (ix *BlockIndex) SourceSeenTimes() map[chain.TxID]map[string]time.Time {
+	return ix.sourceSeen
+}
+
+// Sources returns the attributed observation source IDs ever merged into
+// the index, sorted — cumulative across retention compaction, like the
+// ingest counters.
+func (ix *BlockIndex) Sources() []string {
+	if len(ix.sources) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(ix.sources))
+	for s := range ix.sources {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // WalletOwners returns the pool ownership of every identified reward wallet
 // — the incremental map behind SelfInterestSets membership. The map is

@@ -33,6 +33,13 @@ type RestoreState struct {
 	// FirstSeen holds the merged observer arrival times for retained,
 	// unconfirmed-at-checkpoint transactions.
 	FirstSeen map[chain.TxID]time.Time
+	// SourceSeen holds the per-source arrival ledger (transaction →
+	// source ID → that source's earliest sighting), and Sources the
+	// cumulative set of attributed source IDs ever merged — which can be a
+	// superset of the ledger's sources once compaction pruned a source's
+	// every observation.
+	SourceSeen map[chain.TxID]map[string]time.Time
+	Sources    []string
 	// RewardAddrs, Owners, and SelfSets are the incremental attribution
 	// maps, which fold in contributions from compacted blocks and must
 	// therefore be restored wholesale rather than re-derived.
@@ -55,6 +62,8 @@ func (ix *BlockIndex) Snapshot() RestoreState {
 		Dropped:     ix.dropped,
 		Shares:      ix.shares,
 		FirstSeen:   ix.firstSeen,
+		SourceSeen:  ix.sourceSeen,
+		Sources:     ix.Sources(),
 		RewardAddrs: ix.rewardAddr,
 		Owners:      ix.owner,
 		SelfSets:    ix.selfSets,
@@ -88,6 +97,29 @@ func RestoreIncremental(reg *poolid.Registry, st RestoreState, opts ...Option) (
 	ix.ownSeen = false
 	if len(st.FirstSeen) > 0 {
 		ix.ObserveFirstSeen(st.FirstSeen)
+	}
+	ix.sourceSeen = nil
+	ix.sources = nil
+	if len(st.SourceSeen) > 0 {
+		ix.sourceSeen = make(map[chain.TxID]map[string]time.Time, len(st.SourceSeen))
+		ix.sources = make(map[string]bool)
+		for id, bySrc := range st.SourceSeen {
+			cp := make(map[string]time.Time, len(bySrc))
+			for src, t := range bySrc {
+				cp[src] = t
+				ix.sources[src] = true
+			}
+			ix.sourceSeen[id] = cp
+		}
+	}
+	// Sources is a superset of the ledger's keys when compaction pruned a
+	// source's every observation; union it in rather than trusting either
+	// alone (older checkpoints carry only the ledger).
+	for _, s := range st.Sources {
+		if ix.sources == nil {
+			ix.sources = make(map[string]bool, len(st.Sources))
+		}
+		ix.sources[s] = true
 	}
 	ix.rewardAddr = make(map[string]map[chain.Address]bool, len(st.RewardAddrs))
 	for pool, set := range st.RewardAddrs {

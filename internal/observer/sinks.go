@@ -28,6 +28,10 @@ import (
 type IndexSink struct {
 	Index *index.BlockIndex
 	Win   *core.WindowAuditor
+	// Source attributes this sink's snapshot observations to a named
+	// vantage point in the index's per-source ledger; empty merges
+	// anonymously (the single-observer behavior).
+	Source string
 }
 
 // Apply appends the batch; the first unappendable or out-of-order block
@@ -56,7 +60,7 @@ func (s *IndexSink) Apply(ctx context.Context, b *Batch) error {
 			}
 			seen[ev.TxID] = at
 		}
-		s.Index.ObserveFirstSeen(seen)
+		s.Index.ObserveFirstSeenFrom(s.Source, seen)
 		if s.Win != nil {
 			s.Win.ObserveSnapshot(&mempool.Snapshot{
 				Time:      sn.Time,
@@ -88,6 +92,11 @@ func (s *IndexSink) Apply(ctx context.Context, b *Batch) error {
 type HTTPSink struct {
 	URL     string // chainauditd base URL
 	Dataset string
+	// Source attributes every shipped snapshot frame to a named vantage
+	// point. A non-empty Source ships through POST /v2/ingest with the
+	// request-level source field set; empty ships through POST /v1/ingest,
+	// byte-identical to the pre-attribution sink.
+	Source string
 	// Client overrides the HTTP client; nil uses a private client with a
 	// 30s timeout (never http.DefaultClient, which hangs forever on a
 	// wedged server).
@@ -214,11 +223,16 @@ func (s *HTTPSink) Apply(ctx context.Context, b *Batch) error {
 		return nil
 	}
 	req := b.Request(s.Dataset)
+	version := "/v1/ingest"
+	if s.Source != "" {
+		req.Source = s.Source
+		version = "/v2/ingest"
+	}
 	body, err := json.Marshal(&req)
 	if err != nil {
 		return err
 	}
-	endpoint := strings.TrimSuffix(s.URL, "/") + "/v1/ingest"
+	endpoint := strings.TrimSuffix(s.URL, "/") + version
 	var lastErr error
 	for attempt := 0; attempt <= s.retries(); attempt++ {
 		if attempt > 0 {
@@ -380,6 +394,10 @@ type RecordSink struct {
 	enc     *json.Encoder
 	next    Sink
 	dataset string
+	// Source, when set, stamps each recorded request with a source
+	// attribution (the v2 wire field); replaying such a recording needs the
+	// v2 endpoint. Empty keeps recordings v1-byte-identical.
+	Source string
 }
 
 // NewRecordSink tees requests for dataset onto w, then forwards to next.
@@ -390,6 +408,7 @@ func NewRecordSink(w io.Writer, dataset string, next Sink) *RecordSink {
 // Apply writes the batch's request line, then forwards the batch.
 func (s *RecordSink) Apply(ctx context.Context, b *Batch) error {
 	req := b.Request(s.dataset)
+	req.Source = s.Source
 	if err := s.enc.Encode(&req); err != nil {
 		return err
 	}

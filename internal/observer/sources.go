@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"chainaudit/internal/chain"
 	"chainaudit/internal/p2p"
@@ -117,6 +118,37 @@ func (s *NodeSource) Close() {
 	s.mu.Unlock()
 	s.node.SetBlockHook(nil)
 	close(s.done)
+}
+
+// LagSource wraps a Source, shifting every snapshot's observation times
+// forward by a fixed Lag — a deterministic model of a poorly-connected
+// vantage point that hears about everything late. The shift is data-level
+// (the arrival times themselves move), so a lagged source feeding a shared
+// set leaves the merged min-time view untouched whenever an unlagged source
+// reports the same transactions (min(t, t+lag) = t), while its own
+// per-source ledger entries lag by exactly Lag — the planted ground truth
+// the divergence audit must flag.
+type LagSource struct {
+	Src Source
+	Lag time.Duration
+}
+
+// Next returns the wrapped source's next event with snapshot times shifted.
+func (s *LagSource) Next(ctx context.Context) (Event, error) {
+	ev, err := s.Src.Next(ctx)
+	if err != nil || ev.Snapshot == nil || s.Lag == 0 {
+		return ev, err
+	}
+	sn := *ev.Snapshot
+	sn.Time = sn.Time.Add(s.Lag)
+	sn.Seen = append([]p2p.SeenEvent(nil), sn.Seen...)
+	for i := range sn.Seen {
+		if !sn.Seen[i].At.IsZero() {
+			sn.Seen[i].At = sn.Seen[i].At.Add(s.Lag)
+		}
+	}
+	ev.Snapshot = &sn
+	return ev, nil
 }
 
 // ChainSource replays a built chain as an observation stream: one event per

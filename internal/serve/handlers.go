@@ -10,6 +10,7 @@ import (
 	"net/url"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"chainaudit/internal/chain"
@@ -45,7 +46,45 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/experiments", s.instrument(s.handleExperimentList))
 	s.mux.HandleFunc("POST /v1/experiments/{name}", s.instrument(s.handleExperimentRun))
 	s.mux.HandleFunc("POST /v1/audits/{kind}", s.instrument(s.handleAudit))
-	s.mux.HandleFunc("POST /v1/ingest", s.instrument(s.handleIngest))
+	s.mux.HandleFunc("POST /v1/ingest", s.instrument(s.handleIngestV1))
+	s.mux.HandleFunc("POST /v2/ingest", s.instrument(s.handleIngestV2))
+	// Convenience alias for the cross-observer divergence audit.
+	s.mux.HandleFunc("POST /v1/audit/divergence", s.instrument(func(w http.ResponseWriter, r *http.Request) {
+		r.SetPathValue("kind", "divergence")
+		s.handleAudit(w, r)
+	}))
+	// Everything unrouted gets the unified error envelope, not the mux's
+	// plain-text 404.
+	s.mux.HandleFunc("/", s.instrument(s.handleNotFound))
+}
+
+// handleNotFound is the catch-all route. Registering "/" disables the
+// mux's built-in method-mismatch answer, so the handler reconstructs it:
+// a path served under another method gets 405 (with Allow), everything
+// else 404 — both in the unified envelope.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	var allowed []string
+	for _, m := range []string{http.MethodGet, http.MethodPost} {
+		if m == r.Method {
+			continue
+		}
+		probe := r.Clone(r.Context())
+		probe.Method = m
+		if _, pattern := s.mux.Handler(probe); pattern != "" && pattern != "/" {
+			allowed = append(allowed, m)
+		}
+	}
+	if len(allowed) > 0 {
+		w.Header().Set("Allow", strings.Join(allowed, ", "))
+		writeError(w, http.StatusMethodNotAllowed, ErrorEnvelope{
+			Error: fmt.Sprintf("method %s not allowed for %s (allow: %s)",
+				r.Method, r.URL.Path, strings.Join(allowed, ", ")),
+		})
+		return
+	}
+	writeError(w, http.StatusNotFound, ErrorEnvelope{
+		Error: fmt.Sprintf("no such endpoint: %s %s", r.Method, r.URL.Path),
+	})
 }
 
 // reqTimer measures one request's wall-clock span — the latency metric and
@@ -80,16 +119,71 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// fail writes an error envelope. 5xx statuses count as service errors.
-func fail(w http.ResponseWriter, status int, env Envelope, err error) {
+// ErrorAPI is the unified error schema identifier: every handler's error
+// response — audits, experiments, ingest, unknown routes — is one
+// ErrorEnvelope, whatever the success shape of the endpoint.
+const ErrorAPI = "chainaudit.error/v1"
+
+// ErrorEnvelope is the one error body the service emits. The context fields
+// are filled in as far as the request got before failing. The ingest
+// progress fields deliberately reuse IngestResponse's JSON names
+// ("height", "appended", ...), so a feeder can decode a rejected batch's
+// progress without caring which schema it got — the observer's covered-block
+// trimming depends on this.
+type ErrorEnvelope struct {
+	API   string `json:"api"`
+	Code  int    `json:"code"`
+	Error string `json:"error"`
+	// Request context, when known.
+	Kind    string `json:"kind,omitempty"`
+	Name    string `json:"name,omitempty"`
+	Dataset string `json:"dataset,omitempty"`
+	// Ingest progress: what a rejected batch applied before the failure.
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	Appended    int     `json:"appended,omitempty"`
+	Snapshots   int     `json:"snapshots,omitempty"`
+	IndexLen    int     `json:"index_len,omitempty"`
+	Height      *int64  `json:"height,omitempty"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// writeError is the single emitter of error responses. 5xx statuses count
+// as service errors.
+func writeError(w http.ResponseWriter, status int, e ErrorEnvelope) {
 	if status >= 500 {
 		mErrors.Inc()
 	}
-	env.API = API
-	env.Error = err.Error()
-	env.Notes = []string{}
-	env.Results = []json.RawMessage{}
-	writeJSON(w, status, env)
+	e.API = ErrorAPI
+	e.Code = status
+	writeJSON(w, status, e)
+}
+
+// fail adapts an audit/experiment request's context into the unified error
+// envelope.
+func fail(w http.ResponseWriter, status int, env Envelope, err error) {
+	writeError(w, status, ErrorEnvelope{
+		Error:       err.Error(),
+		Kind:        env.Kind,
+		Name:        env.Name,
+		Dataset:     env.Dataset,
+		Fingerprint: env.Fingerprint,
+		ElapsedMS:   env.ElapsedMS,
+	})
+}
+
+// failIngest adapts a rejected ingest into the unified error envelope,
+// keeping the progress fields feeders rely on.
+func failIngest(w http.ResponseWriter, status int, resp *IngestResponse) {
+	writeError(w, status, ErrorEnvelope{
+		Error:       resp.Error,
+		Dataset:     resp.Dataset,
+		Fingerprint: resp.Fingerprint,
+		Appended:    resp.Appended,
+		Snapshots:   resp.Snapshots,
+		IndexLen:    resp.IndexLen,
+		Height:      resp.Height,
+		ElapsedMS:   resp.ElapsedMS,
+	})
 }
 
 // writeResult finishes a successful request in the asked-for format.
@@ -202,6 +296,9 @@ type healthDataset struct {
 	// Recovery describes the boot-time WAL recovery that rebuilt this set;
 	// absent for sets created live or served without durable streaming.
 	Recovery *recoveryInfo `json:"recovery,omitempty"`
+	// Sources lists the attributed observation sources that have fed this
+	// streaming set (sorted, cumulative across retention compaction).
+	Sources []string `json:"sources,omitempty"`
 }
 
 type ingestWatermark struct {
@@ -234,6 +331,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			hd.Ingested = set.stream.ix.Ingested()
 			hd.Snapshots = set.stream.snapshots
 			hd.Recovery = set.recovery
+			hd.Sources = set.stream.ix.Sources()
 		}
 		if h, last, ok := set.watermark(); ok {
 			hd.Watermark = &ingestWatermark{Height: h, LastAppend: last}
@@ -341,6 +439,8 @@ type auditReq struct {
 	// height-window size in blocks (0 = every retained block).
 	windowed bool
 	window   int
+	// div carries the divergence audit's knobs (?threshold_ms=, ?minshared=).
+	div core.DivergenceOptions
 }
 
 // parseAudit maps query parameters onto AuditOptions with the CLI flags'
@@ -371,6 +471,28 @@ func parseAudit(kind string, q url.Values) (*auditReq, map[string]string, error)
 			req.opts.SPPE = -1
 		}
 		params["sppe"] = raw
+	}
+	if raw := q.Get("threshold_ms"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad threshold_ms %q", raw)
+		}
+		req.div.Threshold = time.Duration(v * float64(time.Millisecond))
+		if v <= 0 {
+			req.div.Threshold = -1
+		}
+		params["threshold_ms"] = raw
+	}
+	if raw := q.Get("minshared"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad minshared %q", raw)
+		}
+		req.div.MinShared = v
+		if v <= 0 {
+			req.div.MinShared = -1
+		}
+		params["minshared"] = raw
 	}
 	if raw := q.Get("windows"); raw != "" {
 		v, err := strconv.Atoi(raw)
@@ -484,6 +606,28 @@ var auditRunners = map[string]func(set *auditSet, req *auditReq) (*payload, erro
 			return core.WriteDarkFeeSection(w, req.pool, req.sppeShow, cands)
 		})
 	},
+	"divergence": func(set *auditSet, req *auditReq) (*payload, error) {
+		rep := set.aud.AuditDivergence(req.div)
+		p := &payload{}
+		if len(rep.Sources) == 0 {
+			p.Notes = []string{"divergence audit: no attributed observation sources"}
+		} else {
+			flagged := "none"
+			if f := rep.FlaggedSources(); len(f) > 0 {
+				flagged = strings.Join(f, ",")
+			}
+			p.Notes = []string{fmt.Sprintf("divergence: %d sources, %d multi-source transactions, flagged: %s",
+				len(rep.Sources), rep.SharedTxs, flagged)}
+			tables := []*report.Table{core.DivergenceTable(rep)}
+			if len(rep.Pairs) > 0 {
+				tables = append(tables, core.DivergencePairTable(rep))
+			}
+			if err := p.addTables(tables...); err != nil {
+				return nil, err
+			}
+		}
+		return p, renderInto(p, func(w io.Writer) error { return core.WriteDivergenceSection(w, rep) })
+	},
 }
 
 // windowRunners computes the sliding-window audit variants through the
@@ -546,7 +690,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	}
 	runner, ok := auditRunners[kind]
 	if !ok {
-		fail(w, http.StatusNotFound, env, fmt.Errorf("unknown audit %q (ppe, selfinterest, lowfee, scam, darkfee)", kind))
+		fail(w, http.StatusNotFound, env, fmt.Errorf("unknown audit %q (ppe, selfinterest, lowfee, scam, darkfee, divergence)", kind))
 		return
 	}
 	set, err := s.lookupSet(q.Get("dataset"))

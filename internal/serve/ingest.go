@@ -67,10 +67,15 @@ type BlockFrame struct {
 }
 
 // SnapshotFrame is one mempool observation: the observer's first-seen times
-// for pending transactions plus the tip the observer saw.
+// for pending transactions plus the tip the observer saw. Source names the
+// observation vantage point (v2 attribution); empty frames inherit the
+// request-level Source. The field is omitempty, so v1 frames — which never
+// carry it — marshal byte-identically to the pre-v2 wire format, WAL lines
+// included.
 type SnapshotFrame struct {
 	TimeNS    int64        `json:"time_ns"`
 	TipHeight int64        `json:"tip_height"`
+	Source    string       `json:"source,omitempty"`
 	Txs       []SnapshotTx `json:"txs"`
 }
 
@@ -81,13 +86,32 @@ type SnapshotTx struct {
 	FirstSeenNS int64  `json:"first_seen_ns"`
 }
 
-// IngestRequest is the POST /v1/ingest body: a batch of block and mempool
-// snapshot frames for one streaming data set, applied in order (blocks
-// first, then snapshots).
+// IngestRequest is the POST /v1/ingest and /v2/ingest body: a batch of
+// block and mempool snapshot frames for one streaming data set, applied in
+// order (blocks first, then snapshots). There is one versioned frame schema
+// and one decode path: v2 adds Source — the request-level default vantage
+// attribution, overridable per snapshot frame — and v1 rejects requests
+// that carry any attribution. Both fields are omitempty, keeping v1 wire
+// and WAL bytes identical to the pre-v2 format.
 type IngestRequest struct {
 	Dataset string          `json:"dataset"`
+	Source  string          `json:"source,omitempty"`
 	Blocks  []BlockFrame    `json:"blocks"`
 	Mempool []SnapshotFrame `json:"mempool"`
+}
+
+// attributedSource returns the first source attribution anywhere in the
+// request (the request-level default or any per-frame override), or "".
+func (r *IngestRequest) attributedSource() string {
+	if r.Source != "" {
+		return r.Source
+	}
+	for i := range r.Mempool {
+		if r.Mempool[i].Source != "" {
+			return r.Mempool[i].Source
+		}
+	}
+	return ""
 }
 
 // IngestResponse reports what one ingest request applied. On a rejected
@@ -244,10 +268,18 @@ func (s *Server) lookupStreamSet(name string, create bool) (*auditSet, error) {
 	return set, nil
 }
 
-// ---- POST /v1/ingest ----
+// ---- POST /v1/ingest, POST /v2/ingest ----
 
-// handleIngest applies a batch of frames to a streaming data set. Appends
-// are ordered and fail fast: the first unappendable block (gap, duplicate,
+// handleIngestV1 is the legacy unattributed endpoint: same decode path as
+// v2, but any source attribution in the body is rejected — legacy frames
+// land under the reserved anonymous source.
+func (s *Server) handleIngestV1(w http.ResponseWriter, r *http.Request) { s.ingest(w, r, API) }
+
+// handleIngestV2 is the attributed endpoint.
+func (s *Server) handleIngestV2(w http.ResponseWriter, r *http.Request) { s.ingest(w, r, APIv2) }
+
+// ingest applies a batch of frames to a streaming data set. Appends are
+// ordered and fail fast: the first unappendable block (gap, duplicate,
 // double spend, missing coinbase) stops the batch with 409, and everything
 // applied before it stays. With durable streaming enabled, the parsed batch
 // is appended to the set's write-ahead log before it is applied — a WAL
@@ -256,8 +288,9 @@ func (s *Server) lookupStreamSet(name string, create bool) (*auditSet, error) {
 // the sliding-window audit state, the ingest watermark, and rotates the
 // set's fingerprint (retiring its result-cache entries); applied snapshot
 // frames rotate the fingerprint too, since first-seen times are
-// audit-visible state.
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+// audit-visible state. Rejections answer with the unified ErrorEnvelope,
+// which carries the same progress fields a 200 IngestResponse does.
+func (s *Server) ingest(w http.ResponseWriter, r *http.Request, api string) {
 	mIngestRequests.Inc()
 	t := startTimer()
 	limit := s.cfg.MaxIngestBytes
@@ -266,33 +299,42 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	var req IngestRequest
+	resp := IngestResponse{API: api}
+	reject := func(status int, err error) {
+		mIngestRejects.Inc()
+		resp.Error = err.Error()
+		resp.ElapsedMS = t.ms()
+		failIngest(w, status, &resp)
+	}
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(&req); err != nil {
-		mIngestRejects.Inc()
 		status := http.StatusBadRequest
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			status = http.StatusRequestEntityTooLarge
 			err = fmt.Errorf("body exceeds %d bytes", mbe.Limit)
 		}
-		writeJSON(w, status, IngestResponse{API: API, Error: fmt.Sprintf("bad ingest body: %v", err), ElapsedMS: t.ms()})
+		reject(status, fmt.Errorf("bad ingest body: %w", err))
 		return
 	}
+	resp.Dataset = req.Dataset
 	if req.Dataset == "" {
-		mIngestRejects.Inc()
-		writeJSON(w, http.StatusBadRequest, IngestResponse{API: API, Error: "ingest needs a dataset name", ElapsedMS: t.ms()})
+		reject(http.StatusBadRequest, errors.New("ingest needs a dataset name"))
 		return
+	}
+	if api == API {
+		if src := req.attributedSource(); src != "" {
+			reject(http.StatusBadRequest, fmt.Errorf("source attribution (%q) requires POST /v2/ingest", src))
+			return
+		}
 	}
 	if s.cfg.StreamDir != "" && !validStreamName(req.Dataset) {
-		mIngestRejects.Inc()
-		writeJSON(w, http.StatusBadRequest, IngestResponse{API: API, Dataset: req.Dataset,
-			Error: "dataset name unusable for durable streaming (allowed: letters, digits, '.', '_', '-'; no leading '.')", ElapsedMS: t.ms()})
+		reject(http.StatusBadRequest, errors.New("dataset name unusable for durable streaming (allowed: letters, digits, '.', '_', '-'; no leading '.')"))
 		return
 	}
 	set, err := s.lookupStreamSet(req.Dataset, false)
 	if err != nil {
-		mIngestRejects.Inc()
-		writeJSON(w, http.StatusConflict, IngestResponse{API: API, Dataset: req.Dataset, Error: err.Error(), ElapsedMS: t.ms()})
+		reject(http.StatusConflict, err)
 		return
 	}
 
@@ -303,28 +345,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for i := range req.Blocks {
 		b, err := buildFrameBlock(&req.Blocks[i])
 		if err != nil {
-			mIngestRejects.Inc()
-			writeJSON(w, http.StatusBadRequest, IngestResponse{API: API, Dataset: req.Dataset, Error: err.Error(), ElapsedMS: t.ms()})
+			reject(http.StatusBadRequest, err)
 			return
 		}
 		blocks = append(blocks, b)
 	}
 	if set == nil {
 		if set, err = s.lookupStreamSet(req.Dataset, true); err != nil {
-			mIngestRejects.Inc()
-			writeJSON(w, http.StatusConflict, IngestResponse{API: API, Dataset: req.Dataset, Error: err.Error(), ElapsedMS: t.ms()})
+			reject(http.StatusConflict, err)
 			return
 		}
 	}
 
 	set.mu.Lock()
 	defer set.mu.Unlock()
-	resp := IngestResponse{API: API, Dataset: req.Dataset}
 	if set.wal != nil {
 		if err := set.wal.appendRequest(&req); err != nil {
 			// Write-ahead failed: nothing was applied, so the feeder can
 			// safely re-ship the whole batch after the service recovers.
-			mErrors.Inc()
+			// (503 counts as a service error via writeError, not a reject.)
 			resp.Error = err.Error()
 			resp.Fingerprint = set.fingerprint
 			resp.IndexLen = set.stream.ix.Len()
@@ -333,7 +372,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 				resp.Height = &h
 			}
 			resp.ElapsedMS = t.ms()
-			writeJSON(w, http.StatusServiceUnavailable, resp)
+			failIngest(w, http.StatusServiceUnavailable, &resp)
 			return
 		}
 	}
@@ -344,11 +383,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.ElapsedMS = t.ms()
-	status := http.StatusOK
 	if resp.Error != "" {
-		status = http.StatusConflict
+		failIngest(w, http.StatusConflict, &resp)
+		return
 	}
-	writeJSON(w, status, resp)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // applyFrames applies one parsed ingest batch to a streaming set — the
@@ -400,7 +439,13 @@ func (s *Server) applyFrames(set *auditSet, req *IngestRequest, blocks []*chain.
 				}
 				seen[id] = time.Unix(0, ns)
 			}
-			st.ix.ObserveFirstSeen(seen)
+			// v2 attribution: a frame's Source overrides the request default;
+			// unattributed frames merge anonymously (the v1 path unchanged).
+			src := sf.Source
+			if src == "" {
+				src = req.Source
+			}
+			st.ix.ObserveFirstSeenFrom(src, seen)
 			st.win.ObserveSnapshot(&mempool.Snapshot{
 				Time:      time.Unix(0, sf.TimeNS),
 				Count:     len(sf.Txs),
@@ -409,9 +454,15 @@ func (s *Server) applyFrames(set *auditSet, req *IngestRequest, blocks []*chain.
 			// Snapshots change audit-visible state (first-seen times feed the
 			// dark-fee/violation paths), so they rotate the fingerprint just
 			// like appends do — otherwise cached verdicts would survive new
-			// observer data.
+			// observer data. Attribution is audit-visible too (it feeds the
+			// divergence ledger), so attributed snapshots key it in; the
+			// unattributed rotation stays byte-compatible with v1 streams.
+			snapKey := fmt.Sprintf("snap t=%d", sf.TimeNS)
+			if src != "" && src != index.SourceAnonymous {
+				snapKey = fmt.Sprintf("snap t=%d src=%s", sf.TimeNS, src)
+			}
 			set.fingerprint = obs.ConfigHash(set.fingerprint,
-				fmt.Sprintf("snap t=%d", sf.TimeNS),
+				snapKey,
 				fmt.Sprintf("tip=%d n=%d", sf.TipHeight, len(sf.Txs)))
 			st.snapshots++
 			mIngestSnapshots.Inc()

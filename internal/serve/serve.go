@@ -38,6 +38,12 @@ import (
 // and the old paths keep serving v1.
 const API = "chainaudit.serve/v1"
 
+// APIv2 is the ingest schema identifier for POST /v2/ingest: the same frame
+// schema as v1 plus source attribution (a request-level default and
+// per-frame overrides). Both versions decode through one path; v1 simply
+// rejects frames that carry attribution.
+const APIv2 = "chainaudit.serve/v2"
+
 // ChainSpec names one CSV data set to load at startup.
 type ChainSpec struct {
 	Name string

@@ -318,6 +318,8 @@ type walCheckpoint struct {
 	TipSeen      bool          `json:"tip_seen"`
 	Blocks       []BlockFrame  `json:"blocks"`
 	FirstSeen    []ckptSeen    `json:"first_seen,omitempty"`
+	SourceSeen   []ckptSrcSeen `json:"source_seen,omitempty"`
+	Sources      []string      `json:"sources,omitempty"`
 	Shares       []ckptShare   `json:"shares,omitempty"`
 	RewardAddrs  []ckptAddrs   `json:"reward_addrs,omitempty"`
 	Owners       []ckptOwner   `json:"owners,omitempty"`
@@ -327,6 +329,15 @@ type walCheckpoint struct {
 type ckptSeen struct {
 	ID string `json:"id"`
 	NS int64  `json:"ns"`
+}
+
+// ckptSrcSeen is one transaction's per-source arrival row, flattened into
+// sorted (source, ns) pairs. Both fields are omitempty at the checkpoint
+// level, so v1 streams (no attribution) keep their checkpoint bytes.
+type ckptSrcSeen struct {
+	ID      string   `json:"id"`
+	Sources []string `json:"sources"`
+	NS      []int64  `json:"ns"`
 }
 
 type ckptShare struct {
@@ -376,6 +387,19 @@ func buildCheckpoint(set *auditSet) *walCheckpoint {
 		ck.FirstSeen = append(ck.FirstSeen, ckptSeen{ID: id.String(), NS: t.UnixNano()})
 	}
 	sort.Slice(ck.FirstSeen, func(i, j int) bool { return ck.FirstSeen[i].ID < ck.FirstSeen[j].ID })
+	for id, bySrc := range snap.SourceSeen {
+		e := ckptSrcSeen{ID: id.String()}
+		for src := range bySrc {
+			e.Sources = append(e.Sources, src)
+		}
+		sort.Strings(e.Sources)
+		for _, src := range e.Sources {
+			e.NS = append(e.NS, bySrc[src].UnixNano())
+		}
+		ck.SourceSeen = append(ck.SourceSeen, e)
+	}
+	sort.Slice(ck.SourceSeen, func(i, j int) bool { return ck.SourceSeen[i].ID < ck.SourceSeen[j].ID })
+	ck.Sources = snap.Sources
 	for _, s := range snap.Shares {
 		ck.Shares = append(ck.Shares, ckptShare{Pool: s.Pool, Blocks: s.Blocks, Txs: s.Txs})
 	}
@@ -430,6 +454,24 @@ func (s *Server) restoreCheckpoint(ck *walCheckpoint) (*auditSet, error) {
 			st.FirstSeen[id] = time.Unix(0, e.NS)
 		}
 	}
+	if len(ck.SourceSeen) > 0 {
+		st.SourceSeen = make(map[chain.TxID]map[string]time.Time, len(ck.SourceSeen))
+		for _, e := range ck.SourceSeen {
+			id, err := parseTxID(e.ID)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint source-seen: %w", err)
+			}
+			if len(e.NS) != len(e.Sources) {
+				return nil, fmt.Errorf("checkpoint source-seen %s: %d sources, %d times", e.ID, len(e.Sources), len(e.NS))
+			}
+			bySrc := make(map[string]time.Time, len(e.Sources))
+			for i, src := range e.Sources {
+				bySrc[src] = time.Unix(0, e.NS[i])
+			}
+			st.SourceSeen[id] = bySrc
+		}
+	}
+	st.Sources = ck.Sources
 	for _, e := range ck.Shares {
 		st.Shares = append(st.Shares, poolid.Share{Pool: e.Pool, Blocks: e.Blocks, Txs: e.Txs})
 	}
