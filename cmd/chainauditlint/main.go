@@ -1,48 +1,110 @@
 // Command chainauditlint runs the repository's determinism and
-// audit-integrity analyzer suite (internal/lint) over module packages:
+// concurrency/durability analyzer suite (internal/lint) over module
+// packages:
 //
-//	chainauditlint [-v] [-json] [packages ...]
+//	chainauditlint [-v] [-json] [-fixtures] [packages ...]
 //
 // Patterns follow the go tool ("./...", "./internal/core"); with no
 // arguments it lints "./...". Exit status: 0 when every finding is
 // suppressed or absent, 1 when unsuppressed findings remain, 2 when
 // loading or type-checking fails. -v additionally prints suppressed
 // findings with their //lint:allow reasons (the audit trail); -json emits
-// the findings as a JSON array instead of text.
+// a chainaudit.lint/v1 report object (totals, per-analyzer counts, and the
+// findings) instead of text, for CI artifacts.
+//
+// -fixtures runs the suite's self-test instead of linting: for every
+// registered analyzer it loads the analyzer's own fixture package under
+// internal/lint/testdata/src/<name> and fails (exit 1) unless the analyzer
+// still produces unsuppressed findings there. The analyzer list comes from
+// the registry itself, so a newly registered analyzer cannot ship without
+// a firing fixture.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"chainaudit/internal/lint"
 )
 
+// lintAPI versions the -json report schema, like the service schemas.
+const lintAPI = "chainaudit.lint/v1"
+
 func main() {
 	var (
-		verbose = flag.Bool("v", false, "also print suppressed findings with their //lint:allow reasons")
-		jsonOut = flag.Bool("json", false, "emit findings as JSON")
+		verbose  = flag.Bool("v", false, "also print suppressed findings with their //lint:allow reasons")
+		jsonOut  = flag.Bool("json", false, "emit a "+lintAPI+" report object as JSON")
+		fixtures = flag.Bool("fixtures", false, "self-test: every registered analyzer must fire on its own fixture package")
 	)
 	flag.Parse()
 	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chainauditlint:", err)
 		os.Exit(2)
 	}
-	code, err := run(os.Stdout, cwd, patterns, *verbose, *jsonOut)
+	var code int
+	if *fixtures {
+		if len(patterns) > 0 {
+			err = errors.New("-fixtures takes no package patterns: the registry decides what to check")
+		} else {
+			code, err = runFixtures(os.Stdout, cwd)
+		}
+	} else {
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		code, err = run(os.Stdout, cwd, patterns, *verbose, *jsonOut)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chainauditlint:", err)
 		os.Exit(2)
 	}
 	os.Exit(code)
+}
+
+// analyzerCount tallies one analyzer's findings for the report and the
+// failure trailer.
+type analyzerCount struct {
+	Total        int `json:"total"`
+	Suppressed   int `json:"suppressed"`
+	Unsuppressed int `json:"unsuppressed"`
+}
+
+// report is the -json output: one machine-readable object per run.
+type report struct {
+	API          string                    `json:"api"`
+	Packages     int                       `json:"packages"`
+	Total        int                       `json:"total"`
+	Suppressed   int                       `json:"suppressed"`
+	Unsuppressed int                       `json:"unsuppressed"`
+	ByAnalyzer   map[string]*analyzerCount `json:"by_analyzer"`
+	Findings     []lint.Finding            `json:"findings"`
+}
+
+// countByAnalyzer tallies findings per analyzer name.
+func countByAnalyzer(findings []lint.Finding) map[string]*analyzerCount {
+	by := make(map[string]*analyzerCount)
+	for _, f := range findings {
+		c := by[f.Analyzer]
+		if c == nil {
+			c = &analyzerCount{}
+			by[f.Analyzer] = c
+		}
+		c.Total++
+		if f.Suppressed {
+			c.Suppressed++
+		} else {
+			c.Unsuppressed++
+		}
+	}
+	return by
 }
 
 // run lints the packages matched by patterns (resolved against dir) and
@@ -66,10 +128,23 @@ func run(w io.Writer, dir string, patterns []string, verbose, jsonOut bool) (int
 		pkgs = append(pkgs, p)
 	}
 	findings := lint.Run(pkgs, lint.Analyzers())
+	unsuppressed := lint.Unsuppressed(findings)
 	if jsonOut {
+		rep := report{
+			API:          lintAPI,
+			Packages:     len(pkgs),
+			Total:        len(findings),
+			Suppressed:   len(findings) - unsuppressed,
+			Unsuppressed: unsuppressed,
+			ByAnalyzer:   countByAnalyzer(findings),
+			Findings:     findings,
+		}
+		if rep.Findings == nil {
+			rep.Findings = []lint.Finding{}
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(rep); err != nil {
 			return 2, err
 		}
 	} else {
@@ -87,13 +162,64 @@ func run(w io.Writer, dir string, patterns []string, verbose, jsonOut bool) (int
 				fmt.Fprintf(w, "%s: %s: %s\n", pos, f.Analyzer, f.Message)
 			}
 		}
-	}
-	unsuppressed := lint.Unsuppressed(findings)
-	if !jsonOut {
 		fmt.Fprintf(w, "chainauditlint: %d packages, %d findings (%d suppressed)\n",
 			len(pkgs), len(findings), len(findings)-unsuppressed)
+		if unsuppressed > 0 {
+			// Attribute the failure per analyzer so a regression is
+			// readable straight off the make check output.
+			by := countByAnalyzer(findings)
+			names := make([]string, 0, len(by))
+			for name, c := range by {
+				if c.Unsuppressed > 0 {
+					names = append(names, name)
+				}
+			}
+			sort.Strings(names)
+			fmt.Fprintf(w, "chainauditlint: unsuppressed by analyzer:")
+			for _, name := range names {
+				fmt.Fprintf(w, " %s=%d", name, by[name].Unsuppressed)
+			}
+			fmt.Fprintln(w)
+		}
 	}
 	if unsuppressed > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// runFixtures is the -fixtures self-test: every analyzer in the registry
+// must produce at least one unsuppressed finding on its own fixture
+// package, or the analyzer is silently dead (or its fixture rotted).
+func runFixtures(w io.Writer, dir string) (int, error) {
+	mod, err := lint.FindModule(dir)
+	if err != nil {
+		return 2, err
+	}
+	loader := lint.NewLoader(mod)
+	failed := false
+	for _, a := range lint.Analyzers() {
+		fixDir := filepath.Join(mod.Dir, "internal", "lint", "testdata", "src", a.Name)
+		pkg, err := loader.Load(fixDir)
+		if err != nil {
+			fmt.Fprintf(w, "fixtures: %s: loading fixture package: %v\n", a.Name, err)
+			failed = true
+			continue
+		}
+		n := 0
+		for _, f := range lint.Run([]*lint.Package{pkg}, lint.Analyzers()) {
+			if f.Analyzer == a.Name && !f.Suppressed {
+				n++
+			}
+		}
+		if n == 0 {
+			fmt.Fprintf(w, "fixtures: %s: no unsuppressed findings on its own fixture — the analyzer is dead or the fixture rotted\n", a.Name)
+			failed = true
+			continue
+		}
+		fmt.Fprintf(w, "fixtures: %s ok (%d findings)\n", a.Name, n)
+	}
+	if failed {
 		return 1, nil
 	}
 	return 0, nil

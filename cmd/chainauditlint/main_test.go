@@ -53,7 +53,9 @@ func TestRunCleanPackage(t *testing.T) {
 	}
 }
 
-// TestRunJSON pins the -json shape consumers script against.
+// TestRunJSON pins the -json chainaudit.lint/v1 report shape consumers
+// script against: versioned api field, totals that add up, per-analyzer
+// counts, and fully-populated findings.
 func TestRunJSON(t *testing.T) {
 	root := moduleRoot(t)
 	var out bytes.Buffer
@@ -65,16 +67,75 @@ func TestRunJSON(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1", code)
 	}
-	var findings []lint.Finding
-	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
-		t.Fatalf("output is not a JSON findings array: %v\n%s", err, out.String())
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not a JSON report object: %v\n%s", err, out.String())
 	}
-	if len(findings) == 0 {
-		t.Fatal("JSON output has no findings")
+	if rep.API != lintAPI {
+		t.Fatalf("api = %q, want %q", rep.API, lintAPI)
 	}
-	for _, f := range findings {
+	if rep.Packages != 1 {
+		t.Errorf("packages = %d, want 1", rep.Packages)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("JSON report has no findings")
+	}
+	if rep.Total != len(rep.Findings) || rep.Suppressed+rep.Unsuppressed != rep.Total {
+		t.Errorf("totals inconsistent: total=%d suppressed=%d unsuppressed=%d findings=%d",
+			rep.Total, rep.Suppressed, rep.Unsuppressed, len(rep.Findings))
+	}
+	ec := rep.ByAnalyzer["errdrop"]
+	if ec == nil || ec.Unsuppressed == 0 {
+		t.Errorf("by_analyzer missing errdrop unsuppressed count: %+v", rep.ByAnalyzer)
+	}
+	sum := 0
+	for _, c := range rep.ByAnalyzer {
+		sum += c.Total
+	}
+	if sum != rep.Total {
+		t.Errorf("by_analyzer totals sum to %d, want %d", sum, rep.Total)
+	}
+	for _, f := range rep.Findings {
 		if f.Analyzer == "" || f.File == "" || f.Line == 0 || f.Message == "" {
 			t.Errorf("finding missing fields: %+v", f)
+		}
+	}
+}
+
+// TestRunUnsuppressedTrailer pins the per-analyzer attribution line a
+// failing make check prints.
+func TestRunUnsuppressedTrailer(t *testing.T) {
+	root := moduleRoot(t)
+	var out bytes.Buffer
+	fixture := filepath.Join("internal", "lint", "testdata", "src", "maporder")
+	code, err := run(&out, root, []string{"./" + filepath.ToSlash(fixture)}, false, false)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "unsuppressed by analyzer: maporder=") {
+		t.Fatalf("failure output missing per-analyzer counts:\n%s", out.String())
+	}
+}
+
+// TestRunFixturesMode pins the -fixtures self-test: with the shipped
+// fixtures every registered analyzer fires, so the mode exits zero and
+// names each analyzer.
+func TestRunFixturesMode(t *testing.T) {
+	root := moduleRoot(t)
+	var out bytes.Buffer
+	code, err := runFixtures(&out, root)
+	if err != nil {
+		t.Fatalf("runFixtures: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\noutput:\n%s", code, out.String())
+	}
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(out.String(), "fixtures: "+a.Name+" ok") {
+			t.Errorf("self-test output does not cover %s:\n%s", a.Name, out.String())
 		}
 	}
 }

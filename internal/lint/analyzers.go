@@ -23,9 +23,15 @@ var deterministicPkgs = []string{
 	"index", "workload",
 }
 
-// Analyzers returns the full analyzer suite in its canonical order.
+// Analyzers returns the full analyzer suite in its canonical order: the
+// determinism checks first (walltime, unseededrand, maporder, errdrop,
+// ctxleak), then the concurrency-and-durability suite (lockheld, goleak,
+// fsyncrename, errenvelope).
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Walltime, UnseededRand, MapOrder, ErrDrop, CtxLeak}
+	return []*Analyzer{
+		Walltime, UnseededRand, MapOrder, ErrDrop, CtxLeak,
+		LockHeld, GoLeak, FsyncRename, ErrEnvelope,
+	}
 }
 
 // fixtureFor extracts the analyzer name from a fixture package path —

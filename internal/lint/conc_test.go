@@ -1,0 +1,247 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"strings"
+	"testing"
+
+	"chainaudit/internal/lint"
+)
+
+// checkWithLoader type-checks a source string under a fake import path,
+// resolving stdlib imports through the shared loader (which implements
+// types.Importer), so planted-bug regressions can be analyzed as if they
+// lived in an in-scope internal package without touching the repo.
+func checkWithLoader(t *testing.T, path, src string) *lint.Package {
+	t.Helper()
+	ld := sharedLoader(t)
+	fset := ld.Fset()
+	f, err := parser.ParseFile(fset, strings.ReplaceAll(path, "/", "_")+".go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: ld}
+	tp, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	return &lint.Package{Path: path, Dir: ".", Fset: fset, Files: []*ast.File{f}, Types: tp, Info: info}
+}
+
+// findingsOf runs the full suite over src (under path) and returns the
+// unsuppressed findings of one analyzer.
+func findingsOf(t *testing.T, analyzer, path, src string) []lint.Finding {
+	t.Helper()
+	pkg := checkWithLoader(t, path, src)
+	var out []lint.Finding
+	for _, f := range lint.Run([]*lint.Package{pkg}, lint.Analyzers()) {
+		if f.Analyzer == analyzer && !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestLockHeldPlanted plants the WAL-append-under-set-lock shape with its
+// //lint:allow removed — the exact regression the analyzer exists to
+// catch — and checks the summary pass attributes the block through the
+// helper call chain.
+func TestLockHeldPlanted(t *testing.T) {
+	src := `package serve
+
+import (
+	"os"
+	"sync"
+)
+
+type walSet struct {
+	mu  sync.Mutex
+	log *os.File
+}
+
+func (s *walSet) appendRow(row []byte) error {
+	_, err := s.log.Write(row)
+	return err
+}
+
+func (s *walSet) ingest(row []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendRow(row)
+}
+`
+	got := findingsOf(t, "lockheld", "chainaudit/internal/serve", src)
+	if len(got) != 1 {
+		t.Fatalf("lockheld findings = %d, want 1: %+v", len(got), got)
+	}
+	msg := got[0].Message
+	if !strings.Contains(msg, "appendRow") || !strings.Contains(msg, "(*os.File).Write") {
+		t.Errorf("finding does not chain the cause through the helper: %s", msg)
+	}
+	if !strings.Contains(msg, "s.mu (Lock)") {
+		t.Errorf("finding does not name the held lock: %s", msg)
+	}
+
+	// The sanctioned form — directive naming the invariant — suppresses it.
+	fixed := strings.Replace(src, "\treturn s.appendRow(row)",
+		"\t//lint:allow lockheld write-ahead ordering invariant: append must commit under the apply lock\n\treturn s.appendRow(row)", 1)
+	if got := findingsOf(t, "lockheld", "chainaudit/internal/serve", fixed); len(got) != 0 {
+		t.Errorf("directive did not suppress the planted finding: %+v", got)
+	}
+}
+
+// TestGoLeakPlanted plants a lifecycle-free polling goroutine in a
+// long-lived package and checks that handing it a stop channel clears it.
+func TestGoLeakPlanted(t *testing.T) {
+	src := `package observer
+
+import "time"
+
+func poll(f func()) {
+	go func() {
+		for {
+			f()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+`
+	got := findingsOf(t, "goleak", "chainaudit/internal/observer", src)
+	if len(got) != 1 {
+		t.Fatalf("goleak findings = %d, want 1: %+v", len(got), got)
+	}
+	if !strings.Contains(got[0].Message, "without a lifecycle") {
+		t.Errorf("unexpected message: %s", got[0].Message)
+	}
+
+	fixed := `package observer
+
+import "time"
+
+func poll(stop chan struct{}, f func()) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+`
+	if got := findingsOf(t, "goleak", "chainaudit/internal/observer", fixed); len(got) != 0 {
+		t.Errorf("stop channel did not clear the finding: %+v", got)
+	}
+}
+
+// TestFsyncRenamePlanted plants the two-phase checkpoint writer with its
+// Sync removed — the crash-durability regression the checkpoints depend on
+// never shipping.
+func TestFsyncRenamePlanted(t *testing.T) {
+	src := `package serve
+
+import "os"
+
+func persistCheckpoint(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+`
+	got := findingsOf(t, "fsyncrename", "chainaudit/internal/serve", src)
+	if len(got) != 1 {
+		t.Fatalf("fsyncrename findings = %d, want 1: %+v", len(got), got)
+	}
+	if !strings.Contains(got[0].Message, "no (*os.File).Sync") {
+		t.Errorf("unexpected message: %s", got[0].Message)
+	}
+
+	fixed := strings.Replace(src, "if err := f.Close(); err != nil {",
+		"if err := f.Sync(); err != nil {\n\t\tf.Close()\n\t\treturn err\n\t}\n\tif err := f.Close(); err != nil {", 1)
+	if got := findingsOf(t, "fsyncrename", "chainaudit/internal/serve", fixed); len(got) != 0 {
+		t.Errorf("restored Sync did not clear the finding: %+v", got)
+	}
+}
+
+// TestErrEnvelopePlanted plants a serve handler shipping errors around the
+// writeError envelope emitter three different ways; the emitter's own body
+// stays exempt.
+func TestErrEnvelopePlanted(t *testing.T) {
+	src := `package serve
+
+import "net/http"
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.WriteHeader(status)
+	w.Write([]byte(msg))
+}
+
+func writeJSON(w http.ResponseWriter, status int, body string) {
+	w.WriteHeader(status)
+	w.Write([]byte(body))
+}
+
+func handlePlanted(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Query().Get("mode") {
+	case "text":
+		http.Error(w, "bad request", http.StatusBadRequest)
+	case "bare":
+		w.WriteHeader(http.StatusInternalServerError)
+	case "shaped":
+		writeJSON(w, http.StatusConflict, "{}")
+	default:
+		writeJSON(w, http.StatusOK, "{}")
+	}
+}
+`
+	got := findingsOf(t, "errenvelope", "chainaudit/internal/serve", src)
+	if len(got) != 3 {
+		t.Fatalf("errenvelope findings = %d, want 3: %+v", len(got), got)
+	}
+	for i, want := range []string{"http.Error", "WriteHeader(500)", "writeJSON with error status 409"} {
+		if !strings.Contains(got[i].Message, want) {
+			t.Errorf("finding %d = %q, want substring %q", i, got[i].Message, want)
+		}
+	}
+
+	fixed := `package serve
+
+import "net/http"
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.WriteHeader(status)
+	w.Write([]byte(msg))
+}
+
+func handleFixed(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+`
+	if got := findingsOf(t, "errenvelope", "chainaudit/internal/serve", fixed); len(got) != 0 {
+		t.Errorf("enveloped handler still flagged: %+v", got)
+	}
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ErrEnvelope rejects raw 4xx/5xx emission in internal/serve. PR 9 unified
+// every error the service returns into the chainaudit.error/v1 envelope,
+// emitted by exactly one function — writeError — so clients parse one
+// schema no matter which handler failed. A handler that calls http.Error,
+// w.WriteHeader(4xx/5xx), or writeJSON with an error status bypasses the
+// envelope and ships a second, undocumented error shape; the golden-byte
+// envelope tests can't see routes they don't know about, so the analyzer
+// closes the gap structurally.
+//
+// The bodies of writeError and writeJSON themselves are exempt: they are
+// the emitters the rule funnels everything into.
+var ErrEnvelope = &Analyzer{
+	Name:    "errenvelope",
+	Doc:     "4xx/5xx responses in internal/serve must flow through the writeError chainaudit.error/v1 emitter",
+	InScope: scopeFor("errenvelope", "serve"),
+	Run: func(p *Package) []Diag {
+		var out []Diag
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if name := fd.Name.Name; name == "writeError" || name == "writeJSON" {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if d, ok := classifyRawError(p, call); ok {
+						out = append(out, d)
+					}
+					return true
+				})
+			}
+		}
+		return out
+	},
+}
+
+// classifyRawError reports whether call emits an error response outside
+// the writeError envelope.
+func classifyRawError(p *Package, call *ast.CallExpr) (Diag, bool) {
+	fn := calleeOf(p.Info, call)
+	if fn == nil {
+		return Diag{}, false
+	}
+	name := fn.Name()
+	switch {
+	case pkgPathOf(fn) == "net/http" && sigOf(fn).Recv() == nil && name == "Error":
+		return Diag{
+			Pos: call.Lparen,
+			Message: "http.Error bypasses the chainaudit.error/v1 envelope: " +
+				"emit the status through writeError so every client sees one error schema",
+		}, true
+	case pkgPathOf(fn) == "net/http" && name == "WriteHeader" && recvNamed(fn, "net/http", "ResponseWriter"):
+		if status, ok := constStatus(p.Info, call.Args); ok && status >= 400 {
+			return Diag{
+				Pos: call.Lparen,
+				Message: fmt.Sprintf("WriteHeader(%d) emits a raw error status bypassing the chainaudit.error/v1 envelope: "+
+					"route it through writeError", status),
+			}, true
+		}
+	case fn.Pkg() == p.Types && name == "writeJSON":
+		if len(call.Args) >= 2 {
+			if status, ok := constStatusOf(p.Info, call.Args[1]); ok && status >= 400 {
+				return Diag{
+					Pos: call.Lparen,
+					Message: fmt.Sprintf("writeJSON with error status %d bypasses the chainaudit.error/v1 envelope: "+
+						"error statuses go through writeError", status),
+				}, true
+			}
+		}
+	}
+	return Diag{}, false
+}
+
+// constStatus resolves the first argument to an integer constant.
+func constStatus(info *types.Info, args []ast.Expr) (int64, bool) {
+	if len(args) == 0 {
+		return 0, false
+	}
+	return constStatusOf(info, args[0])
+}
+
+// constStatusOf resolves expr to an integer constant, following the
+// http.Status* named constants handlers actually use.
+func constStatusOf(info *types.Info, expr ast.Expr) (int64, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

@@ -116,11 +116,11 @@ func TestFixtures(t *testing.T) {
 	}
 }
 
-// TestFixtureSuppressions pins the directive flow end to end: the walltime
-// and errdrop fixtures each carry one reasoned //lint:allow, which must
-// suppress exactly one finding and leave no stale-directive report.
+// TestFixtureSuppressions pins the directive flow end to end: the walltime,
+// errdrop, and lockheld fixtures each carry one reasoned //lint:allow, which
+// must suppress exactly one finding and leave no stale-directive report.
 func TestFixtureSuppressions(t *testing.T) {
-	for _, name := range []string{"walltime", "errdrop"} {
+	for _, name := range []string{"walltime", "errdrop", "lockheld"} {
 		dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
 		if err != nil {
 			t.Fatal(err)

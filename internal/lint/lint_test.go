@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
@@ -83,6 +84,125 @@ func f() {}
 	pkg := checkSource(t, src)
 	if got := lint.Run([]*lint.Package{pkg}, lint.Analyzers()); len(got) != 0 {
 		t.Fatalf("findings = %v, want none", got)
+	}
+}
+
+// demoAnalyzer builds a scope-free analyzer with the given name that
+// reports one finding per x++ statement — a controlled finding generator
+// for pinning the suppression grammar itself, independent of any real
+// analyzer's scope.
+func demoAnalyzer(name string) *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: name,
+		Doc:  "test analyzer: flags every increment",
+		Run: func(p *lint.Package) []lint.Diag {
+			var out []lint.Diag
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if inc, ok := n.(*ast.IncDecStmt); ok && inc.Tok == token.INC {
+						out = append(out, lint.Diag{Pos: inc.Pos(), Message: "increment"})
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+// TestDirectiveGrammarEdges pins the corner cases of //lint:allow
+// matching: a directive separated from its finding by a blank line goes
+// stale and suppresses nothing; an unknown analyzer name in an otherwise
+// well-formed directive is misuse and suppresses nothing; a second
+// //lint:allow inside one line comment is reason text, not a second
+// directive; and two directives for different analyzers can cover one
+// line (standalone above + trailing), each suppressing only its own
+// analyzer's finding.
+func TestDirectiveGrammarEdges(t *testing.T) {
+	src := `package p
+
+func f() int {
+	x := 0
+
+	//lint:allow demo separated from the finding by a blank line
+
+	x++
+	x++ //lint:allow demo trailing directive on the finding line
+	//lint:allow demo2 standalone directive above the finding line
+	x++
+	//lint:allow demo first reason //lint:allow demo second
+	x++
+	x++ //lint:allow nosuch otherwise valid reason text
+	return x
+}
+`
+	pkg := checkSource(t, src)
+	demo, demo2 := demoAnalyzer("demo"), demoAnalyzer("demo2")
+	findings := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{demo, demo2})
+
+	type got struct {
+		suppressed bool
+		reason     string
+	}
+	byKey := make(map[string]got) // "analyzer@line"
+	var directives []string
+	for _, f := range findings {
+		if f.Analyzer == lint.DirectiveAnalyzer {
+			if f.Suppressed {
+				t.Errorf("directive finding must not be suppressible: %s", f.Message)
+			}
+			directives = append(directives, f.Message)
+			continue
+		}
+		byKey[fmt.Sprintf("%s@%d", f.Analyzer, f.Line)] = got{f.Suppressed, f.Reason}
+	}
+
+	// Line 8: the blank line breaks adjacency — both findings stay live.
+	for _, k := range []string{"demo@8", "demo2@8"} {
+		if g := byKey[k]; g.suppressed {
+			t.Errorf("%s suppressed through a blank line (reason %q)", k, g.reason)
+		}
+	}
+	// Line 9: trailing demo directive suppresses demo only.
+	if g := byKey["demo@9"]; !g.suppressed {
+		t.Error("trailing directive did not suppress demo@9")
+	}
+	if g := byKey["demo2@9"]; g.suppressed {
+		t.Error("demo directive suppressed demo2@9")
+	}
+	// Line 11: standalone demo2 directive suppresses demo2 only.
+	if g := byKey["demo2@11"]; !g.suppressed {
+		t.Error("standalone directive did not suppress demo2@11")
+	}
+	if g := byKey["demo@11"]; g.suppressed {
+		t.Error("demo2 directive suppressed demo@11")
+	}
+	// Line 13: one line comment is one directive — the second
+	// "//lint:allow demo second" is part of the reason text.
+	if g := byKey["demo@13"]; !g.suppressed {
+		t.Error("directive with embedded //lint:allow did not suppress demo@13")
+	} else if want := "first reason //lint:allow demo second"; g.reason != want {
+		t.Errorf("demo@13 reason = %q, want %q", g.reason, want)
+	}
+	// Line 14: unknown analyzer → misuse, and the finding stays live.
+	if g := byKey["demo@14"]; g.suppressed {
+		t.Error("unknown-analyzer directive suppressed demo@14")
+	}
+
+	wantDirectives := []string{
+		"suppresses nothing",        // the blank-line-separated directive went stale
+		`unknown analyzer "nosuch"`, // misuse, with the known list derived from the run set
+	}
+	if len(directives) != len(wantDirectives) {
+		t.Fatalf("directive findings = %d, want %d: %q", len(directives), len(wantDirectives), directives)
+	}
+	for i, want := range wantDirectives {
+		if !strings.Contains(directives[i], want) {
+			t.Errorf("directive finding %d = %q, want substring %q", i, directives[i], want)
+		}
+	}
+	if !strings.Contains(directives[1], "known: demo, demo2") {
+		t.Errorf("unknown-analyzer message should list the run set: %q", directives[1])
 	}
 }
 

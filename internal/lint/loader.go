@@ -62,6 +62,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// sums lazily caches the intra-package call summaries the concurrency
+	// analyzers share (see summary.go / (*Package).callSummaries).
+	sums summaries
 }
 
 // Loader parses and type-checks module packages on the pure go/* standard

@@ -1,0 +1,397 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file implements the intra-package call-summary pass the concurrency
+// analyzers (lockheld, goleak) lean on to see through helper functions.
+// For every function declared in a package it records two facts:
+//
+//   - blocks: calling the function can block on I/O, the network, a
+//     channel, or a sync.WaitGroup/Cond — with a why-chain naming the
+//     root cause so findings stay explainable.
+//   - lifecycle: the function body carries goroutine-lifecycle evidence
+//     (a context, WaitGroup, channel join, or owning net.Conn), so a
+//     goroutine whose body is that function is bounded.
+//
+// Facts propagate to callers through a fixed-point pass over same-package
+// calls. The pass deliberately under-approximates: function values, method
+// sets reached through interfaces, and cross-package calls contribute
+// nothing, so a helper that blocks through an interface is invisible. That
+// is the right trade for a lint gate — it keeps every finding explainable
+// from the source alone and never flags code it cannot prove anything
+// about.
+
+// blockSite is one blocking operation found in a function body, with a
+// human-readable cause for the finding message.
+type blockSite struct {
+	pos  token.Pos
+	what string
+}
+
+// funcFacts summarizes one declared function.
+type funcFacts struct {
+	decl      *ast.FuncDecl
+	blocks    bool
+	why       string // root cause, chained through callees ("append → (*os.File).Write")
+	lifecycle bool
+}
+
+// summaries indexes funcFacts by the declared *types.Func.
+type summaries map[*types.Func]*funcFacts
+
+// callSummaries computes (once, then caches) the package's call summaries.
+func (p *Package) callSummaries() summaries {
+	if p.sums != nil {
+		return p.sums
+	}
+	s := make(summaries)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			facts := &funcFacts{decl: fd}
+			if sites := blockingSites(p.Info, fd.Body, nil); len(sites) > 0 {
+				facts.blocks, facts.why = true, sites[0].what
+			}
+			facts.lifecycle = lifecycleEvidence(p.Info, fd.Body)
+			s[fn] = facts
+		}
+	}
+	// Fixed point: a caller inherits blocks/lifecycle from any declared
+	// same-package function it calls directly (outside go/defer/nested
+	// literals, which run on their own schedule).
+	for changed := true; changed; {
+		changed = false
+		for _, facts := range s {
+			if facts.blocks && facts.lifecycle {
+				continue
+			}
+			eachDirectCall(facts.decl.Body, func(call *ast.CallExpr) {
+				callee := calleeOf(p.Info, call)
+				if callee == nil {
+					return
+				}
+				cf, ok := s[callee]
+				if !ok {
+					return
+				}
+				if cf.blocks && !facts.blocks {
+					facts.blocks = true
+					facts.why = callee.Name() + " → " + cf.why
+					changed = true
+				}
+				if cf.lifecycle && !facts.lifecycle {
+					facts.lifecycle = true
+					changed = true
+				}
+			})
+		}
+	}
+	p.sums = s
+	return s
+}
+
+// eachDirectCall visits every call executed synchronously on body's own
+// goroutine: it skips nested function literals (their bodies are separate
+// scopes), go statements (a different goroutine), and deferred calls
+// (which run after the interval of interest).
+func eachDirectCall(body *ast.BlockStmt, visit func(*ast.CallExpr)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			visit(n)
+		}
+		_ = n
+		return true
+	})
+}
+
+// blockingSites returns, in source order, every operation in body that can
+// block the calling goroutine: file/network I/O, HTTP round-trips, channel
+// sends/receives, blocking selects, and sync waits. With a non-nil sums it
+// also flags calls to same-package functions whose summary says they block.
+// Nested function literals, go statements, and deferred calls are skipped —
+// they do not block this body's own execution at that point.
+func blockingSites(info *types.Info, body *ast.BlockStmt, sums summaries) []blockSite {
+	var sites []blockSite
+	add := func(pos token.Pos, what string) {
+		sites = append(sites, blockSite{pos: pos, what: what})
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+				return false
+			case *ast.SendStmt:
+				add(n.Arrow, "channel send")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					add(n.OpPos, "channel receive")
+				}
+			case *ast.RangeStmt:
+				if isChanType(info, n.X) {
+					add(n.For, "range over channel")
+				}
+			case *ast.SelectStmt:
+				// A select with a default never blocks, and the comm
+				// clauses of a blocking select are already covered by
+				// the one site reported for the select itself — either
+				// way, only the case bodies are scanned further.
+				if !selectHasDefault(n) {
+					add(n.Select, "blocking select")
+				}
+				for _, cc := range n.Body.List {
+					for _, st := range cc.(*ast.CommClause).Body {
+						walk(st)
+					}
+				}
+				return false
+			case *ast.CallExpr:
+				if what, ok := classifyBlockingCall(info, n, sums); ok {
+					add(n.Lparen, what)
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+	return sites
+}
+
+// selectHasDefault reports whether the select has a default clause.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, cc := range sel.Body.List {
+		if cc.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingOSFuncs are package-level os functions that hit the filesystem.
+var blockingOSFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true,
+	"ReadFile": true, "WriteFile": true,
+	"Rename": true, "Remove": true, "RemoveAll": true,
+	"Mkdir": true, "MkdirAll": true, "ReadDir": true,
+	"Truncate": true, "Stat": true, "Lstat": true,
+}
+
+// blockingFileMethods are (*os.File) methods that hit the filesystem.
+// Seek is deliberately absent: it only adjusts the offset.
+var blockingFileMethods = map[string]bool{
+	"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+	"WriteString": true, "Sync": true, "Close": true, "Truncate": true,
+}
+
+// blockingHTTPFuncs are package-level net/http round-trip helpers.
+var blockingHTTPFuncs = map[string]bool{
+	"Get": true, "Head": true, "Post": true, "PostForm": true,
+}
+
+// blockingClientMethods are (*http.Client) round-trip methods.
+var blockingClientMethods = map[string]bool{
+	"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true,
+}
+
+// blockingNetFuncs are package-level net functions that touch the wire.
+var blockingNetFuncs = map[string]bool{
+	"Dial": true, "DialTimeout": true, "Listen": true,
+}
+
+// blockingNetMethods are connection/listener methods that touch the wire.
+var blockingNetMethods = map[string]bool{
+	"Read": true, "Write": true, "Close": true, "Accept": true,
+}
+
+// blockingIOFuncs are package-level io helpers that pump a reader/writer.
+var blockingIOFuncs = map[string]bool{
+	"Copy": true, "CopyN": true, "ReadAll": true,
+}
+
+// classifyBlockingCall reports whether the call can block, with a short
+// human-readable cause. With a non-nil sums, calls to declared same-package
+// functions whose summary blocks are classified too, chaining the cause.
+func classifyBlockingCall(info *types.Info, call *ast.CallExpr, sums summaries) (string, bool) {
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return "", false
+	}
+	name := fn.Name()
+	switch pkgPathOf(fn) {
+	case "os":
+		if fn.Type().(*types.Signature).Recv() == nil {
+			if blockingOSFuncs[name] {
+				return "os." + name + " (file I/O)", true
+			}
+		} else if recvNamed(fn, "os", "File") && blockingFileMethods[name] {
+			return "(*os.File)." + name + " (file I/O)", true
+		}
+	case "net/http":
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() == nil {
+			if blockingHTTPFuncs[name] {
+				return "http." + name + " (HTTP round-trip)", true
+			}
+		} else if recvNamed(fn, "net/http", "Client") && blockingClientMethods[name] {
+			return "(*http.Client)." + name + " (HTTP round-trip)", true
+		} else if recvNamed(fn, "net/http", "ResponseWriter") && (name == "Write" || name == "WriteHeader") {
+			return "http.ResponseWriter." + name + " (response write)", true
+		}
+	case "net":
+		if fn.Type().(*types.Signature).Recv() == nil {
+			if blockingNetFuncs[name] {
+				return "net." + name + " (network I/O)", true
+			}
+		} else if blockingNetMethods[name] {
+			return "net connection " + name + " (network I/O)", true
+		}
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "io":
+		if fn.Type().(*types.Signature).Recv() == nil && blockingIOFuncs[name] {
+			return "io." + name + " (reader/writer pump)", true
+		}
+	case "sync":
+		if name == "Wait" {
+			return "sync " + recvName(fn) + ".Wait", true
+		}
+	}
+	if sums != nil {
+		if facts, ok := sums[fn]; ok && facts.blocks {
+			return fmt.Sprintf("call to %s (blocks: %s)", name, facts.why), true
+		}
+	}
+	return "", false
+}
+
+// recvNamed reports whether fn's receiver (after deref) is the named type
+// pkg.typeName.
+func recvNamed(fn *types.Func, pkg, typeName string) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkg && obj.Name() == typeName
+}
+
+// recvName names fn's receiver type, pointer stripped, for messages.
+func recvName(fn *types.Func) string {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "?"
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// isChanType reports whether expr's type is a channel.
+func isChanType(info *types.Info, expr ast.Expr) bool {
+	t := info.Types[expr].Type
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// lifecycleEvidence reports whether body carries any goroutine-lifecycle
+// evidence: a context.Context reference, a sync.WaitGroup reference, a
+// channel operation (send, receive, range, select, close), or a reference
+// to a net connection/listener whose Close bounds the goroutine.
+func lifecycleEvidence(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(info, n.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj, ok := info.Uses[n].(*types.Var); ok {
+				t := obj.Type()
+				if isContextType(t) || isNamedFrom(t, "sync", "WaitGroup") || isNetConnType(t) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isNamedFrom reports whether t (after deref) is the named type pkg.name.
+func isNamedFrom(t types.Type, pkg, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkg && obj.Name() == name
+}
+
+// isNetConnType reports whether t (after deref) is a named type declared in
+// package net — a Conn, Listener, or concrete connection whose Close ends
+// any goroutine pumping it.
+func isNetConnType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net"
+}

@@ -1,0 +1,61 @@
+// Package errenvelope exercises the errenvelope analyzer: handlers that
+// emit 4xx/5xx statuses around the writeError envelope emitter. The local
+// writeError/writeJSON stand in for internal/serve's.
+package errenvelope
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// writeError is the stand-in envelope emitter: the one sanctioned way to
+// ship an error status. Its own WriteHeader call is exempt.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"api": "chainaudit.error/v1", "error": msg})
+}
+
+// writeJSON is the stand-in success emitter; also exempt inside.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// RawHTTPError ships a plain-text error instead of the envelope.
+func RawHTTPError(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed) // want `http.Error bypasses the chainaudit.error/v1 envelope`
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"ok": 1})
+}
+
+// RawWriteHeader emits a bare 503 with no body schema at all.
+func RawWriteHeader(w http.ResponseWriter, busy bool) {
+	if busy {
+		w.WriteHeader(http.StatusServiceUnavailable) // want `WriteHeader\(503\) emits a raw error status`
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// EnvelopeShapedButRaw sends an error status through the success emitter:
+// right-looking JSON, wrong schema.
+func EnvelopeShapedButRaw(w http.ResponseWriter, err error) {
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"oops": err.Error()}) // want `writeJSON with error status 400 bypasses the chainaudit.error/v1 envelope`
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"ok": 1})
+}
+
+// Enveloped is the fix: every error status flows through writeError.
+func Enveloped(w http.ResponseWriter, err error) {
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"ok": 1})
+}

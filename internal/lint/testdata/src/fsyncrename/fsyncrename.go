@@ -1,0 +1,58 @@
+// Package fsyncrename exercises the fsyncrename analyzer: os.Rename
+// publishing bytes written in the same function with no (*os.File).Sync
+// pinning them first. The shapes mirror the two-phase checkpoint writer
+// in internal/serve.
+package fsyncrename
+
+import "os"
+
+// PublishUnsynced writes a temp file and renames it into place with no
+// Sync: a crash after the rename can publish an empty file.
+func PublishUnsynced(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // want `os.Rename publishes a file written in this function with no \(\*os.File\).Sync`
+}
+
+// PublishWriteFile takes the one-liner shortcut — os.WriteFile never syncs.
+func PublishWriteFile(tmp, final string, data []byte) error {
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // want `os.Rename publishes a file written in this function with no \(\*os.File\).Sync`
+}
+
+// PublishSynced is the discipline: tmp + fsync + rename.
+func PublishSynced(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// MoveOnly renames a file this function never wrote: a pure move, not a
+// publish — out of scope.
+func MoveOnly(from, to string) error {
+	return os.Rename(from, to)
+}

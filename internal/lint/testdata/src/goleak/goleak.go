@@ -1,0 +1,93 @@
+// Package goleak exercises the goleak analyzer: goroutines launched in
+// long-lived packages with no lifecycle — nothing can stop them or wait
+// for them. The shapes mirror the observer/p2p pump loops.
+package goleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type pump struct {
+	out  chan int
+	stop chan struct{}
+}
+
+// Leak launches a forever-loop with no context, WaitGroup, channel, or
+// connection reachable from its body: a goroutine per call, each immortal.
+func Leak(tick func()) {
+	go func() { // want `goroutine is launched without a lifecycle`
+		for {
+			tick()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// LeakNamed launches the same leak through a local variable binding.
+func LeakNamed(tick func()) {
+	w := func() {
+		for {
+			tick()
+		}
+	}
+	go w() // want `goroutine is launched without a lifecycle`
+}
+
+// LeakMethod leaks through a method value: the summary pass resolves the
+// declared method and finds no lifecycle in it either.
+func (p *pump) spin() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Spin launches the immortal method.
+func (p *pump) Spin() {
+	go p.spin() // want `goroutine is launched without a lifecycle`
+}
+
+// run ranges the pump's channel: closing out ends it.
+func (p *pump) run() {
+	for v := range p.out {
+		_ = v
+	}
+}
+
+// Start launches a channel-bounded method goroutine — the summary pass
+// sees the range through the declaration.
+func (p *pump) Start() {
+	go p.run()
+}
+
+// Bounded waits on a WaitGroup-tracked worker.
+func Bounded(n int, f func()) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	wg.Wait()
+}
+
+// Cancellable honors a context.
+func Cancellable(ctx context.Context, f func()) {
+	go func() {
+		for ctx.Err() == nil {
+			f()
+		}
+	}()
+}
+
+// Joined signals completion over a channel.
+func Joined(f func() int) chan int {
+	done := make(chan int, 1)
+	go func() {
+		done <- f()
+	}()
+	return done
+}

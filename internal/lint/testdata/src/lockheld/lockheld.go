@@ -1,0 +1,85 @@
+// Package lockheld exercises the lockheld analyzer: blocking operations
+// inside a held sync.Mutex/RWMutex critical section. The shapes mirror the
+// streaming set in internal/serve — a guarded in-memory state plus an
+// append-only log file.
+package lockheld
+
+import (
+	"net/http"
+	"os"
+	"sync"
+)
+
+type set struct {
+	mu    sync.Mutex
+	smu   sync.RWMutex
+	log   *os.File
+	rows  []string
+	drain chan string
+}
+
+// AppendUnderLock writes the log file while holding the state lock — one
+// slow disk write stalls every contender.
+func (s *set) AppendUnderLock(row string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows = append(s.rows, row)
+	_, err := s.log.WriteString(row) // want `\(\*os.File\).WriteString \(file I/O\) while s.mu \(Lock\) acquired on line 24 is held`
+	return err
+}
+
+// SendUnderRLock performs a channel send inside a read-locked section.
+func (s *set) SendUnderRLock(row string) {
+	s.smu.RLock()
+	s.drain <- row // want `channel send while s.smu \(RLock\) acquired on line 33 is held`
+	s.smu.RUnlock()
+}
+
+// FetchUnderLock holds the lock across an HTTP round-trip through a
+// same-package helper — the call-summary pass sees the block through it.
+func (s *set) FetchUnderLock(url string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fetch(url) // want `call to fetch \(blocks: http.Get \(HTTP round-trip\)\) while s.mu \(Lock\) acquired on line 41 is held`
+}
+
+func fetch(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// UnlockedAppend is the fix: snapshot under the lock, write outside it.
+func (s *set) UnlockedAppend(row string) error {
+	s.mu.Lock()
+	s.rows = append(s.rows, row)
+	s.mu.Unlock()
+	_, err := s.log.WriteString(row)
+	return err
+}
+
+// TryDrain uses a select with a default inside the lock: the attempt never
+// blocks, so holding the lock across it is fine.
+func (s *set) TryDrain(row string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.drain <- row:
+		return true
+	default:
+		return false
+	}
+}
+
+// Explained shows the escape hatch for a deliberate ordering invariant,
+// with the waived invariant on record.
+func (s *set) Explained(row string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows = append(s.rows, row)
+	//lint:allow lockheld fixture: stand-in for a WAL append that must commit under the same lock hold as the in-memory apply
+	_, err := s.log.WriteString(row)
+	return err
+}

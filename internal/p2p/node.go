@@ -125,7 +125,7 @@ func (n *Node) now() time.Time {
 	clock := n.clock
 	n.mu.Unlock()
 	if clock == nil {
-		//lint:allow walltime injected-clock fallback: nil clock means the harness opted into wall time (SetClock not called)
+		//lint:allow walltime injected-clock fallback waives the byte-identical-rerun invariant: a harness that never calls SetClock has opted out of deterministic timestamps, and wall time is the only source left
 		return time.Now()
 	}
 	return clock()

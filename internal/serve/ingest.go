@@ -254,6 +254,7 @@ func (s *Server) lookupStreamSet(name string, create bool) (*auditSet, error) {
 	}
 	set := newStreamSet(name, s.cfg.StreamRetain)
 	if s.cfg.StreamDir != "" {
+		//lint:allow lockheld set-registration atomicity invariant: creating the set's WAL must happen under the same setsMu hold that registers the set, or two racing first-batches could each open (and truncate) the same log file
 		w, err := s.openWAL(name)
 		if err != nil {
 			return nil, err
@@ -357,10 +358,27 @@ func (s *Server) ingest(w http.ResponseWriter, r *http.Request, api string) {
 		}
 	}
 
+	status := s.ingestLocked(set, &req, blocks, &resp)
+	resp.ElapsedMS = t.ms()
+	if status != http.StatusOK {
+		failIngest(w, status, &resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ingestLocked is the critical section of ingest: WAL append, in-memory
+// apply, and checkpoint compaction under the set's write lock. It returns
+// the HTTP status for the batch and fills resp's progress fields; the
+// caller writes the response AFTER the lock is released, so a slow or
+// stalled client connection can never freeze the set for concurrent
+// ingests and audits.
+func (s *Server) ingestLocked(set *auditSet, req *IngestRequest, blocks []*chain.Block, resp *IngestResponse) int {
 	set.mu.Lock()
 	defer set.mu.Unlock()
 	if set.wal != nil {
-		if err := set.wal.appendRequest(&req); err != nil {
+		//lint:allow lockheld write-ahead ordering invariant: the WAL append must commit under the same set.mu hold as applyFrames, or a concurrent batch could apply between log and apply and recovery would replay them out of order
+		if err := set.wal.appendRequest(req); err != nil {
 			// Write-ahead failed: nothing was applied, so the feeder can
 			// safely re-ship the whole batch after the service recovers.
 			// (503 counts as a service error via writeError, not a reject.)
@@ -371,23 +389,20 @@ func (s *Server) ingest(w http.ResponseWriter, r *http.Request, api string) {
 				h := set.stream.lastHeight
 				resp.Height = &h
 			}
-			resp.ElapsedMS = t.ms()
-			failIngest(w, http.StatusServiceUnavailable, &resp)
-			return
+			return http.StatusServiceUnavailable
 		}
 	}
-	s.applyFrames(set, &req, blocks, &resp)
+	s.applyFrames(set, req, blocks, resp)
 	if set.wal != nil && !set.wal.broken && set.wal.due() {
+		//lint:allow lockheld checkpoint quiescence invariant: compaction truncates the WAL and must see a quiesced set — a concurrent ingest appending between snapshot and truncate would lose its acknowledged batch
 		if err := s.checkpointSet(set); err != nil {
 			log.Printf("serve: checkpoint %s: %v", set.name, err)
 		}
 	}
-	resp.ElapsedMS = t.ms()
 	if resp.Error != "" {
-		failIngest(w, http.StatusConflict, &resp)
-		return
+		return http.StatusConflict
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK
 }
 
 // applyFrames applies one parsed ingest batch to a streaming set — the
